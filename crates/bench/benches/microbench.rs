@@ -1,0 +1,157 @@
+//! Criterion microbenchmarks for the computational kernels of the
+//! reproduction: LP/MILP solving, analytical metrics, path enumeration,
+//! MCLB routing, VC allocation, the annealing engine and the network
+//! simulator.  Sample sizes are kept small so `cargo bench --workspace`
+//! finishes in minutes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use netsmith::gen::anneal::{anneal, AnnealConfig};
+use netsmith::gen::{GenerationProblem, Objective};
+use netsmith::prelude::*;
+use netsmith_lp::{Cmp, LinExpr, MilpSolver, Model, Sense};
+use netsmith_route::paths::all_shortest_paths;
+use netsmith_route::{allocate_vcs, mclb_route, MclbConfig};
+use netsmith_sim::{NetworkSim, SimConfig};
+use netsmith_topo::{cuts, metrics};
+use std::time::Duration;
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp");
+    group.sample_size(20);
+    group.bench_function("simplex_20var_lp", |b| {
+        b.iter_batched(
+            || {
+                let mut m = Model::new(Sense::Maximize);
+                let vars: Vec<_> = (0..20)
+                    .map(|i| m.add_continuous(1.0 + (i % 7) as f64, format!("x{i}")))
+                    .collect();
+                for r in 0..12 {
+                    let expr = LinExpr::from_terms(
+                        vars.iter()
+                            .enumerate()
+                            .map(|(i, &v)| (v, 1.0 + ((i * r) % 5) as f64)),
+                    );
+                    m.add_constr(expr, Cmp::Le, 40.0 + r as f64);
+                }
+                m
+            },
+            |m| netsmith_lp::simplex::solve_lp(&m).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("milp_knapsack_12items", |b| {
+        b.iter_batched(
+            || {
+                let mut m = Model::new(Sense::Maximize);
+                let vars: Vec<_> = (0..12)
+                    .map(|i| m.add_binary(((i * 13) % 17 + 1) as f64, format!("b{i}")))
+                    .collect();
+                let expr = LinExpr::from_terms(
+                    vars.iter()
+                        .enumerate()
+                        .map(|(i, &v)| (v, ((i * 7) % 11 + 1) as f64)),
+                );
+                m.add_constr(expr, Cmp::Le, 30.0);
+                m
+            },
+            |m| MilpSolver::default().solve(&m).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let layout = Layout::noi_4x5();
+    let kite = expert::kite_large(&layout);
+    let mut group = c.benchmark_group("metrics");
+    group.sample_size(30);
+    group.bench_function("average_hops_20r", |b| b.iter(|| metrics::average_hops(&kite)));
+    group.bench_function("sparsest_cut_exhaustive_20r", |b| {
+        b.iter(|| cuts::sparsest_cut_exhaustive(&kite))
+    });
+    group.bench_function("bisection_bandwidth_20r", |b| {
+        b.iter(|| cuts::bisection_bandwidth(&kite))
+    });
+    let big = expert::folded_torus(&Layout::noi_8x6());
+    group.bench_function("sparsest_cut_heuristic_48r", |b| {
+        b.iter(|| cuts::sparsest_cut_heuristic(&big, 8, 1))
+    });
+    group.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let layout = Layout::noi_4x5();
+    let kite = expert::kite_large(&layout);
+    let paths = all_shortest_paths(&kite);
+    let mut group = c.benchmark_group("routing");
+    group.sample_size(10);
+    group.bench_function("all_shortest_paths_20r", |b| {
+        b.iter(|| all_shortest_paths(&kite))
+    });
+    group.bench_function("mclb_route_20r", |b| {
+        b.iter(|| mclb_route(&paths, &MclbConfig::default()))
+    });
+    let table = mclb_route(&paths, &MclbConfig::default());
+    group.bench_function("vc_allocation_20r", |b| {
+        b.iter(|| allocate_vcs(&table, 6, 3).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(12));
+    let problem = GenerationProblem::new(Layout::noi_4x5(), LinkClass::Medium, Objective::LatOp);
+    group.bench_function("anneal_2000_evals_latop", |b| {
+        b.iter(|| {
+            anneal(
+                &problem,
+                &AnnealConfig {
+                    max_evaluations: 2_000,
+                    ..AnnealConfig::quick()
+                },
+                0.0,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let layout = Layout::noi_4x5();
+    let kite = expert::kite_medium(&layout);
+    let paths = all_shortest_paths(&kite);
+    let table = mclb_route(&paths, &MclbConfig::default());
+    let alloc = allocate_vcs(&table, 6, 3).unwrap();
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    group.bench_function("sim_5000_cycles_midload", |b| {
+        let config = SimConfig {
+            warmup_cycles: 500,
+            measure_cycles: 4_000,
+            drain_cycles: 500,
+            ..SimConfig::default()
+        };
+        let sim = NetworkSim::new(
+            &kite,
+            &table,
+            Some(&alloc),
+            TrafficPattern::UniformRandom,
+            config,
+        );
+        b.iter(|| sim.run(0.3))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lp,
+    bench_metrics,
+    bench_routing,
+    bench_generation,
+    bench_simulator
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Figure 9: NoI power (static + dynamic) and area (routers + wires)
+//! relative to the mesh baseline, using the DSENT-style model and activity
+//! factors taken from the simulator at a moderate operating point.
+
+use netsmith::power::{area_report, power_report, relative_to, PowerConfig};
+use netsmith::prelude::*;
+use netsmith_bench::{class_lineup, prepare};
+
+fn main() {
+    let layout = Layout::noi_4x5();
+    let power_cfg = PowerConfig::default();
+    let operating_load = 0.3; // flits/node/cycle, below saturation for all topologies
+
+    // Mesh baseline (small class clock).
+    let mesh = prepare(&expert::mesh(&layout), RoutingScheme::Ndbt);
+    let mesh_cfg = mesh.sim_config();
+    let mesh_util = {
+        let sim = netsmith_sim::NetworkSim::new(
+            &mesh.topology,
+            &mesh.routing,
+            Some(&mesh.vcs),
+            TrafficPattern::UniformRandom,
+            mesh_cfg.clone(),
+        );
+        sim.run(operating_load).avg_link_utilization
+    };
+    let mesh_power = power_report(&mesh.topology, &power_cfg, &mesh_cfg, mesh_util);
+    let mesh_area = area_report(&mesh.topology, &power_cfg);
+
+    println!("topology,class,static_power_rel_mesh,dynamic_power_rel_mesh,total_power_rel_mesh,router_area_rel_mesh,wire_area_rel_mesh,total_area_rel_mesh");
+    for class in LinkClass::STANDARD {
+        for (topo, scheme) in class_lineup(&layout, class) {
+            let network = prepare(&topo, scheme);
+            let cfg = network.sim_config();
+            let util = {
+                let sim = netsmith_sim::NetworkSim::new(
+                    &network.topology,
+                    &network.routing,
+                    Some(&network.vcs),
+                    TrafficPattern::UniformRandom,
+                    cfg.clone(),
+                );
+                sim.run(operating_load).avg_link_utilization
+            };
+            let power = power_report(&topo, &power_cfg, &cfg, util);
+            let area = area_report(&topo, &power_cfg);
+            println!(
+                "{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}",
+                topo.name(),
+                class.name(),
+                relative_to(power.static_mw, mesh_power.static_mw),
+                relative_to(power.dynamic_mw, mesh_power.dynamic_mw),
+                relative_to(power.total_mw(), mesh_power.total_mw()),
+                relative_to(area.router_mm2, mesh_area.router_mm2),
+                relative_to(area.wire_mm2, mesh_area.wire_mm2),
+                relative_to(area.total_mm2(), mesh_area.total_mm2()),
+            );
+        }
+    }
+    eprintln!("# leakage should stay flat across topologies; dynamic power and wire area grow with link length;");
+    eprintln!("# large-class topologies trade lower clocks (lower dynamic power) for more wire.");
+}

@@ -1,0 +1,510 @@
+//! Simulated-annealing search over connectivity maps.
+//!
+//! This is the production engine behind the NetSmith reproduction.  The
+//! exact MIP of Table I is preserved in [`crate::milp`] and validated on
+//! small layouts, but a dense-tableau branch-and-bound cannot match Gurobi
+//! on 20+ router instances, so the searcher used for the paper-scale
+//! experiments explores the same feasible set (radix, link-length, and
+//! connectivity constraints; optional link symmetry) with a seeded
+//! Metropolis annealer:
+//!
+//! * moves rewire, add, remove or endpoint-swap links, always staying
+//!   within the valid-link set and the radix budget;
+//! * the LatOp objective is evaluated exactly (total hops by BFS);
+//! * the SCOp objective uses a cutting-plane-style pool of candidate cuts
+//!   that is periodically refreshed with heuristic sparsest-cut searches,
+//!   and the final result is re-scored with the exact cut;
+//! * the best feasible topology and a progress trace (incumbent vs the
+//!   combinatorial bound, i.e. the objective-bounds gap of Figure 5) are
+//!   returned.
+
+use crate::objective::ObjectiveValue;
+use crate::problem::GenerationProblem;
+use crate::progress::SolverProgress;
+use netsmith_topo::cuts;
+use netsmith_topo::metrics;
+use netsmith_topo::{RouterId, Topology};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Configuration of a single annealing run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnnealConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Maximum number of candidate evaluations.
+    pub max_evaluations: u64,
+    /// Wall-clock budget.
+    pub time_budget: Duration,
+    /// Starting temperature (in units of the objective score).
+    pub initial_temperature: f64,
+    /// Final temperature.
+    pub final_temperature: f64,
+    /// For cut-based objectives: refresh the cut pool every this many
+    /// accepted moves.
+    pub cut_pool_refresh: u64,
+}
+
+impl Default for AnnealConfig {
+    fn default() -> Self {
+        AnnealConfig {
+            seed: 0x5EED_0001,
+            max_evaluations: 60_000,
+            time_budget: Duration::from_secs(30),
+            initial_temperature: 40.0,
+            final_temperature: 0.05,
+            cut_pool_refresh: 200,
+        }
+    }
+}
+
+impl AnnealConfig {
+    /// A reduced-budget configuration for unit tests and doc examples.
+    pub fn quick() -> Self {
+        AnnealConfig {
+            max_evaluations: 4_000,
+            time_budget: Duration::from_secs(5),
+            ..Default::default()
+        }
+    }
+}
+
+/// Result of an annealing run.
+#[derive(Debug, Clone)]
+pub struct AnnealResult {
+    /// Best feasible topology found.
+    pub topology: Topology,
+    /// Exact objective value of that topology.
+    pub objective: ObjectiveValue,
+    /// Progress trace (incumbent score vs the supplied bound).
+    pub progress: SolverProgress,
+    /// Number of candidate evaluations performed.
+    pub evaluations: u64,
+}
+
+/// Run one annealing search.  `bound` is the combinatorial bound used for
+/// gap reporting (see [`crate::bounds`]).
+pub fn anneal(problem: &GenerationProblem, config: &AnnealConfig, bound: f64) -> AnnealResult {
+    let start = Instant::now();
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let valid_links = problem.valid_links();
+    assert!(
+        !valid_links.is_empty(),
+        "link class admits no links on this layout"
+    );
+
+    let mut current = initial_topology(problem, &mut rng);
+    let mut cut_pool: Vec<Vec<bool>> = Vec::new();
+    if problem.objective.needs_cut() {
+        seed_cut_pool(&current, &mut cut_pool);
+    }
+    let mut progress = SolverProgress::new();
+
+    let score_of = |topo: &Topology, pool: &[Vec<bool>]| -> f64 {
+        let mut value = if problem.objective.needs_cut() {
+            problem.objective.evaluate_with_cut_pool(topo, pool)
+        } else {
+            problem.objective.evaluate(topo)
+        };
+        value.score += constraint_penalty(problem, topo, &value);
+        value.score
+    };
+
+    let mut current_score = score_of(&current, &cut_pool);
+    let mut best = current.clone();
+    let mut best_score = current_score;
+    progress.record(start.elapsed(), best_score, bound, 0);
+
+    let mut evaluations = 0u64;
+    let mut accepted = 0u64;
+    while evaluations < config.max_evaluations && start.elapsed() < config.time_budget {
+        evaluations += 1;
+        let temperature = temperature_at(config, evaluations);
+        let mut candidate = current.clone();
+        if !propose_move(problem, &mut candidate, &valid_links, &mut rng) {
+            continue;
+        }
+        let candidate_score = score_of(&candidate, &cut_pool);
+        let delta = candidate_score - current_score;
+        let accept = delta <= 0.0 || rng.gen_bool((-delta / temperature.max(1e-9)).exp().min(1.0));
+        if accept {
+            current = candidate;
+            current_score = candidate_score;
+            accepted += 1;
+            if problem.objective.needs_cut() && accepted % config.cut_pool_refresh.max(1) == 0 {
+                refresh_cut_pool(&current, &mut cut_pool, &mut rng);
+                // Pool change can alter the score scale; re-evaluate.
+                current_score = score_of(&current, &cut_pool);
+                best_score = score_of(&best, &cut_pool);
+            }
+            if current_score < best_score && current.is_valid() {
+                best = current.clone();
+                best_score = current_score;
+                progress.record(start.elapsed(), best_score, bound, evaluations);
+            }
+        }
+    }
+
+    // Exact re-evaluation of the final topology (the cut pool only ever
+    // over-estimates the sparsest cut).
+    let objective = problem.objective.evaluate(&best);
+    progress.record(start.elapsed(), objective.score, bound, evaluations);
+    AnnealResult {
+        topology: best
+            .with_name(problem.topology_name()),
+        objective,
+        progress,
+        evaluations,
+    }
+}
+
+/// Geometric temperature schedule.
+fn temperature_at(config: &AnnealConfig, evaluation: u64) -> f64 {
+    let frac = evaluation as f64 / config.max_evaluations.max(1) as f64;
+    let t0 = config.initial_temperature.max(1e-9);
+    let tf = config.final_temperature.max(1e-12);
+    t0 * (tf / t0).powf(frac)
+}
+
+/// Penalty for violating the optional diameter / minimum-cut constraints.
+fn constraint_penalty(
+    problem: &GenerationProblem,
+    topo: &Topology,
+    value: &ObjectiveValue,
+) -> f64 {
+    let mut penalty = 0.0;
+    if let Some(max_diam) = problem.max_diameter {
+        if let Some(d) = metrics::diameter(topo) {
+            if d > max_diam {
+                penalty += 1e6 * (d - max_diam) as f64;
+            }
+        }
+    }
+    if let Some(min_cut) = problem.min_sparsest_cut {
+        if value.connected && problem.objective.needs_cut() && value.sparsest_cut < min_cut {
+            penalty += 1e6 * (min_cut - value.sparsest_cut);
+        }
+    }
+    penalty
+}
+
+/// Initial solution: a Hamiltonian ring of unit links for guaranteed
+/// connectivity, then random valid links until the port budget is (mostly)
+/// used, mimicking how aggressively the paper's topologies use the radix.
+fn initial_topology(problem: &GenerationProblem, rng: &mut SmallRng) -> Topology {
+    let mut topo = Topology::empty(
+        problem.topology_name(),
+        problem.layout.clone(),
+        problem.class,
+    );
+    for (a, b) in netsmith_topo::expert::hamiltonian_ring(&problem.layout) {
+        topo.add_bidirectional(a, b);
+    }
+    let mut candidates = problem.valid_links();
+    candidates.shuffle(rng);
+    for (a, b) in candidates {
+        if problem.symmetric_links {
+            if can_add(&topo, a, b) && can_add(&topo, b, a) {
+                topo.add_bidirectional(a, b);
+            }
+        } else if can_add(&topo, a, b) {
+            topo.add_link(a, b);
+        }
+    }
+    topo
+}
+
+fn can_add(topo: &Topology, a: RouterId, b: RouterId) -> bool {
+    a != b && !topo.has_link(a, b) && topo.free_out_ports(a) > 0 && topo.free_in_ports(b) > 0
+}
+
+/// Propose a random move in place; returns false when the move could not be
+/// applied (caller simply retries with a new random draw).
+fn propose_move(
+    problem: &GenerationProblem,
+    topo: &mut Topology,
+    valid_links: &[(RouterId, RouterId)],
+    rng: &mut SmallRng,
+) -> bool {
+    let kind = rng.gen_range(0..100);
+    if problem.symmetric_links {
+        propose_symmetric_move(topo, valid_links, rng, kind)
+    } else {
+        propose_asymmetric_move(topo, valid_links, rng, kind)
+    }
+}
+
+fn propose_asymmetric_move(
+    topo: &mut Topology,
+    valid_links: &[(RouterId, RouterId)],
+    rng: &mut SmallRng,
+    kind: u32,
+) -> bool {
+    let links: Vec<(RouterId, RouterId)> = topo.links().collect();
+    if kind < 55 {
+        // Rewire: remove one random link, add a different valid link.
+        if links.is_empty() {
+            return false;
+        }
+        let &(ra, rb) = &links[rng.gen_range(0..links.len())];
+        topo.remove_link(ra, rb);
+        for _ in 0..16 {
+            let &(a, b) = &valid_links[rng.gen_range(0..valid_links.len())];
+            if (a, b) != (ra, rb) && can_add(topo, a, b) {
+                topo.add_link(a, b);
+                return true;
+            }
+        }
+        // Could not find a replacement: restore and fail.
+        topo.add_link(ra, rb);
+        false
+    } else if kind < 75 {
+        // Add a link somewhere with free ports.
+        for _ in 0..16 {
+            let &(a, b) = &valid_links[rng.gen_range(0..valid_links.len())];
+            if can_add(topo, a, b) {
+                topo.add_link(a, b);
+                return true;
+            }
+        }
+        false
+    } else if kind < 85 {
+        // Remove a link.
+        if links.is_empty() {
+            return false;
+        }
+        let &(a, b) = &links[rng.gen_range(0..links.len())];
+        topo.remove_link(a, b);
+        true
+    } else {
+        // Endpoint swap: (a->b, c->d) becomes (a->d, c->b); preserves
+        // degrees exactly.
+        if links.len() < 2 {
+            return false;
+        }
+        for _ in 0..16 {
+            let &(a, b) = &links[rng.gen_range(0..links.len())];
+            let &(c, d) = &links[rng.gen_range(0..links.len())];
+            if a == c || b == d || a == d || c == b {
+                continue;
+            }
+            if topo.has_link(a, d) || topo.has_link(c, b) {
+                continue;
+            }
+            // Both new links must respect the length class.
+            let class = topo.class();
+            let (dx1, dy1) = topo.layout().span(a, d);
+            let (dx2, dy2) = topo.layout().span(c, b);
+            if !class.allows(netsmith_topo::LinkSpan::new(dx1, dy1))
+                || !class.allows(netsmith_topo::LinkSpan::new(dx2, dy2))
+            {
+                continue;
+            }
+            topo.remove_link(a, b);
+            topo.remove_link(c, d);
+            topo.add_link(a, d);
+            topo.add_link(c, b);
+            return true;
+        }
+        false
+    }
+}
+
+fn propose_symmetric_move(
+    topo: &mut Topology,
+    valid_links: &[(RouterId, RouterId)],
+    rng: &mut SmallRng,
+    kind: u32,
+) -> bool {
+    // Collect undirected pairs.
+    let n = topo.num_routers();
+    let mut pairs = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if topo.has_link(i, j) && topo.has_link(j, i) {
+                pairs.push((i, j));
+            }
+        }
+    }
+    if kind < 60 {
+        // Rewire a pair.
+        if pairs.is_empty() {
+            return false;
+        }
+        let &(ra, rb) = &pairs[rng.gen_range(0..pairs.len())];
+        topo.remove_link(ra, rb);
+        topo.remove_link(rb, ra);
+        for _ in 0..16 {
+            let &(a, b) = &valid_links[rng.gen_range(0..valid_links.len())];
+            if can_add(topo, a, b) && can_add(topo, b, a) {
+                topo.add_bidirectional(a, b);
+                return true;
+            }
+        }
+        topo.add_bidirectional(ra, rb);
+        false
+    } else if kind < 85 {
+        // Add a pair.
+        for _ in 0..16 {
+            let &(a, b) = &valid_links[rng.gen_range(0..valid_links.len())];
+            if can_add(topo, a, b) && can_add(topo, b, a) {
+                topo.add_bidirectional(a, b);
+                return true;
+            }
+        }
+        false
+    } else {
+        // Remove a pair.
+        if pairs.is_empty() {
+            return false;
+        }
+        let &(a, b) = &pairs[rng.gen_range(0..pairs.len())];
+        topo.remove_link(a, b);
+        topo.remove_link(b, a);
+        true
+    }
+}
+
+/// Seed the cut pool with a handful of natural partitions (halves by rows,
+/// by columns, odd/even) plus one heuristic sparsest cut.
+fn seed_cut_pool(topo: &Topology, pool: &mut Vec<Vec<bool>>) {
+    let layout = topo.layout();
+    let n = layout.num_routers();
+    let rows = layout.rows();
+    let cols = layout.cols();
+    let mut add = |membership: Vec<bool>| {
+        let count = membership.iter().filter(|&&x| x).count();
+        if count > 0 && count < n && !pool.contains(&membership) {
+            pool.push(membership);
+        }
+    };
+    add((0..n).map(|r| layout.position(r).0 < rows / 2).collect());
+    add((0..n).map(|r| layout.position(r).1 < cols / 2).collect());
+    add((0..n).map(|r| r % 2 == 0).collect());
+    let heuristic = cuts::sparsest_cut_heuristic(topo, 8, 0xC07);
+    let mut membership = vec![false; n];
+    for r in heuristic.partition {
+        membership[r] = true;
+    }
+    add(membership);
+}
+
+/// Add the current heuristic sparsest cut of `topo` to the pool.
+fn refresh_cut_pool(topo: &Topology, pool: &mut Vec<Vec<bool>>, rng: &mut SmallRng) {
+    let n = topo.num_routers();
+    let report = cuts::sparsest_cut_heuristic(topo, 4, rng.gen());
+    let mut membership = vec![false; n];
+    for r in report.partition {
+        membership[r] = true;
+    }
+    if !pool.contains(&membership) {
+        pool.push(membership);
+    }
+    // Keep the pool bounded.
+    if pool.len() > 64 {
+        pool.remove(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::Objective;
+    use netsmith_topo::expert;
+    use netsmith_topo::{Layout, LinkClass};
+
+    fn quick_problem(class: LinkClass, objective: Objective) -> GenerationProblem {
+        GenerationProblem::new(Layout::noi_4x5(), class, objective)
+    }
+
+    #[test]
+    fn annealer_returns_valid_connected_topologies() {
+        let problem = quick_problem(LinkClass::Medium, Objective::LatOp);
+        let result = anneal(&problem, &AnnealConfig::quick(), 0.0);
+        assert!(result.topology.is_valid(), "{:?}", result.topology.validate());
+        assert!(result.objective.connected);
+        assert!(result.evaluations > 0);
+        assert_eq!(result.topology.name(), "NS-LatOp-medium");
+    }
+
+    #[test]
+    fn annealer_is_deterministic_per_seed() {
+        let problem = quick_problem(LinkClass::Small, Objective::LatOp);
+        let cfg = AnnealConfig {
+            max_evaluations: 1_500,
+            ..AnnealConfig::quick()
+        };
+        let a = anneal(&problem, &cfg, 0.0);
+        let b = anneal(&problem, &cfg, 0.0);
+        assert_eq!(a.topology, b.topology);
+        assert_eq!(a.objective.total_hops, b.objective.total_hops);
+    }
+
+    #[test]
+    fn latop_annealing_beats_the_mesh_quickly() {
+        let problem = quick_problem(LinkClass::Medium, Objective::LatOp);
+        let result = anneal(&problem, &AnnealConfig::quick(), 0.0);
+        let mesh_hops = netsmith_topo::metrics::average_hops(&expert::mesh(&Layout::noi_4x5()));
+        assert!(
+            result.objective.average_hops < mesh_hops,
+            "NS {} vs mesh {mesh_hops}",
+            result.objective.average_hops
+        );
+    }
+
+    #[test]
+    fn symmetric_mode_produces_symmetric_topologies() {
+        let problem =
+            quick_problem(LinkClass::Small, Objective::LatOp).with_symmetric_links(true);
+        let result = anneal(&problem, &AnnealConfig::quick(), 0.0);
+        assert!(result.topology.is_symmetric());
+        assert!(result.topology.is_valid());
+    }
+
+    #[test]
+    fn progress_trace_is_monotone_and_ends_with_exact_value() {
+        let problem = quick_problem(LinkClass::Medium, Objective::LatOp);
+        let result = anneal(&problem, &AnnealConfig::quick(), 100.0);
+        let samples = result.progress.samples();
+        assert!(!samples.is_empty());
+        for w in samples.windows(2) {
+            assert!(w[1].elapsed >= w[0].elapsed);
+        }
+        // Final recorded incumbent equals the exact objective score.
+        assert!((samples.last().unwrap().incumbent - result.objective.score).abs() < 1e-6);
+    }
+
+    #[test]
+    fn diameter_constraint_is_respected_when_feasible() {
+        let problem = quick_problem(LinkClass::Large, Objective::LatOp).with_max_diameter(4);
+        let cfg = AnnealConfig {
+            max_evaluations: 6_000,
+            ..AnnealConfig::quick()
+        };
+        let result = anneal(&problem, &cfg, 0.0);
+        let d = netsmith_topo::metrics::diameter(&result.topology).unwrap();
+        assert!(d <= 5, "diameter {d} far above the requested bound");
+    }
+
+    #[test]
+    fn scop_annealing_reaches_reasonable_cut_values() {
+        let problem = quick_problem(LinkClass::Large, Objective::SCOp);
+        let cfg = AnnealConfig {
+            max_evaluations: 2_500,
+            ..AnnealConfig::quick()
+        };
+        let result = anneal(&problem, &cfg, 0.0);
+        assert!(result.topology.is_valid());
+        // The mesh's sparsest cut is a floor any sensible SCOp run beats.
+        let mesh_cut =
+            netsmith_topo::cuts::sparsest_cut(&expert::mesh(&Layout::noi_4x5())).normalized_bandwidth;
+        assert!(
+            result.objective.sparsest_cut >= mesh_cut,
+            "NS cut {} below mesh {mesh_cut}",
+            result.objective.sparsest_cut
+        );
+    }
+}

@@ -1,0 +1,500 @@
+//! The exact MIP formulation of the paper's Table I.
+//!
+//! Variables (naming follows the paper):
+//!
+//! * `M(i,j)` — binary connectivity map over the valid-link set `L`
+//!   (constraint C3 is enforced by simply not creating variables for
+//!   disallowed links).
+//! * `O(i,j)` — one-hop distances.  These are not materialised as separate
+//!   variables: `O(i,j) = 1*M(i,j) + INF*(1 - M(i,j))` is substituted as a
+//!   linear expression (constraint C4), with `INF` a big-M constant.
+//! * `D(i,j)` — integer shortest-path distances, constrained through the
+//!   triangle-inequality recursion C5.  The `min` over intermediate routers
+//!   is modelled with one-hot selector binaries `z(i,j,k)`: the selected
+//!   `k` activates `D(i,j) >= D(i,k) + O(k,j)`, and the minimisation
+//!   objective drives `D(i,j)` down onto the selected bound, so at the
+//!   optimum `D` equals the true shortest-path distance.
+//! * `B` — the sparsest-cut bandwidth (SCOp model only), constrained by an
+//!   exhaustive enumeration of bipartitions exactly as constraint C6
+//!   prescribes, which is why the SCOp MILP is only built for small router
+//!   counts.
+//!
+//! The MILP path exists to preserve and validate the paper's formulation;
+//! the dense-tableau branch-and-bound in `netsmith-lp` proves optimality
+//! only for small layouts (it replaces Gurobi on a 32-thread server).  The
+//! unit tests therefore (1) check the formulation by plugging known
+//! topologies and their true distance matrices into the model and asserting
+//! feasibility/objective agreement, and (2) solve tiny instances to
+//! optimality and compare against exhaustive search.
+
+use crate::objective::Objective;
+use crate::problem::GenerationProblem;
+use netsmith_lp::{BranchBoundConfig, Cmp, LinExpr, MilpSolver, Model, Sense, VarId, VarType};
+use netsmith_topo::metrics::{all_pairs_hops, UNREACHABLE};
+use netsmith_topo::{RouterId, Topology};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Big-M used for the "infinite" one-hop distance of unconnected pairs.
+fn big_m(n: usize) -> f64 {
+    (4 * n) as f64
+}
+
+/// Configuration for MILP-based generation.
+#[derive(Debug, Clone)]
+pub struct MilpGenConfig {
+    pub time_limit: Duration,
+    pub max_nodes: u64,
+}
+
+impl Default for MilpGenConfig {
+    fn default() -> Self {
+        MilpGenConfig {
+            time_limit: Duration::from_secs(60),
+            max_nodes: 200_000,
+        }
+    }
+}
+
+/// Handles into a built model, used to recover the topology from a
+/// solution and to construct reference assignments in tests.
+#[derive(Debug, Clone)]
+pub struct LatOpModel {
+    pub model: Model,
+    /// `M(i,j)` variables, keyed by directed link.
+    pub link_vars: HashMap<(RouterId, RouterId), VarId>,
+    /// `D(i,j)` variables, keyed by ordered pair.
+    pub dist_vars: HashMap<(RouterId, RouterId), VarId>,
+    /// `z(i,j,k)` selector variables.
+    pub selector_vars: HashMap<(RouterId, RouterId, RouterId), VarId>,
+}
+
+/// Build the LatOp MIP (objective O1 with constraints C1–C5, plus optional
+/// C8/C9).
+pub fn build_latop_model(problem: &GenerationProblem) -> LatOpModel {
+    let n = problem.num_routers();
+    let radix = problem.layout.radix() as f64;
+    let inf = big_m(n);
+    let valid: Vec<(RouterId, RouterId)> = problem.valid_links();
+    let valid_set: std::collections::HashSet<(usize, usize)> = valid.iter().copied().collect();
+
+    let mut model = Model::new(Sense::Minimize);
+    let mut link_vars = HashMap::new();
+    let mut dist_vars = HashMap::new();
+    let mut selector_vars = HashMap::new();
+
+    // M(i,j) for valid links (C3 by construction; C1 because i==j never valid).
+    for &(i, j) in &valid {
+        let v = model.add_binary(0.0, format!("M_{i}_{j}"));
+        link_vars.insert((i, j), v);
+    }
+    // C9: symmetric links.
+    if problem.symmetric_links {
+        for &(i, j) in &valid {
+            if i < j && valid_set.contains(&(j, i)) {
+                let mut e = LinExpr::var(link_vars[&(i, j)]);
+                e.add_term(link_vars[&(j, i)], -1.0);
+                model.add_constr(e, Cmp::Eq, 0.0);
+            }
+        }
+    }
+    // C2: out/in radix.
+    for i in 0..n {
+        let out = LinExpr::from_terms(
+            valid
+                .iter()
+                .filter(|&&(a, _)| a == i)
+                .map(|&(a, b)| (link_vars[&(a, b)], 1.0)),
+        );
+        if out.num_terms() > 0 {
+            model.add_constr(out, Cmp::Le, radix);
+        }
+        let inn = LinExpr::from_terms(
+            valid
+                .iter()
+                .filter(|&&(_, b)| b == i)
+                .map(|&(a, b)| (link_vars[&(a, b)], 1.0)),
+        );
+        if inn.num_terms() > 0 {
+            model.add_constr(inn, Cmp::Le, radix);
+        }
+    }
+
+    // D(i,j): integer distances, objective coefficient 1 (O1).
+    let dist_upper = problem.max_diameter.map(|d| d as f64).unwrap_or(inf);
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let v = model.add_var(
+                VarType::Integer,
+                1.0,
+                dist_upper,
+                1.0,
+                format!("D_{i}_{j}"),
+            );
+            dist_vars.insert((i, j), v);
+        }
+    }
+
+    // Helper producing the one-hop expression O(k,j) (C4).
+    let one_hop_expr = |k: usize, j: usize| -> LinExpr {
+        if let Some(&m) = link_vars.get(&(k, j)) {
+            // O = 1*M + inf*(1-M) = inf - (inf-1)*M
+            LinExpr::new().term(m, -(inf - 1.0)).offset(inf)
+        } else {
+            LinExpr::constant(inf)
+        }
+    };
+
+    // C5: D(i,j) = min_k (D(i,k) + O(k,j)), modelled with one-hot selectors.
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let mut selector_sum = LinExpr::new();
+            for k in 0..n {
+                if k == j {
+                    continue; // the paper excludes k == j (self-referencing)
+                }
+                let z = model.add_binary(0.0, format!("z_{i}_{j}_{k}"));
+                selector_vars.insert((i, j, k), z);
+                selector_sum.add_term(z, 1.0);
+                // D(i,j) >= (D(i,k) if k != i else 0) + O(k,j) - BIG*(1 - z)
+                let mut rhs = one_hop_expr(k, j);
+                if k != i {
+                    rhs.add_term(dist_vars[&(i, k)], 1.0);
+                }
+                // big-M relaxation when the selector is off: use a generous
+                // constant (distances and O are both bounded by inf).
+                let relax = 3.0 * inf;
+                rhs.add_term(z, relax);
+                rhs = rhs.offset(-relax);
+                // lhs - rhs >= 0  ->  D(i,j) - rhs >= 0
+                let mut c = LinExpr::var(dist_vars[&(i, j)]);
+                c.add_scaled(&rhs, -1.0);
+                model.add_constr(c, Cmp::Ge, 0.0);
+            }
+            model.add_constr(selector_sum, Cmp::Eq, 1.0);
+        }
+    }
+
+    LatOpModel {
+        model,
+        link_vars,
+        dist_vars,
+        selector_vars,
+    }
+}
+
+/// Solve the LatOp MIP and return the discovered topology together with the
+/// solver's reported solution, or `None` when no incumbent was found within
+/// the budget.
+pub fn solve_latop_milp(
+    problem: &GenerationProblem,
+    config: &MilpGenConfig,
+) -> Option<(Topology, netsmith_lp::Solution)> {
+    let built = build_latop_model(problem);
+    let solver = MilpSolver::new(BranchBoundConfig {
+        time_limit: config.time_limit,
+        max_nodes: config.max_nodes,
+        ..Default::default()
+    });
+    let sol = solver.solve(&built.model).ok()?;
+    if !sol.status.has_solution() {
+        return None;
+    }
+    let mut topo = Topology::empty(
+        problem.topology_name() + "-milp",
+        problem.layout.clone(),
+        problem.class,
+    );
+    for (&(i, j), &v) in &built.link_vars {
+        if sol.values[v.index()] > 0.5 {
+            topo.add_link(i, j);
+        }
+    }
+    Some((topo, sol))
+}
+
+/// Handles for the SCOp model.
+#[derive(Debug, Clone)]
+pub struct ScOpModel {
+    pub model: Model,
+    pub link_vars: HashMap<(RouterId, RouterId), VarId>,
+    pub bandwidth_var: VarId,
+}
+
+/// Build the SCOp MIP (objective O2 with constraints C1–C3, C6, C7).
+///
+/// The sparsest-cut constraints enumerate every bipartition, so this is
+/// restricted to small router counts (the paper itself notes the 20!-sized
+/// enumeration is the practical limit of the approach).
+pub fn build_scop_model(problem: &GenerationProblem) -> ScOpModel {
+    let n = problem.num_routers();
+    assert!(n <= 16, "SCOp MILP enumeration limited to 16 routers");
+    let radix = problem.layout.radix() as f64;
+    let valid: Vec<(RouterId, RouterId)> = problem.valid_links();
+
+    // Maximize B  <=>  minimize -B.
+    let mut model = Model::new(Sense::Maximize);
+    let bandwidth_var = model.add_var(VarType::Continuous, 0.0, radix * n as f64, 1.0, "B");
+    let mut link_vars = HashMap::new();
+    for &(i, j) in &valid {
+        let v = model.add_binary(0.0, format!("M_{i}_{j}"));
+        link_vars.insert((i, j), v);
+    }
+    // C2 radix.
+    for i in 0..n {
+        let out = LinExpr::from_terms(
+            valid
+                .iter()
+                .filter(|&&(a, _)| a == i)
+                .map(|&(a, b)| (link_vars[&(a, b)], 1.0)),
+        );
+        if out.num_terms() > 0 {
+            model.add_constr(out, Cmp::Le, radix);
+        }
+        let inn = LinExpr::from_terms(
+            valid
+                .iter()
+                .filter(|&&(_, b)| b == i)
+                .map(|&(a, b)| (link_vars[&(a, b)], 1.0)),
+        );
+        if inn.num_terms() > 0 {
+            model.add_constr(inn, Cmp::Le, radix);
+        }
+    }
+    // C6/C7: for every bipartition (router 0 pinned to U), both directions
+    // must carry at least B * |U| * |V| links in aggregate, i.e.
+    // sum_{i in U, j in V} M(i,j) >= B * |U||V|  (and symmetrically).
+    for mask in 0u32..(1 << (n - 1)) {
+        let mut in_u = vec![false; n];
+        in_u[0] = true;
+        let mut size_u = 1usize;
+        for b in 0..(n - 1) {
+            if (mask >> b) & 1 == 1 {
+                in_u[b + 1] = true;
+                size_u += 1;
+            }
+        }
+        if size_u == n {
+            continue;
+        }
+        let size_v = n - size_u;
+        let scale = (size_u * size_v) as f64;
+        let mut fwd = LinExpr::new().term(bandwidth_var, -scale);
+        let mut bwd = LinExpr::new().term(bandwidth_var, -scale);
+        for &(i, j) in &valid {
+            if in_u[i] && !in_u[j] {
+                fwd.add_term(link_vars[&(i, j)], 1.0);
+            }
+            if !in_u[i] && in_u[j] {
+                bwd.add_term(link_vars[&(i, j)], 1.0);
+            }
+        }
+        model.add_constr(fwd, Cmp::Ge, 0.0);
+        model.add_constr(bwd, Cmp::Ge, 0.0);
+    }
+    if let Some(min_cut) = problem.min_sparsest_cut {
+        model.add_constr(LinExpr::var(bandwidth_var), Cmp::Ge, min_cut);
+    }
+    ScOpModel {
+        model,
+        link_vars,
+        bandwidth_var,
+    }
+}
+
+/// Construct the full variable assignment corresponding to an existing
+/// topology (links, true distances and selector choices).  Used to validate
+/// the formulation: the assignment of any topology that satisfies the
+/// problem constraints must be feasible for the built model, and its
+/// objective must equal the topology's total hop count.
+pub fn latop_assignment_for_topology(built: &LatOpModel, topo: &Topology) -> Option<Vec<f64>> {
+    let n = topo.num_routers();
+    let dist = all_pairs_hops(topo);
+    let mut values = vec![0.0; built.model.num_vars()];
+    for (&(i, j), &v) in &built.link_vars {
+        values[v.index()] = if topo.has_link(i, j) { 1.0 } else { 0.0 };
+    }
+    for (&(i, j), &v) in &built.dist_vars {
+        let d = dist[i * n + j];
+        if d == UNREACHABLE {
+            return None;
+        }
+        values[v.index()] = d as f64;
+    }
+    // Selector: choose k = predecessor of j on a shortest i->j path.
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let d = dist[i * n + j];
+            let mut chosen: Option<usize> = None;
+            if d == 1 {
+                chosen = Some(i);
+            } else {
+                for k in 0..n {
+                    if k == j || k == i {
+                        continue;
+                    }
+                    if topo.has_link(k, j) && dist[i * n + k] + 1 == d {
+                        chosen = Some(k);
+                        break;
+                    }
+                }
+            }
+            let k = chosen?;
+            values[built.selector_vars[&(i, j, k)].index()] = 1.0;
+        }
+    }
+    Some(values)
+}
+
+/// Solve the SCOp MIP for small instances.
+pub fn solve_scop_milp(
+    problem: &GenerationProblem,
+    config: &MilpGenConfig,
+) -> Option<(Topology, netsmith_lp::Solution)> {
+    let built = build_scop_model(problem);
+    let solver = MilpSolver::new(BranchBoundConfig {
+        time_limit: config.time_limit,
+        max_nodes: config.max_nodes,
+        ..Default::default()
+    });
+    let sol = solver.solve(&built.model).ok()?;
+    if !sol.status.has_solution() {
+        return None;
+    }
+    let mut topo = Topology::empty(
+        problem.topology_name() + "-milp",
+        problem.layout.clone(),
+        problem.class,
+    );
+    for (&(i, j), &v) in &built.link_vars {
+        if sol.values[v.index()] > 0.5 {
+            topo.add_link(i, j);
+        }
+    }
+    Some((topo, sol))
+}
+
+/// Sanity: the objectives supported by the MILP path.
+pub fn milp_supports(objective: &Objective) -> bool {
+    matches!(objective, Objective::LatOp | Objective::SCOp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsmith_topo::expert;
+    use netsmith_topo::{Layout, LinkClass, LinkSpan};
+
+    #[test]
+    fn expert_topology_assignment_is_feasible_and_matches_total_hops() {
+        // Validate the Table I lowering by plugging the mesh (and the kite)
+        // into the LatOp model.
+        let layout = Layout::noi_4x5();
+        for topo in [expert::mesh(&layout), expert::kite_small(&layout)] {
+            let problem = GenerationProblem::new(
+                layout.clone(),
+                LinkClass::Small,
+                Objective::LatOp,
+            );
+            let built = build_latop_model(&problem);
+            let assignment = latop_assignment_for_topology(&built, &topo)
+                .expect("connected topology has a full assignment");
+            assert!(
+                built.model.is_feasible(&assignment, 1e-6),
+                "{} assignment must satisfy Table I constraints",
+                topo.name()
+            );
+            let expected = netsmith_topo::metrics::total_hops(&topo).unwrap() as f64;
+            let objective = built.model.objective_value(&assignment);
+            assert!(
+                (objective - expected).abs() < 1e-6,
+                "{}: objective {objective} vs total hops {expected}",
+                topo.name()
+            );
+        }
+    }
+
+    #[test]
+    fn radix_violation_is_infeasible_in_the_model() {
+        let layout = Layout::noi_4x5();
+        let problem = GenerationProblem::new(layout.clone(), LinkClass::Small, Objective::LatOp);
+        let built = build_latop_model(&problem);
+        // Force five outgoing links at router 6 (interior router) — exceeds radix 4.
+        let mut topo = expert::mesh(&layout);
+        // Mesh already gives router 6 four links; add a diagonal.
+        topo.add_link(6, 0);
+        if let Some(assignment) = latop_assignment_for_topology(&built, &topo) {
+            assert!(!built.model.is_feasible(&assignment, 1e-6));
+        }
+    }
+
+    #[test]
+    fn tiny_latop_milp_reaches_the_ring_optimum() {
+        // 2x2 layout with radix 2: the best possible total hop count is 16
+        // (every router reaches two neighbours at distance 1 and the third
+        // at distance 2), achieved by a ring.
+        let layout = Layout::interposer_grid(2, 2, 2);
+        let problem = GenerationProblem::new(
+            layout,
+            LinkClass::Custom(LinkSpan::new(1, 1)),
+            Objective::LatOp,
+        )
+        .with_max_diameter(3);
+        let config = MilpGenConfig {
+            time_limit: Duration::from_secs(60),
+            max_nodes: 100_000,
+        };
+        let (topo, sol) = solve_latop_milp(&problem, &config).expect("solved");
+        assert!(sol.status.has_solution());
+        assert!((sol.objective - 16.0).abs() < 1e-6, "objective {}", sol.objective);
+        assert_eq!(netsmith_topo::metrics::total_hops(&topo), Some(16));
+        assert!(topo.is_valid(), "{:?}", topo.validate());
+    }
+
+    #[test]
+    fn tiny_scop_milp_uses_all_ports_across_the_cut() {
+        // 2x2 layout, radix 2, diagonal links allowed: the maximum sparsest
+        // cut with 2 out-ports per router is bounded by scop reasoning.
+        let layout = Layout::interposer_grid(2, 2, 2);
+        let problem = GenerationProblem::new(
+            layout,
+            LinkClass::Custom(LinkSpan::new(1, 1)),
+            Objective::SCOp,
+        );
+        let config = MilpGenConfig {
+            time_limit: Duration::from_secs(60),
+            max_nodes: 100_000,
+        };
+        let (topo, sol) = solve_scop_milp(&problem, &config).expect("solved");
+        assert!(sol.status.has_solution());
+        // The model maximizes B; the resulting topology's exhaustive
+        // sparsest cut must be at least as large as the reported B up to
+        // the normalization (B here is already normalized by |U||V|).
+        let cut = netsmith_topo::cuts::sparsest_cut(&topo).normalized_bandwidth;
+        assert!(
+            cut + 1e-6 >= sol.objective,
+            "reported B {} exceeds actual cut {cut}",
+            sol.objective
+        );
+        assert!(sol.objective > 0.0);
+    }
+
+    #[test]
+    fn milp_supports_only_table1_objectives() {
+        assert!(milp_supports(&Objective::LatOp));
+        assert!(milp_supports(&Objective::SCOp));
+        assert!(!milp_supports(&Objective::Combined {
+            latency_weight: 1.0,
+            bandwidth_weight: 1.0
+        }));
+    }
+}

@@ -1,0 +1,264 @@
+//! Optimization objectives for topology generation.
+//!
+//! The paper focuses on two objectives — latency (average/total hop count,
+//! "LatOp") and sparsest-cut bandwidth ("SCOp") — and notes that NetSmith
+//! readily accepts other traffic patterns as inputs (the shuffle-optimized
+//! topologies of Figure 10).  The search engines need a *scalar score to
+//! minimize*; this module defines how each objective maps a candidate
+//! topology to such a score, including the connectivity penalty that lets
+//! the annealer recover from transiently disconnected states.
+
+use netsmith_topo::cuts;
+use netsmith_topo::metrics;
+use netsmith_topo::traffic::DemandMatrix;
+use netsmith_topo::Topology;
+use serde::{Deserialize, Serialize};
+
+/// Scale factor that keeps the bandwidth term dominant over the hop-count
+/// tiebreak in the SCOp score.
+const SCOP_BANDWIDTH_SCALE: f64 = 1.0e7;
+
+/// Penalty per unreachable ordered pair, large enough that any connected
+/// topology scores better than any disconnected one.
+const DISCONNECTION_PENALTY: f64 = 1.0e9;
+
+/// Optimization objective.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Minimize the total (equivalently average) hop count under uniform
+    /// all-to-all traffic (objective O1 of Table I).
+    LatOp,
+    /// Maximize the sparsest-cut bandwidth (objective O2 of Table I), with
+    /// total hop count as a tiebreak.
+    SCOp,
+    /// Minimize the demand-weighted hop count for an arbitrary traffic
+    /// pattern (used for the paper's shuffle-optimized topologies).
+    PatternLatOp(DemandMatrix),
+    /// Weighted combination: `latency_weight * total_hops -
+    /// bandwidth_weight * scaled_sparsest_cut`.  Exposes the latency/
+    /// bandwidth trade-off knob that populates the Pareto frontier of
+    /// Figure 1.
+    Combined {
+        latency_weight: f64,
+        bandwidth_weight: f64,
+    },
+}
+
+impl Objective {
+    /// Short name used in generated topology names ("LatOp", "SCOp", …).
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            Objective::LatOp => "LatOp",
+            Objective::SCOp => "SCOp",
+            Objective::PatternLatOp(_) => "ShufOpt",
+            Objective::Combined { .. } => "Combined",
+        }
+    }
+
+    /// Does the objective need sparsest-cut evaluations?
+    pub fn needs_cut(&self) -> bool {
+        matches!(self, Objective::SCOp | Objective::Combined { .. })
+    }
+
+    /// Evaluate a topology.  Lower scores are better for every objective.
+    pub fn evaluate(&self, topo: &Topology) -> ObjectiveValue {
+        let unreachable = metrics::unreachable_pairs(topo);
+        if unreachable > 0 {
+            return ObjectiveValue {
+                score: DISCONNECTION_PENALTY * unreachable as f64,
+                total_hops: None,
+                average_hops: f64::INFINITY,
+                sparsest_cut: 0.0,
+                connected: false,
+            };
+        }
+        let total_hops = metrics::total_hops(topo).expect("connected");
+        let n = topo.num_routers() as f64;
+        let average_hops = total_hops as f64 / (n * (n - 1.0));
+        let sparsest_cut = if self.needs_cut() {
+            cuts::sparsest_cut(topo).normalized_bandwidth
+        } else {
+            0.0
+        };
+        let score = match self {
+            Objective::LatOp => total_hops as f64,
+            Objective::SCOp => -sparsest_cut * SCOP_BANDWIDTH_SCALE + total_hops as f64,
+            Objective::PatternLatOp(demand) => {
+                let weighted = metrics::weighted_average_hops(topo, demand);
+                // scale to the same magnitude as total hops for comparability
+                weighted * n * (n - 1.0)
+            }
+            Objective::Combined {
+                latency_weight,
+                bandwidth_weight,
+            } => {
+                latency_weight * total_hops as f64
+                    - bandwidth_weight * sparsest_cut * SCOP_BANDWIDTH_SCALE
+            }
+        };
+        ObjectiveValue {
+            score,
+            total_hops: Some(total_hops),
+            average_hops,
+            sparsest_cut,
+            connected: true,
+        }
+    }
+
+    /// Evaluate using a cheaper surrogate for the cut term: the minimum
+    /// normalized bandwidth over a fixed pool of cuts (each a membership
+    /// vector).  The annealer maintains such a pool as a cutting-plane-style
+    /// approximation and periodically refreshes it with full heuristic cut
+    /// searches.
+    pub fn evaluate_with_cut_pool(
+        &self,
+        topo: &Topology,
+        cut_pool: &[Vec<bool>],
+    ) -> ObjectiveValue {
+        if !self.needs_cut() || cut_pool.is_empty() {
+            return self.evaluate(topo);
+        }
+        let unreachable = metrics::unreachable_pairs(topo);
+        if unreachable > 0 {
+            return ObjectiveValue {
+                score: DISCONNECTION_PENALTY * unreachable as f64,
+                total_hops: None,
+                average_hops: f64::INFINITY,
+                sparsest_cut: 0.0,
+                connected: false,
+            };
+        }
+        let total_hops = metrics::total_hops(topo).expect("connected");
+        let n = topo.num_routers() as f64;
+        let average_hops = total_hops as f64 / (n * (n - 1.0));
+        let mut pool_cut = f64::INFINITY;
+        for membership in cut_pool {
+            let (f, b) = cuts::crossing_links(topo, membership);
+            let size_u = membership.iter().filter(|&&x| x).count();
+            let size_v = membership.len() - size_u;
+            if size_u == 0 || size_v == 0 {
+                continue;
+            }
+            let norm = f.min(b) as f64 / (size_u * size_v) as f64;
+            pool_cut = pool_cut.min(norm);
+        }
+        let score = match self {
+            Objective::SCOp => -pool_cut * SCOP_BANDWIDTH_SCALE + total_hops as f64,
+            Objective::Combined {
+                latency_weight,
+                bandwidth_weight,
+            } => {
+                latency_weight * total_hops as f64
+                    - bandwidth_weight * pool_cut * SCOP_BANDWIDTH_SCALE
+            }
+            _ => unreachable!("guarded by needs_cut"),
+        };
+        ObjectiveValue {
+            score,
+            total_hops: Some(total_hops),
+            average_hops,
+            sparsest_cut: pool_cut,
+            connected: true,
+        }
+    }
+}
+
+/// Result of evaluating an objective on a topology.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectiveValue {
+    /// Scalar score; lower is better for every objective.
+    pub score: f64,
+    /// Total hop count (None when disconnected).
+    pub total_hops: Option<u64>,
+    /// Average hop count.
+    pub average_hops: f64,
+    /// Sparsest-cut normalized bandwidth (0 when not computed).
+    pub sparsest_cut: f64,
+    /// Whether the topology was strongly connected.
+    pub connected: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsmith_topo::expert;
+    use netsmith_topo::traffic::TrafficPattern;
+    use netsmith_topo::Layout;
+    use netsmith_topo::LinkClass;
+
+    #[test]
+    fn latop_prefers_lower_hop_topologies() {
+        let layout = Layout::noi_4x5();
+        let mesh = expert::mesh(&layout);
+        let kite = expert::kite_small(&layout);
+        let o = Objective::LatOp;
+        assert!(o.evaluate(&kite).score < o.evaluate(&mesh).score);
+    }
+
+    #[test]
+    fn scop_prefers_higher_cut_topologies() {
+        let layout = Layout::noi_4x5();
+        let mesh = expert::mesh(&layout);
+        let torus = expert::folded_torus(&layout);
+        let o = Objective::SCOp;
+        assert!(o.evaluate(&torus).score < o.evaluate(&mesh).score);
+    }
+
+    #[test]
+    fn disconnected_topologies_are_heavily_penalized() {
+        let layout = Layout::noi_4x5();
+        let empty = netsmith_topo::Topology::empty("none", layout.clone(), LinkClass::Small);
+        let mesh = expert::mesh(&layout);
+        for o in [Objective::LatOp, Objective::SCOp] {
+            let bad = o.evaluate(&empty);
+            assert!(!bad.connected);
+            assert!(bad.score > o.evaluate(&mesh).score * 1e3);
+        }
+    }
+
+    #[test]
+    fn pattern_objective_uses_the_demand_matrix() {
+        let layout = Layout::noi_4x5();
+        let mesh = expert::mesh(&layout);
+        let shuffle = TrafficPattern::Shuffle.demand_matrix(&layout);
+        let uniform = Objective::LatOp.evaluate(&mesh);
+        let pattern = Objective::PatternLatOp(shuffle).evaluate(&mesh);
+        // Shuffle exercises longer-distance pairs than the uniform average
+        // on a mesh, so the scores must differ.
+        assert!((uniform.score - pattern.score).abs() > 1e-6);
+    }
+
+    #[test]
+    fn cut_pool_never_underestimates_the_true_cut() {
+        // The pool is a subset of all cuts, so its minimum is an upper bound
+        // on the true sparsest cut.
+        let layout = Layout::noi_4x5();
+        let torus = expert::folded_torus(&layout);
+        let exact = Objective::SCOp.evaluate(&torus);
+        let pool: Vec<Vec<bool>> = vec![
+            (0..20).map(|i| i < 10).collect(),
+            (0..20).map(|i| i % 2 == 0).collect(),
+        ];
+        let pooled = Objective::SCOp.evaluate_with_cut_pool(&torus, &pool);
+        assert!(pooled.sparsest_cut >= exact.sparsest_cut - 1e-12);
+    }
+
+    #[test]
+    fn combined_objective_interpolates() {
+        let layout = Layout::noi_4x5();
+        let kite = expert::kite_medium(&layout);
+        let pure_lat = Objective::Combined {
+            latency_weight: 1.0,
+            bandwidth_weight: 0.0,
+        };
+        let v = pure_lat.evaluate(&kite);
+        let l = Objective::LatOp.evaluate(&kite);
+        assert!((v.score - l.score).abs() < 1e-9);
+    }
+
+    #[test]
+    fn short_names_are_stable() {
+        assert_eq!(Objective::LatOp.short_name(), "LatOp");
+        assert_eq!(Objective::SCOp.short_name(), "SCOp");
+    }
+}

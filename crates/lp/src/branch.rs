@@ -1,0 +1,527 @@
+//! Branch-and-bound MILP solver over the simplex LP relaxation.
+//!
+//! The solver mirrors the behaviour the paper relies on from Gurobi:
+//!
+//! * it maintains an *incumbent* (best feasible integer solution found so
+//!   far) and a *bound* (the best LP relaxation value over all open nodes),
+//! * it reports the relative **objective bounds gap** between the two —
+//!   the quantity plotted against solver time in the paper's Figure 5 —
+//!   through a [`ProgressEvent`] callback, and
+//! * it supports node- and time-limits so callers can harvest the best
+//!   known topology/routing even when optimality has not been proven,
+//!   exactly as the paper does for the "large" configurations.
+//!
+//! Node selection is best-first (most promising LP bound), branching picks
+//! the most fractional integer variable.
+
+use crate::model::{Model, Sense};
+use crate::simplex::{solve_lp_with_overrides, TOL};
+use crate::solution::{Solution, SolveStatus};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+/// Configuration for the branch-and-bound search.
+#[derive(Debug, Clone)]
+pub struct BranchBoundConfig {
+    /// Maximum number of branch-and-bound nodes to explore.
+    pub max_nodes: u64,
+    /// Wall-clock limit for the search.
+    pub time_limit: Duration,
+    /// Relative optimality gap at which the search stops early.
+    pub gap_tolerance: f64,
+    /// Integrality tolerance.
+    pub int_tolerance: f64,
+}
+
+impl Default for BranchBoundConfig {
+    fn default() -> Self {
+        BranchBoundConfig {
+            max_nodes: 200_000,
+            time_limit: Duration::from_secs(60),
+            gap_tolerance: 1e-6,
+            int_tolerance: 1e-6,
+        }
+    }
+}
+
+/// A progress sample emitted whenever the incumbent or bound improves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressEvent {
+    /// Time since the solve started.
+    pub elapsed: Duration,
+    /// Nodes explored so far.
+    pub nodes: u64,
+    /// Best feasible (incumbent) objective, if any.
+    pub incumbent: Option<f64>,
+    /// Best proven bound on the optimum.
+    pub bound: f64,
+    /// Relative objective bounds gap (infinite while no incumbent exists).
+    pub gap: f64,
+}
+
+/// Open node in the best-first queue.
+struct Node {
+    /// LP relaxation objective of the parent (used as the node's priority).
+    priority: f64,
+    /// Bound overrides accumulated along the branching path.
+    overrides: Vec<(usize, f64, f64)>,
+    depth: u32,
+}
+
+/// Wrapper implementing the ordering for the best-first heap: for
+/// minimisation the node with the smallest bound is explored first, for
+/// maximisation the largest.
+struct HeapEntry {
+    node: Node,
+    better_is_smaller: bool,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.node.priority == other.node.priority
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for minimisation.
+        let ord = self
+            .node
+            .priority
+            .partial_cmp(&other.node.priority)
+            .unwrap_or(Ordering::Equal);
+        if self.better_is_smaller {
+            ord.reverse()
+        } else {
+            ord
+        }
+        .then_with(|| other.node.depth.cmp(&self.node.depth))
+    }
+}
+
+/// MILP solver facade.
+#[derive(Debug, Clone, Default)]
+pub struct MilpSolver {
+    config: BranchBoundConfig,
+}
+
+impl MilpSolver {
+    /// Create a solver with the given configuration.
+    pub fn new(config: BranchBoundConfig) -> Self {
+        MilpSolver { config }
+    }
+
+    /// Solve the MILP, discarding progress events.
+    pub fn solve(&self, model: &Model) -> Result<Solution, String> {
+        self.solve_with_progress(model, |_| {})
+    }
+
+    /// Solve the MILP, invoking `on_progress` whenever the incumbent or the
+    /// proven bound improves.
+    pub fn solve_with_progress(
+        &self,
+        model: &Model,
+        mut on_progress: impl FnMut(&ProgressEvent),
+    ) -> Result<Solution, String> {
+        let start = Instant::now();
+        let minimize = matches!(model.sense(), Sense::Minimize);
+        let int_vars = model.integer_vars();
+
+        // Root relaxation.
+        let root = solve_lp_with_overrides(model, &[])?;
+        match root.status {
+            SolveStatus::Infeasible => return Ok(Solution::infeasible()),
+            SolveStatus::Unbounded => return Ok(Solution::unbounded()),
+            _ => {}
+        }
+
+        let mut nodes_explored: u64 = 0;
+        let mut incumbent: Option<(f64, Vec<f64>)> = None;
+        let better = |a: f64, b: f64| if minimize { a < b - 1e-12 } else { a > b + 1e-12 };
+
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
+        heap.push(HeapEntry {
+            node: Node {
+                priority: root.objective,
+                overrides: Vec::new(),
+                depth: 0,
+            },
+            better_is_smaller: minimize,
+        });
+
+        let mut best_bound = root.objective;
+        let emit = |nodes: u64,
+                        incumbent: &Option<(f64, Vec<f64>)>,
+                        bound: f64,
+                        on_progress: &mut dyn FnMut(&ProgressEvent)| {
+            let inc = incumbent.as_ref().map(|(obj, _)| *obj);
+            let gap = match inc {
+                Some(obj) => ((obj - bound).abs() / obj.abs().max(1e-9)).max(0.0),
+                None => f64::INFINITY,
+            };
+            on_progress(&ProgressEvent {
+                elapsed: start.elapsed(),
+                nodes,
+                incumbent: inc,
+                bound,
+                gap,
+            });
+        };
+        emit(0, &incumbent, best_bound, &mut on_progress);
+
+        while let Some(entry) = heap.pop() {
+            let node = entry.node;
+            if nodes_explored >= self.config.max_nodes || start.elapsed() >= self.config.time_limit
+            {
+                // Put the node's bound back into consideration for the final
+                // reported bound before stopping.
+                best_bound = node.priority;
+                break;
+            }
+            nodes_explored += 1;
+
+            // Prune against the incumbent using the node's inherited bound.
+            if let Some((inc_obj, _)) = &incumbent {
+                if !better(node.priority, *inc_obj)
+                    && (node.priority - inc_obj).abs() > self.config.gap_tolerance
+                {
+                    continue;
+                }
+            }
+
+            let relax = solve_lp_with_overrides(model, &node.overrides)?;
+            match relax.status {
+                SolveStatus::Infeasible => continue,
+                SolveStatus::Unbounded => return Ok(Solution::unbounded()),
+                _ => {}
+            }
+            // Prune by bound.
+            if let Some((inc_obj, _)) = &incumbent {
+                if !better(relax.objective, *inc_obj) {
+                    continue;
+                }
+            }
+
+            // Find the most fractional integer variable.
+            let mut branch_var: Option<(usize, f64)> = None;
+            let mut best_frac = self.config.int_tolerance;
+            for &iv in &int_vars {
+                let v = relax.values[iv];
+                let frac = (v - v.round()).abs();
+                if frac > best_frac {
+                    best_frac = frac;
+                    branch_var = Some((iv, v));
+                }
+            }
+
+            match branch_var {
+                None => {
+                    // Integer feasible: candidate incumbent.
+                    let obj = relax.objective;
+                    let accept = match &incumbent {
+                        None => true,
+                        Some((inc_obj, _)) => better(obj, *inc_obj),
+                    };
+                    if accept {
+                        incumbent = Some((obj, relax.values.clone()));
+                        best_bound = current_bound(&heap, obj, minimize);
+                        emit(nodes_explored, &incumbent, best_bound, &mut on_progress);
+                        // Optimality check.
+                        let gap = (obj - best_bound).abs() / obj.abs().max(1e-9);
+                        if gap <= self.config.gap_tolerance {
+                            // Everything remaining is no better than the incumbent.
+                            if heap
+                                .peek()
+                                .map_or(true, |e| !better(e.node.priority, obj))
+                            {
+                                break;
+                            }
+                        }
+                    }
+                }
+                Some((var_idx, value)) => {
+                    let floor = value.floor();
+                    let ceil = value.ceil();
+                    let var = &model.variables()[var_idx];
+                    // Existing override for this variable, if any.
+                    let (cur_lo, cur_hi) = node
+                        .overrides
+                        .iter()
+                        .rev()
+                        .find(|(i, _, _)| *i == var_idx)
+                        .map(|&(_, lo, hi)| (lo, hi))
+                        .unwrap_or((var.lower, var.upper));
+                    // Down branch: x <= floor.
+                    if floor >= cur_lo - TOL {
+                        let mut o = node.overrides.clone();
+                        o.push((var_idx, cur_lo, floor));
+                        heap.push(HeapEntry {
+                            node: Node {
+                                priority: relax.objective,
+                                overrides: o,
+                                depth: node.depth + 1,
+                            },
+                            better_is_smaller: minimize,
+                        });
+                    }
+                    // Up branch: x >= ceil.
+                    if ceil <= cur_hi + TOL {
+                        let mut o = node.overrides.clone();
+                        o.push((var_idx, ceil, cur_hi));
+                        heap.push(HeapEntry {
+                            node: Node {
+                                priority: relax.objective,
+                                overrides: o,
+                                depth: node.depth + 1,
+                            },
+                            better_is_smaller: minimize,
+                        });
+                    }
+                }
+            }
+
+            // Refresh the global bound from the open nodes + incumbent.
+            let inc_obj = incumbent.as_ref().map(|(o, _)| *o);
+            let new_bound = current_bound(&heap, inc_obj.unwrap_or(relax.objective), minimize);
+            if (new_bound - best_bound).abs() > 1e-12 {
+                best_bound = new_bound;
+                emit(nodes_explored, &incumbent, best_bound, &mut on_progress);
+            }
+        }
+
+        let elapsed_exceeded =
+            nodes_explored >= self.config.max_nodes || start.elapsed() >= self.config.time_limit;
+        match incumbent {
+            Some((obj, values)) => {
+                let exhausted = heap.is_empty()
+                    || heap
+                        .peek()
+                        .map_or(true, |e| !better(e.node.priority, obj));
+                let status = if exhausted && !elapsed_exceeded {
+                    SolveStatus::Optimal
+                } else {
+                    let gap = (obj - best_bound).abs() / obj.abs().max(1e-9);
+                    if gap <= self.config.gap_tolerance {
+                        SolveStatus::Optimal
+                    } else {
+                        SolveStatus::Feasible
+                    }
+                };
+                let bound = if status == SolveStatus::Optimal { obj } else { best_bound };
+                Ok(Solution {
+                    status,
+                    values,
+                    objective: obj,
+                    bound,
+                    work: nodes_explored,
+                })
+            }
+            None => {
+                if elapsed_exceeded {
+                    Ok(Solution {
+                        status: SolveStatus::LimitReached,
+                        values: Vec::new(),
+                        objective: f64::NAN,
+                        bound: best_bound,
+                        work: nodes_explored,
+                    })
+                } else {
+                    Ok(Solution {
+                        work: nodes_explored,
+                        ..Solution::infeasible()
+                    })
+                }
+            }
+        }
+    }
+}
+
+/// Best bound over the open nodes, folded with the incumbent objective.
+fn current_bound(heap: &BinaryHeap<HeapEntry>, incumbent_obj: f64, minimize: bool) -> f64 {
+    let open = heap.iter().map(|e| e.node.priority);
+    if minimize {
+        open.fold(incumbent_obj, f64::min)
+    } else {
+        open.fold(incumbent_obj, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LinExpr;
+    use crate::model::{Cmp, Model, Sense, VarType};
+
+    #[test]
+    fn knapsack_small() {
+        // max 10a + 13b + 7c, 3a + 4b + 2c <= 6, binary -> a=0? best: b+c = 20 (w=6)
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_binary(10.0, "a");
+        let b = m.add_binary(13.0, "b");
+        let c = m.add_binary(7.0, "c");
+        m.add_constr(
+            LinExpr::new().term(a, 3.0).term(b, 4.0).term(c, 2.0),
+            Cmp::Le,
+            6.0,
+        );
+        let sol = MilpSolver::default().solve(&m).unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!((sol.objective - 20.0).abs() < 1e-6, "obj {}", sol.objective);
+        assert!(m.is_feasible(&sol.values, 1e-6));
+    }
+
+    #[test]
+    fn knapsack_matches_exhaustive_enumeration() {
+        // 6-item knapsack cross-checked against brute force.
+        let values = [4.0, 2.0, 10.0, 2.0, 1.0, 7.0];
+        let weights = [12.0, 1.0, 4.0, 1.0, 2.0, 3.0];
+        let capacity = 15.0;
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| m.add_binary(v, format!("x{i}")))
+            .collect();
+        let weight_expr = LinExpr::from_terms(vars.iter().zip(weights.iter()).map(|(&v, &w)| (v, w)));
+        m.add_constr(weight_expr, Cmp::Le, capacity);
+        let sol = MilpSolver::default().solve(&m).unwrap();
+
+        let mut best = 0.0f64;
+        for mask in 0..(1u32 << 6) {
+            let mut val = 0.0;
+            let mut weight = 0.0;
+            for i in 0..6 {
+                if (mask >> i) & 1 == 1 {
+                    val += values[i];
+                    weight += weights[i];
+                }
+            }
+            if weight <= capacity {
+                best = best.max(val);
+            }
+        }
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!((sol.objective - best).abs() < 1e-6);
+    }
+
+    #[test]
+    fn integer_rounding_is_not_assumed() {
+        // max x + y, 2x + 2y <= 3, integers -> optimum 1 (LP gives 1.5)
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_integer(10.0, 1.0, "x");
+        let y = m.add_integer(10.0, 1.0, "y");
+        m.add_constr(LinExpr::new().term(x, 2.0).term(y, 2.0), Cmp::Le, 3.0);
+        let sol = MilpSolver::default().solve(&m).unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!((sol.objective - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_milp() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_binary(1.0, "x");
+        m.add_constr(LinExpr::var(x), Cmp::Ge, 2.0);
+        let sol = MilpSolver::default().solve(&m).unwrap();
+        assert_eq!(sol.status, SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn assignment_problem_is_solved_exactly() {
+        // 3x3 assignment, cost matrix with known optimum 5 (1 + 1 + 3).
+        let cost = [[1.0, 4.0, 5.0], [3.0, 1.0, 9.0], [6.0, 7.0, 3.0]];
+        let mut m = Model::new(Sense::Minimize);
+        let mut vars = [[None; 3]; 3];
+        for i in 0..3 {
+            for j in 0..3 {
+                vars[i][j] = Some(m.add_binary(cost[i][j], format!("x{i}{j}")));
+            }
+        }
+        for i in 0..3 {
+            let row = LinExpr::sum((0..3).map(|j| vars[i][j].unwrap()));
+            m.add_constr(row, Cmp::Eq, 1.0);
+            let col = LinExpr::sum((0..3).map(|j| vars[j][i].unwrap()));
+            m.add_constr(col, Cmp::Eq, 1.0);
+        }
+        let sol = MilpSolver::default().solve(&m).unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!((sol.objective - 5.0).abs() < 1e-6, "obj {}", sol.objective);
+    }
+
+    #[test]
+    fn progress_events_are_monotonic_in_time_and_report_gap() {
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..8).map(|i| m.add_binary(1.0 + i as f64, format!("x{i}"))).collect();
+        let expr = LinExpr::from_terms(vars.iter().enumerate().map(|(i, &v)| (v, 1.0 + (i % 3) as f64)));
+        m.add_constr(expr, Cmp::Le, 7.0);
+        let mut events = Vec::new();
+        let sol = MilpSolver::default()
+            .solve_with_progress(&m, |e| events.push(e.clone()))
+            .unwrap();
+        assert!(sol.status.has_solution());
+        assert!(!events.is_empty());
+        for w in events.windows(2) {
+            assert!(w[1].elapsed >= w[0].elapsed);
+            assert!(w[1].nodes >= w[0].nodes);
+        }
+        // Final event gap should be finite once an incumbent exists.
+        assert!(events.iter().any(|e| e.incumbent.is_some()));
+    }
+
+    #[test]
+    fn node_limit_returns_feasible_or_limit() {
+        let mut m = Model::new(Sense::Maximize);
+        // A larger knapsack to keep the tree busy.
+        let vars: Vec<_> = (0..14).map(|i| m.add_binary((i % 5 + 1) as f64, format!("x{i}"))).collect();
+        let expr = LinExpr::from_terms(vars.iter().enumerate().map(|(i, &v)| (v, ((i * 7) % 11 + 1) as f64)));
+        m.add_constr(expr, Cmp::Le, 20.0);
+        let solver = MilpSolver::new(BranchBoundConfig {
+            max_nodes: 3,
+            ..Default::default()
+        });
+        let sol = solver.solve(&m).unwrap();
+        assert!(matches!(
+            sol.status,
+            SolveStatus::Feasible | SolveStatus::Optimal | SolveStatus::LimitReached
+        ));
+    }
+
+    #[test]
+    fn mixed_integer_continuous_model() {
+        // min 3x + 2y  s.t. x + y >= 3.5, x integer, y continuous in [0,1]
+        // -> x = 3, y = 0.5, obj = 10
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_integer(100.0, 3.0, "x");
+        let y = m.add_var(VarType::Continuous, 0.0, 1.0, 2.0, "y");
+        m.add_constr(LinExpr::new().term(x, 1.0).term(y, 1.0), Cmp::Ge, 3.5);
+        let sol = MilpSolver::default().solve(&m).unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!((sol.objective - 10.0).abs() < 1e-6, "obj {}", sol.objective);
+        assert!((sol.values[0] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn binary_indicator_interacts_with_branching() {
+        // Choose exactly 2 of 4 facilities; an indicator forces capacity when chosen.
+        let mut m = Model::new(Sense::Minimize);
+        let open: Vec<_> = (0..4).map(|i| m.add_binary([3.0, 2.0, 5.0, 4.0][i], format!("open{i}"))).collect();
+        let cap: Vec<_> = (0..4)
+            .map(|i| m.add_var(VarType::Continuous, 0.0, 10.0, 0.1, format!("cap{i}")))
+            .collect();
+        m.add_constr(LinExpr::sum(open.iter().copied()), Cmp::Eq, 2.0);
+        for i in 0..4 {
+            // open_i == 1  =>  cap_i >= 5
+            m.add_indicator(open[i], true, LinExpr::var(cap[i]), Cmp::Ge, 5.0, 100.0);
+        }
+        m.add_constr(LinExpr::sum(cap.iter().copied()), Cmp::Ge, 10.0);
+        let sol = MilpSolver::default().solve(&m).unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        // Cheapest two facilities are 1 and 0 (2 + 3), with 5 capacity each.
+        assert!((sol.objective - (5.0 + 1.0)).abs() < 1e-6, "obj {}", sol.objective);
+    }
+}

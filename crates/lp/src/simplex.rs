@@ -1,0 +1,537 @@
+//! Dense two-phase primal simplex for the LP relaxation.
+//!
+//! The implementation favours robustness and clarity over raw speed: a
+//! dense tableau, Dantzig pricing with a Bland's-rule fallback to prevent
+//! cycling, explicit artificial variables in phase 1, and bound handling by
+//! shifting variables to zero lower bounds and materialising finite upper
+//! bounds as rows.  This is more than adequate for the model sizes the
+//! NetSmith formulations produce in tests and for providing LP relaxation
+//! bounds inside branch-and-bound.
+
+use crate::model::{Cmp, Model, Sense};
+use crate::solution::{Solution, SolveStatus};
+
+/// Numerical tolerance used throughout the solver.
+pub const TOL: f64 = 1e-7;
+
+/// Hard cap on simplex pivots per phase (guards against pathological
+/// cycling that Bland's rule should already prevent).
+const MAX_PIVOTS: usize = 50_000;
+
+/// Pivot count after which pricing switches from Dantzig to Bland's rule.
+const BLAND_THRESHOLD: usize = 2_000;
+
+#[derive(Debug)]
+struct Tableau {
+    /// `rows x cols` constraint matrix, column-major-agnostic dense storage.
+    a: Vec<Vec<f64>>,
+    /// Right-hand sides (always kept non-negative for the initial basis).
+    b: Vec<f64>,
+    /// Basis: which column is basic in each row.
+    basis: Vec<usize>,
+    /// Total number of columns (structural + slack/surplus + artificial).
+    cols: usize,
+    /// Columns that are artificial variables (banned from re-entering in
+    /// phase 2).
+    artificial: Vec<bool>,
+}
+
+/// Outcome of a single simplex phase.
+enum PhaseOutcome {
+    Optimal,
+    Unbounded,
+    IterationLimit,
+}
+
+/// Solve the LP relaxation of `model` (integrality is ignored).
+pub fn solve_lp(model: &Model) -> Result<Solution, String> {
+    solve_lp_with_overrides(model, &[])
+}
+
+/// Solve the LP relaxation with per-variable bound overrides
+/// `(var_index, lower, upper)`; used by branch-and-bound so that branching
+/// does not need to clone the entire model at every node.
+pub fn solve_lp_with_overrides(
+    model: &Model,
+    overrides: &[(usize, f64, f64)],
+) -> Result<Solution, String> {
+    let n = model.num_vars();
+    // Effective bounds.
+    let mut lower: Vec<f64> = model.variables().iter().map(|v| v.lower).collect();
+    let mut upper: Vec<f64> = model.variables().iter().map(|v| v.upper).collect();
+    for &(idx, lo, up) in overrides {
+        lower[idx] = lo;
+        upper[idx] = up;
+    }
+    for j in 0..n {
+        if lower[j] > upper[j] + TOL {
+            return Ok(Solution::infeasible());
+        }
+        if !lower[j].is_finite() {
+            return Err(format!("variable {j} has non-finite lower bound"));
+        }
+    }
+
+    // Shifted problem: y_j = x_j - lower_j >= 0.
+    // Row list: (coefficients over y, cmp, rhs).
+    let mut rows: Vec<(Vec<f64>, Cmp, f64)> = Vec::new();
+    for c in model.constraints() {
+        let mut coeffs = vec![0.0; n];
+        let mut shift = 0.0;
+        for (idx, coef) in c.expr.terms() {
+            coeffs[idx] += coef;
+            shift += coef * lower[idx];
+        }
+        let rhs = c.rhs - c.expr.constant_part() - shift;
+        rows.push((coeffs, c.cmp, rhs));
+    }
+    // Finite upper bounds become rows y_j <= upper_j - lower_j.
+    for j in 0..n {
+        if upper[j].is_finite() {
+            let mut coeffs = vec![0.0; n];
+            coeffs[j] = 1.0;
+            rows.push((coeffs, Cmp::Le, upper[j] - lower[j]));
+        }
+    }
+
+    // Canonicalise: non-negative rhs.
+    for (coeffs, cmp, rhs) in &mut rows {
+        if *rhs < 0.0 {
+            for c in coeffs.iter_mut() {
+                *c = -*c;
+            }
+            *rhs = -*rhs;
+            *cmp = match *cmp {
+                Cmp::Le => Cmp::Ge,
+                Cmp::Ge => Cmp::Le,
+                Cmp::Eq => Cmp::Eq,
+            };
+        }
+    }
+
+    let m = rows.len();
+    // Column layout: [structural (n)] [slack/surplus (one per row needing them)] [artificials].
+    let mut num_slack = 0usize;
+    for (_, cmp, _) in &rows {
+        if matches!(cmp, Cmp::Le | Cmp::Ge) {
+            num_slack += 1;
+        }
+    }
+    let mut num_artificial = 0usize;
+    for (_, cmp, _) in &rows {
+        if matches!(cmp, Cmp::Ge | Cmp::Eq) {
+            num_artificial += 1;
+        }
+    }
+    let cols = n + num_slack + num_artificial;
+    let mut a = vec![vec![0.0; cols]; m];
+    let mut b = vec![0.0; m];
+    let mut basis = vec![0usize; m];
+    let mut artificial = vec![false; cols];
+
+    let mut slack_cursor = n;
+    let mut art_cursor = n + num_slack;
+    for (i, (coeffs, cmp, rhs)) in rows.iter().enumerate() {
+        a[i][..n].copy_from_slice(coeffs);
+        b[i] = *rhs;
+        match cmp {
+            Cmp::Le => {
+                a[i][slack_cursor] = 1.0;
+                basis[i] = slack_cursor;
+                slack_cursor += 1;
+            }
+            Cmp::Ge => {
+                a[i][slack_cursor] = -1.0;
+                slack_cursor += 1;
+                a[i][art_cursor] = 1.0;
+                artificial[art_cursor] = true;
+                basis[i] = art_cursor;
+                art_cursor += 1;
+            }
+            Cmp::Eq => {
+                a[i][art_cursor] = 1.0;
+                artificial[art_cursor] = true;
+                basis[i] = art_cursor;
+                art_cursor += 1;
+            }
+        }
+    }
+
+    let mut tab = Tableau {
+        a,
+        b,
+        basis,
+        cols,
+        artificial,
+    };
+    let mut work = 0u64;
+
+    // Phase 1: minimise the sum of artificial variables.
+    if num_artificial > 0 {
+        let mut phase1_cost = vec![0.0; cols];
+        for (j, is_art) in tab.artificial.iter().enumerate() {
+            if *is_art {
+                phase1_cost[j] = 1.0;
+            }
+        }
+        let (outcome, iterations) = run_phase(&mut tab, &phase1_cost, false);
+        work += iterations;
+        match outcome {
+            PhaseOutcome::Unbounded => {
+                return Err("phase 1 reported unbounded (internal error)".to_string())
+            }
+            PhaseOutcome::IterationLimit => {
+                return Err("simplex iteration limit exceeded in phase 1".to_string())
+            }
+            PhaseOutcome::Optimal => {}
+        }
+        // Residual infeasibility = total value still carried by artificial
+        // basic variables.
+        let residual: f64 = tab
+            .basis
+            .iter()
+            .enumerate()
+            .filter(|(_, &j)| tab.artificial[j])
+            .map(|(i, _)| tab.b[i])
+            .sum();
+        if residual > 1e-6 {
+            return Ok(Solution {
+                work,
+                ..Solution::infeasible()
+            });
+        }
+        drive_out_artificials(&mut tab);
+    }
+
+    // Phase 2: original objective.  Minimise; flip sign for maximisation.
+    let sense_scale = match model.sense() {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+    let mut phase2_cost = vec![0.0; cols];
+    for (j, var) in model.variables().iter().enumerate() {
+        phase2_cost[j] = sense_scale * var.objective;
+    }
+    let (outcome, iterations) = run_phase(&mut tab, &phase2_cost, true);
+    work += iterations;
+    match outcome {
+        PhaseOutcome::Unbounded => {
+            return Ok(Solution {
+                work,
+                ..Solution::unbounded()
+            })
+        }
+        PhaseOutcome::IterationLimit => {
+            return Err("simplex iteration limit exceeded in phase 2".to_string())
+        }
+        PhaseOutcome::Optimal => {}
+    }
+
+    // Extract the solution in original variable space.
+    let mut y = vec![0.0; cols];
+    for (i, &bi) in tab.basis.iter().enumerate() {
+        y[bi] = tab.b[i];
+    }
+    let mut values = vec![0.0; n];
+    for j in 0..n {
+        values[j] = y[j] + lower[j];
+        // Clean tiny numerical noise.
+        if (values[j] - values[j].round()).abs() < 1e-9 {
+            values[j] = values[j].round();
+        }
+    }
+    let objective = model.objective_value(&values);
+    Ok(Solution {
+        status: SolveStatus::Optimal,
+        values,
+        objective,
+        bound: objective,
+        work,
+    })
+}
+
+/// Run one simplex phase minimising `cost` over the current tableau.
+/// Returns the outcome and the pivot count.  `ban_artificials` prevents
+/// artificial columns from entering the basis.
+fn run_phase(tab: &mut Tableau, cost: &[f64], ban_artificials: bool) -> (PhaseOutcome, u64) {
+    let m = tab.b.len();
+    let cols = tab.cols;
+    // Reduced costs r_j = c_j - c_B^T * A_j  (A_j in the current tableau basis).
+    let mut reduced = vec![0.0; cols];
+    {
+        let c_b: Vec<f64> = tab.basis.iter().map(|&j| cost[j]).collect();
+        for j in 0..cols {
+            let mut dot = 0.0;
+            for i in 0..m {
+                dot += c_b[i] * tab.a[i][j];
+            }
+            reduced[j] = cost[j] - dot;
+        }
+    }
+
+    let mut pivots = 0u64;
+    loop {
+        if pivots as usize >= MAX_PIVOTS {
+            return (PhaseOutcome::IterationLimit, pivots);
+        }
+        let use_bland = pivots as usize >= BLAND_THRESHOLD;
+        // Entering column.
+        let mut entering: Option<usize> = None;
+        if use_bland {
+            for j in 0..cols {
+                if ban_artificials && tab.artificial[j] {
+                    continue;
+                }
+                if reduced[j] < -TOL {
+                    entering = Some(j);
+                    break;
+                }
+            }
+        } else {
+            let mut best = -TOL;
+            for j in 0..cols {
+                if ban_artificials && tab.artificial[j] {
+                    continue;
+                }
+                if reduced[j] < best {
+                    best = reduced[j];
+                    entering = Some(j);
+                }
+            }
+        }
+        let entering = match entering {
+            Some(j) => j,
+            None => return (PhaseOutcome::Optimal, pivots),
+        };
+
+        // Ratio test.
+        let mut leaving: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..m {
+            let aij = tab.a[i][entering];
+            if aij > TOL {
+                let ratio = tab.b[i] / aij;
+                if ratio < best_ratio - TOL
+                    || (ratio < best_ratio + TOL
+                        && leaving.map_or(true, |l| tab.basis[i] < tab.basis[l]))
+                {
+                    best_ratio = ratio;
+                    leaving = Some(i);
+                }
+            }
+        }
+        let leaving = match leaving {
+            Some(i) => i,
+            None => return (PhaseOutcome::Unbounded, pivots),
+        };
+
+        pivot(tab, leaving, entering, &mut reduced);
+        pivots += 1;
+    }
+}
+
+/// Pivot on `(row, col)`, updating the tableau and reduced costs in place.
+fn pivot(tab: &mut Tableau, row: usize, col: usize, reduced: &mut [f64]) {
+    let m = tab.b.len();
+    let cols = tab.cols;
+    let pivot_val = tab.a[row][col];
+    debug_assert!(pivot_val.abs() > TOL);
+    // Normalise pivot row.
+    for j in 0..cols {
+        tab.a[row][j] /= pivot_val;
+    }
+    tab.b[row] /= pivot_val;
+    // Eliminate from other rows.
+    for i in 0..m {
+        if i == row {
+            continue;
+        }
+        let factor = tab.a[i][col];
+        if factor.abs() > 1e-12 {
+            for j in 0..cols {
+                tab.a[i][j] -= factor * tab.a[row][j];
+            }
+            tab.b[i] -= factor * tab.b[row];
+            if tab.b[i].abs() < 1e-11 {
+                tab.b[i] = 0.0;
+            }
+        }
+    }
+    // Update reduced costs: after the pivot the entering column's reduced
+    // cost must become zero, which the row elimination below achieves.
+    let factor = reduced[col];
+    if factor.abs() > 1e-12 {
+        for j in 0..cols {
+            reduced[j] -= factor * tab.a[row][j];
+        }
+    }
+    tab.basis[row] = col;
+}
+
+/// After phase 1, pivot basic artificial variables out of the basis (they
+/// are at value zero).  Rows whose non-artificial coefficients are all zero
+/// are redundant; they are left in place with the artificial basic at zero,
+/// which is harmless because artificial columns are banned from entering in
+/// phase 2 and a zero-valued basic variable in a redundant row never
+/// changes value.
+fn drive_out_artificials(tab: &mut Tableau) {
+    let m = tab.b.len();
+    let cols = tab.cols;
+    for i in 0..m {
+        let basic = tab.basis[i];
+        if !tab.artificial[basic] {
+            continue;
+        }
+        debug_assert!(tab.b[i].abs() < 1e-6);
+        // Find a non-artificial column with a usable pivot entry.
+        let mut target: Option<usize> = None;
+        for j in 0..cols {
+            if !tab.artificial[j] && tab.a[i][j].abs() > TOL {
+                target = Some(j);
+                break;
+            }
+        }
+        if let Some(col) = target {
+            let mut dummy_reduced = vec![0.0; cols];
+            pivot(tab, i, col, &mut dummy_reduced);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LinExpr;
+    use crate::model::{Cmp, Model, Sense, VarType};
+
+    fn le(m: &mut Model, terms: &[(crate::model::VarId, f64)], rhs: f64) {
+        m.add_constr(LinExpr::from_terms(terms.iter().copied()), Cmp::Le, rhs);
+    }
+
+    #[test]
+    fn textbook_maximisation() {
+        // max 5x + 4y s.t. 6x + 4y <= 24, x + 2y <= 6 -> x=3, y=1.5, obj=21
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_continuous(5.0, "x");
+        let y = m.add_continuous(4.0, "y");
+        le(&mut m, &[(x, 6.0), (y, 4.0)], 24.0);
+        le(&mut m, &[(x, 1.0), (y, 2.0)], 6.0);
+        let s = solve_lp(&m).unwrap();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert!((s.objective - 21.0).abs() < 1e-6);
+        assert!((s.values[0] - 3.0).abs() < 1e-6);
+        assert!((s.values[1] - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn minimisation_with_ge_constraints() {
+        // min 2x + 3y s.t. x + y >= 10, x >= 2, y >= 3 -> x=7, y=3, obj=23
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(VarType::Continuous, 2.0, f64::INFINITY, 2.0, "x");
+        let y = m.add_var(VarType::Continuous, 3.0, f64::INFINITY, 3.0, "y");
+        m.add_constr(LinExpr::new().term(x, 1.0).term(y, 1.0), Cmp::Ge, 10.0);
+        let s = solve_lp(&m).unwrap();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert!((s.objective - 23.0).abs() < 1e-6, "obj {}", s.objective);
+        assert!((s.values[0] - 7.0).abs() < 1e-6);
+        assert!((s.values[1] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y = 4, x - y = 1  -> x=2, y=1
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_continuous(1.0, "x");
+        let y = m.add_continuous(1.0, "y");
+        m.add_constr(LinExpr::new().term(x, 1.0).term(y, 2.0), Cmp::Eq, 4.0);
+        m.add_constr(LinExpr::new().term(x, 1.0).term(y, -1.0), Cmp::Eq, 1.0);
+        let s = solve_lp(&m).unwrap();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert!((s.values[0] - 2.0).abs() < 1e-6);
+        assert!((s.values[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(VarType::Continuous, 0.0, 1.0, 1.0, "x");
+        m.add_constr(LinExpr::var(x), Cmp::Ge, 5.0);
+        let s = solve_lp(&m).unwrap();
+        assert_eq!(s.status, SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut m = Model::new(Sense::Maximize);
+        let _x = m.add_continuous(1.0, "x");
+        let y = m.add_continuous(0.0, "y");
+        // x unconstrained above.
+        m.add_constr(LinExpr::new().term(y, 1.0), Cmp::Le, 4.0);
+        let s = solve_lp(&m).unwrap();
+        assert_eq!(s.status, SolveStatus::Unbounded);
+    }
+
+    #[test]
+    fn upper_bounds_are_respected() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var(VarType::Continuous, 0.0, 2.5, 1.0, "x");
+        let y = m.add_var(VarType::Continuous, 0.0, 4.0, 1.0, "y");
+        m.add_constr(LinExpr::new().term(x, 1.0).term(y, 1.0), Cmp::Le, 100.0);
+        let s = solve_lp(&m).unwrap();
+        assert!((s.objective - 6.5).abs() < 1e-6);
+        assert!(s.values[0] <= 2.5 + 1e-9);
+        assert!(s.values[1] <= 4.0 + 1e-9);
+    }
+
+    #[test]
+    fn negative_lower_bounds_are_shifted_correctly() {
+        // min x s.t. x >= -5 (bound), x + y >= -3, y in [0, 1]
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(VarType::Continuous, -5.0, f64::INFINITY, 1.0, "x");
+        let y = m.add_var(VarType::Continuous, 0.0, 1.0, 0.0, "y");
+        m.add_constr(LinExpr::new().term(x, 1.0).term(y, 1.0), Cmp::Ge, -3.0);
+        let s = solve_lp(&m).unwrap();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert!((s.values[0] - (-4.0)).abs() < 1e-6, "x = {}", s.values[0]);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Several redundant constraints intersecting at the same vertex.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_continuous(1.0, "x");
+        let y = m.add_continuous(1.0, "y");
+        le(&mut m, &[(x, 1.0), (y, 1.0)], 1.0);
+        le(&mut m, &[(x, 2.0), (y, 2.0)], 2.0);
+        le(&mut m, &[(x, 1.0), (y, 0.0)], 1.0);
+        le(&mut m, &[(x, 0.0), (y, 1.0)], 1.0);
+        le(&mut m, &[(x, 3.0), (y, 3.0)], 3.0);
+        let s = solve_lp(&m).unwrap();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert!((s.objective - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solution_is_feasible_for_the_model() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var(VarType::Continuous, 0.0, 10.0, 3.0, "x");
+        let y = m.add_var(VarType::Continuous, 1.0, 10.0, 1.0, "y");
+        m.add_constr(LinExpr::new().term(x, 2.0).term(y, 1.0), Cmp::Le, 14.0);
+        m.add_constr(LinExpr::new().term(x, 1.0).term(y, -1.0), Cmp::Ge, -2.0);
+        let s = solve_lp(&m).unwrap();
+        assert!(m.is_feasible(&s.values, 1e-6));
+    }
+
+    #[test]
+    fn bound_overrides_tighten_the_relaxation() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var(VarType::Continuous, 0.0, 10.0, 1.0, "x");
+        m.add_constr(LinExpr::var(x), Cmp::Le, 8.0);
+        let free = solve_lp(&m).unwrap();
+        assert!((free.objective - 8.0).abs() < 1e-6);
+        let pinned = solve_lp_with_overrides(&m, &[(x.index(), 0.0, 3.0)]).unwrap();
+        assert!((pinned.objective - 3.0).abs() < 1e-6);
+        let conflicting = solve_lp_with_overrides(&m, &[(x.index(), 5.0, 4.0)]).unwrap();
+        assert_eq!(conflicting.status, SolveStatus::Infeasible);
+    }
+}

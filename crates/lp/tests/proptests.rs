@@ -1,0 +1,115 @@
+//! Property-based tests for the LP/MILP solver.
+//!
+//! The simplex result is validated structurally (feasibility of the
+//! returned point, optimality relative to sampled feasible points) and the
+//! MILP solver is cross-checked against exhaustive enumeration on random
+//! binary programs small enough to brute-force.
+
+use netsmith_lp::{BranchBoundConfig, Cmp, LinExpr, MilpSolver, Model, Sense, SolveStatus};
+use proptest::prelude::*;
+
+/// A random bounded LP: maximize a random objective over box-bounded
+/// variables with random `<=` constraints that always keep the origin
+/// feasible (non-negative coefficients, positive rhs), so the instance is
+/// never infeasible or unbounded.
+fn random_bounded_lp() -> impl Strategy<Value = (Model, usize)> {
+    let nvars = 2usize..5;
+    let ncons = 1usize..5;
+    (nvars, ncons).prop_flat_map(|(nv, nc)| {
+        let objs = proptest::collection::vec(0.1f64..5.0, nv);
+        let coeffs = proptest::collection::vec(proptest::collection::vec(0.0f64..4.0, nv), nc);
+        let rhs = proptest::collection::vec(1.0f64..20.0, nc);
+        (objs, coeffs, rhs).prop_map(move |(objs, coeffs, rhs)| {
+            let mut m = Model::new(Sense::Maximize);
+            let vars: Vec<_> = objs
+                .iter()
+                .enumerate()
+                .map(|(i, &o)| m.add_var(netsmith_lp::VarType::Continuous, 0.0, 10.0, o, format!("x{i}")))
+                .collect();
+            for (row, &b) in coeffs.iter().zip(rhs.iter()) {
+                let expr = LinExpr::from_terms(vars.iter().zip(row.iter()).map(|(&v, &c)| (v, c)));
+                m.add_constr(expr, Cmp::Le, b);
+            }
+            (m, nv)
+        })
+    })
+}
+
+/// Random binary program with <= constraints, small enough to brute force.
+fn random_binary_program() -> impl Strategy<Value = Model> {
+    let nvars = 2usize..7;
+    let ncons = 1usize..4;
+    (nvars, ncons).prop_flat_map(|(nv, nc)| {
+        let objs = proptest::collection::vec(-5.0f64..5.0, nv);
+        let coeffs = proptest::collection::vec(proptest::collection::vec(-3.0f64..3.0, nv), nc);
+        let rhs = proptest::collection::vec(0.0f64..6.0, nc);
+        (objs, coeffs, rhs).prop_map(move |(objs, coeffs, rhs)| {
+            let mut m = Model::new(Sense::Maximize);
+            let vars: Vec<_> = objs
+                .iter()
+                .enumerate()
+                .map(|(i, &o)| m.add_binary(o, format!("b{i}")))
+                .collect();
+            for (row, &b) in coeffs.iter().zip(rhs.iter()) {
+                let expr = LinExpr::from_terms(vars.iter().zip(row.iter()).map(|(&v, &c)| (v, c)));
+                m.add_constr(expr, Cmp::Le, b);
+            }
+            m
+        })
+    })
+}
+
+fn brute_force_binary_max(m: &Model) -> Option<f64> {
+    let n = m.num_vars();
+    let mut best: Option<f64> = None;
+    for mask in 0u64..(1 << n) {
+        let values: Vec<f64> = (0..n).map(|i| ((mask >> i) & 1) as f64).collect();
+        if m.is_feasible(&values, 1e-9) {
+            let obj = m.objective_value(&values);
+            best = Some(best.map_or(obj, |b: f64| b.max(obj)));
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn lp_solution_is_feasible_and_dominates_random_points((model, nv) in random_bounded_lp(), samples in proptest::collection::vec(proptest::collection::vec(0.0f64..10.0, 4), 16)) {
+        let sol = netsmith_lp::simplex::solve_lp(&model).unwrap();
+        prop_assert_eq!(sol.status, SolveStatus::Optimal);
+        prop_assert!(model.is_feasible(&sol.values, 1e-5));
+        // No sampled feasible point may beat the reported optimum.
+        for point in samples {
+            let candidate: Vec<f64> = point.iter().take(nv).copied().collect();
+            if candidate.len() == nv && model.is_feasible(&candidate, 1e-9) {
+                prop_assert!(model.objective_value(&candidate) <= sol.objective + 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn milp_matches_brute_force(model in random_binary_program()) {
+        let sol = MilpSolver::new(BranchBoundConfig::default()).solve(&model).unwrap();
+        let brute = brute_force_binary_max(&model);
+        match brute {
+            None => prop_assert_eq!(sol.status, SolveStatus::Infeasible),
+            Some(best) => {
+                prop_assert!(sol.status.has_solution());
+                prop_assert!((sol.objective - best).abs() < 1e-5,
+                    "solver {} vs brute force {}", sol.objective, best);
+                prop_assert!(model.is_feasible(&sol.values, 1e-5));
+            }
+        }
+    }
+
+    #[test]
+    fn milp_bound_is_valid(model in random_binary_program()) {
+        let sol = MilpSolver::new(BranchBoundConfig::default()).solve(&model).unwrap();
+        if sol.status == SolveStatus::Optimal {
+            // For maximisation the proven bound can never be below the objective.
+            prop_assert!(sol.bound >= sol.objective - 1e-6);
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! The discover → route → allocate → evaluate pipeline.
+
+use netsmith_route::paths::all_shortest_paths;
+use netsmith_route::{allocate_vcs, mclb_route, ndbt_route, MclbConfig, RoutingTable, VcAllocation};
+use netsmith_sim::{sweep_injection_rates, LatencyCurve, SimConfig};
+use netsmith_topo::metrics::TopologyMetrics;
+use netsmith_topo::traffic::TrafficPattern;
+use netsmith_topo::Topology;
+use serde::{Deserialize, Serialize};
+
+/// Which routing scheme to apply to a topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutingScheme {
+    /// NetSmith's maximum-channel-load-bottleneck routing (Table III).
+    Mclb,
+    /// The expert-topology heuristic: shortest paths with no double-back
+    /// turns along the horizontal axis.
+    Ndbt,
+}
+
+impl RoutingScheme {
+    /// Label used in experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RoutingScheme::Mclb => "MCLB",
+            RoutingScheme::Ndbt => "NDBT",
+        }
+    }
+}
+
+/// A topology that has been routed, VC-allocated and measured analytically;
+/// ready to be simulated.
+#[derive(Debug, Clone)]
+pub struct EvaluatedNetwork {
+    pub topology: Topology,
+    pub routing: RoutingTable,
+    pub vcs: VcAllocation,
+    pub metrics: TopologyMetrics,
+    pub scheme: RoutingScheme,
+}
+
+impl EvaluatedNetwork {
+    /// Route `topology` with the requested scheme, allocate deadlock-free
+    /// escape VCs within `total_vcs`, and compute the analytical metrics.
+    /// Returns `None` when the topology cannot be routed within the VC
+    /// budget.
+    pub fn prepare(
+        topology: &Topology,
+        scheme: RoutingScheme,
+        total_vcs: usize,
+        seed: u64,
+    ) -> Option<Self> {
+        let paths = all_shortest_paths(topology);
+        let routing = match scheme {
+            RoutingScheme::Mclb => mclb_route(
+                &paths,
+                &MclbConfig {
+                    seed,
+                    ..Default::default()
+                },
+            ),
+            RoutingScheme::Ndbt => ndbt_route(topology.layout(), &paths, seed).0,
+        };
+        if !routing.is_complete() {
+            return None;
+        }
+        let vcs = allocate_vcs(&routing, total_vcs, seed)?;
+        let metrics = TopologyMetrics::compute(topology);
+        Some(EvaluatedNetwork {
+            topology: topology.clone(),
+            routing,
+            vcs,
+            metrics,
+            scheme,
+        })
+    }
+
+    /// Label combining topology and routing scheme ("Kite-Large / NDBT").
+    pub fn label(&self) -> String {
+        format!("{} / {}", self.topology.name(), self.scheme.label())
+    }
+
+    /// Run an injection-rate sweep under a traffic pattern.
+    pub fn sweep(
+        &self,
+        pattern: TrafficPattern,
+        config: &SimConfig,
+        loads: &[f64],
+    ) -> LatencyCurve {
+        sweep_injection_rates(
+            self.label(),
+            &self.topology,
+            &self.routing,
+            Some(&self.vcs),
+            pattern,
+            config,
+            loads,
+        )
+    }
+
+    /// Simulator configuration matching this topology's link-length class
+    /// (clock of 3.6/3.0/2.7 GHz for small/medium/large).
+    pub fn sim_config(&self) -> SimConfig {
+        SimConfig::for_class(self.topology.class())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsmith_topo::expert;
+    use netsmith_topo::Layout;
+
+    #[test]
+    fn prepare_routes_and_allocates_expert_topologies() {
+        let layout = Layout::noi_4x5();
+        for topo in [expert::mesh(&layout), expert::kite_medium(&layout)] {
+            for scheme in [RoutingScheme::Mclb, RoutingScheme::Ndbt] {
+                let network = EvaluatedNetwork::prepare(&topo, scheme, 6, 3)
+                    .unwrap_or_else(|| panic!("{} should prepare", topo.name()));
+                assert!(network.routing.is_complete());
+                assert!(netsmith_route::vc::verify_deadlock_free(
+                    &network.routing,
+                    &network.vcs
+                ));
+                assert_eq!(network.metrics.num_routers, 20);
+                assert!(network.label().contains(scheme.label()));
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_produces_points_for_each_load() {
+        let layout = Layout::noi_4x5();
+        let topo = expert::folded_torus(&layout);
+        let network = EvaluatedNetwork::prepare(&topo, RoutingScheme::Mclb, 6, 3).unwrap();
+        let config = SimConfig::quick();
+        let curve = network.sweep(TrafficPattern::UniformRandom, &config, &[0.05, 0.3]);
+        assert_eq!(curve.points.len(), 2);
+        assert!(curve.points[0].latency_cycles > 0.0);
+    }
+
+    #[test]
+    fn sim_config_clock_tracks_class() {
+        let layout = Layout::noi_4x5();
+        let small = EvaluatedNetwork::prepare(&expert::kite_small(&layout), RoutingScheme::Mclb, 6, 3)
+            .unwrap();
+        assert_eq!(small.sim_config().clock_ghz, 3.6);
+    }
+}

@@ -1,0 +1,201 @@
+//! The analytical area/power model.
+
+use netsmith_sim::SimConfig;
+use netsmith_topo::Topology;
+use serde::{Deserialize, Serialize};
+
+/// Technology and circuit constants (22 nm-class defaults).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerConfig {
+    /// Router leakage power per router in milliwatts.
+    pub router_leakage_mw: f64,
+    /// Wire leakage (repeaters) per millimetre in milliwatts.
+    pub wire_leakage_mw_per_mm: f64,
+    /// Dynamic energy per flit per router traversal in picojoules.
+    pub router_energy_pj_per_flit: f64,
+    /// Dynamic energy per flit per millimetre of wire in picojoules.
+    pub wire_energy_pj_per_flit_mm: f64,
+    /// Router area in square millimetres (radix-4, 8B links).
+    pub router_area_mm2: f64,
+    /// Wire area per millimetre of link (all repeated wires of one 8B
+    /// full-duplex link), in square millimetres per millimetre.
+    pub wire_area_mm2_per_mm: f64,
+}
+
+impl Default for PowerConfig {
+    fn default() -> Self {
+        PowerConfig {
+            router_leakage_mw: 4.0,
+            wire_leakage_mw_per_mm: 0.15,
+            router_energy_pj_per_flit: 3.0,
+            wire_energy_pj_per_flit_mm: 0.9,
+            router_area_mm2: 0.045,
+            wire_area_mm2_per_mm: 0.012,
+        }
+    }
+}
+
+/// Power broken into static (leakage) and dynamic components, in mW.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerReport {
+    pub static_mw: f64,
+    pub dynamic_mw: f64,
+}
+
+impl PowerReport {
+    pub fn total_mw(&self) -> f64 {
+        self.static_mw + self.dynamic_mw
+    }
+}
+
+/// Area broken into router and wire components, in mm².
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaReport {
+    pub router_mm2: f64,
+    pub wire_mm2: f64,
+}
+
+impl AreaReport {
+    pub fn total_mm2(&self) -> f64 {
+        self.router_mm2 + self.wire_mm2
+    }
+}
+
+/// Compute the power of a topology.
+///
+/// `avg_link_utilization` is the mean fraction of cycles each link carries
+/// a flit (as reported by the simulator at the operating point of
+/// interest); `sim` supplies the NoI clock, which scales dynamic power.
+pub fn power_report(
+    topo: &Topology,
+    config: &PowerConfig,
+    sim: &SimConfig,
+    avg_link_utilization: f64,
+) -> PowerReport {
+    let n = topo.num_routers() as f64;
+    let wire_mm = topo.total_wire_length_mm();
+    let static_mw = n * config.router_leakage_mw + wire_mm * config.wire_leakage_mw_per_mm;
+    // Flits per second crossing the network: every directed link carries
+    // `utilization` flits per cycle.
+    let flits_per_ns = topo.num_directed_links() as f64 * avg_link_utilization * sim.clock_ghz;
+    // Average wire length per traversal.
+    let avg_link_mm = if topo.num_links() == 0 {
+        0.0
+    } else {
+        wire_mm / topo.num_links() as f64
+    };
+    let energy_per_flit_pj =
+        config.router_energy_pj_per_flit + config.wire_energy_pj_per_flit_mm * avg_link_mm;
+    // pJ per ns == mW.
+    let dynamic_mw = flits_per_ns * energy_per_flit_pj;
+    PowerReport {
+        static_mw,
+        dynamic_mw,
+    }
+}
+
+/// Compute the area of a topology.
+pub fn area_report(topo: &Topology, config: &PowerConfig) -> AreaReport {
+    let n = topo.num_routers() as f64;
+    AreaReport {
+        router_mm2: n * config.router_area_mm2,
+        wire_mm2: topo.total_wire_length_mm() * config.wire_area_mm2_per_mm,
+    }
+}
+
+/// Normalize a value against a baseline (mesh in the paper's Figure 9).
+pub fn relative_to(value: f64, baseline: f64) -> f64 {
+    if baseline == 0.0 {
+        0.0
+    } else {
+        value / baseline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsmith_topo::expert;
+    use netsmith_topo::{Layout, LinkClass};
+
+    #[test]
+    fn leakage_is_similar_across_equal_router_topologies() {
+        let layout = Layout::noi_4x5();
+        let cfg = PowerConfig::default();
+        let sim = SimConfig::default();
+        let mesh = power_report(&expert::mesh(&layout), &cfg, &sim, 0.2);
+        let kite = power_report(&expert::kite_large(&layout), &cfg, &sim, 0.2);
+        let ratio = kite.static_mw / mesh.static_mw;
+        assert!(ratio > 0.9 && ratio < 1.4, "leakage ratio {ratio}");
+    }
+
+    #[test]
+    fn dynamic_power_scales_with_utilization_and_clock() {
+        let layout = Layout::noi_4x5();
+        let cfg = PowerConfig::default();
+        let topo = expert::folded_torus(&layout);
+        let slow = SimConfig { clock_ghz: 2.7, ..SimConfig::default() };
+        let fast = SimConfig { clock_ghz: 3.6, ..SimConfig::default() };
+        let low = power_report(&topo, &cfg, &slow, 0.1);
+        let high = power_report(&topo, &cfg, &slow, 0.3);
+        assert!(high.dynamic_mw > low.dynamic_mw);
+        let faster = power_report(&topo, &cfg, &fast, 0.1);
+        assert!(faster.dynamic_mw > low.dynamic_mw);
+        // Static power does not depend on activity.
+        assert!((high.static_mw - low.static_mw).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wire_area_dominates_router_area() {
+        // The paper notes total wire area is the dominant fraction.
+        let layout = Layout::noi_4x5();
+        let cfg = PowerConfig::default();
+        for topo in expert::all_baselines(&layout) {
+            let area = area_report(&topo, &cfg);
+            assert!(
+                area.wire_mm2 > area.router_mm2,
+                "{}: wire {} vs router {}",
+                topo.name(),
+                area.wire_mm2,
+                area.router_mm2
+            );
+        }
+    }
+
+    #[test]
+    fn longer_link_classes_use_more_wire_area() {
+        let layout = Layout::noi_4x5();
+        let cfg = PowerConfig::default();
+        let mesh = area_report(&expert::mesh(&layout), &cfg);
+        let torus = area_report(&expert::folded_torus(&layout), &cfg);
+        assert!(torus.wire_mm2 > mesh.wire_mm2);
+    }
+
+    #[test]
+    fn interposer_stays_minimally_active() {
+        // Router area must stay a tiny fraction of a ~24x22mm interposer
+        // (the paper reports under 3%).
+        let layout = Layout::noi_4x5();
+        let cfg = PowerConfig::default();
+        let area = area_report(&expert::kite_large(&layout), &cfg);
+        let interposer_mm2 = 24.0 * 22.0;
+        assert!(area.router_mm2 / interposer_mm2 < 0.03);
+    }
+
+    #[test]
+    fn relative_normalization() {
+        assert_eq!(relative_to(4.0, 2.0), 2.0);
+        assert_eq!(relative_to(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn empty_topology_has_zero_dynamic_power() {
+        let layout = Layout::noi_4x5();
+        let cfg = PowerConfig::default();
+        let sim = SimConfig::default();
+        let t = netsmith_topo::Topology::empty("none", layout, LinkClass::Small);
+        let p = power_report(&t, &cfg, &sim, 0.5);
+        assert_eq!(p.dynamic_mw, 0.0);
+        assert!(p.static_mw > 0.0);
+    }
+}

@@ -1,0 +1,323 @@
+//! Deadlock-free virtual-channel allocation for irregular topologies.
+//!
+//! Machine-generated topologies cannot rely on simple turn rules, so the
+//! paper applies the DFSSSP approach (Domke et al.): partition the set of
+//! selected shortest paths into subsets whose channel dependency graphs are
+//! each acyclic, and map every subset onto its own (escape) virtual
+//! channel.  A packet uses the VC its flow was assigned to for its entire
+//! journey, so each VC's routing subfunction is acyclic and the network is
+//! deadlock-free by the Dally & Seitz condition.
+//!
+//! The partitioning is iterative: all flows start in layer 0; while the
+//! layer's CDG contains a cycle, one dependency edge of the cycle is chosen
+//! (randomly, as the paper found sufficient) and every flow inducing that
+//! dependency is pushed to the next layer.  A final balancing pass spreads
+//! flows across the available VCs — keeping each VC acyclic — using
+//! path-length-weighted occupancy as the balance metric, mirroring the
+//! paper's Section IV-A.
+
+use crate::cdg::ChannelDependencyGraph;
+use crate::table::{Flow, RoutingTable};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// Result of VC allocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VcAllocation {
+    /// Virtual channel assigned to each flow.
+    pub assignment: HashMap<Flow, usize>,
+    /// Number of virtual channels actually used after load balancing
+    /// (max index + 1).
+    pub num_vcs: usize,
+    /// Number of escape layers the DFSSSP-style partition required for
+    /// deadlock freedom *before* load balancing — the "VCs required" figure
+    /// the paper reports (4 for all its 20-router configurations).
+    pub escape_layers: usize,
+    /// Path-length-weighted occupancy per VC.
+    pub occupancy: Vec<f64>,
+}
+
+impl VcAllocation {
+    /// The VC assigned to a flow (panics when the flow was not routed).
+    pub fn vc(&self, flow: Flow) -> usize {
+        self.assignment[&flow]
+    }
+
+    /// Largest/smallest weighted occupancy ratio — 1.0 means perfectly
+    /// balanced.
+    pub fn imbalance(&self) -> f64 {
+        let max = self.occupancy.iter().copied().fold(0.0f64, f64::max);
+        let min = self
+            .occupancy
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        if min <= 0.0 {
+            f64::INFINITY
+        } else {
+            max / min
+        }
+    }
+}
+
+/// Partition the flows of a routing table into acyclic layers and balance
+/// them over `total_vcs` virtual channels.  Returns `None` when the number
+/// of required escape layers exceeds `total_vcs`.
+pub fn allocate_vcs(table: &RoutingTable, total_vcs: usize, seed: u64) -> Option<VcAllocation> {
+    assert!(total_vcs >= 1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // Layered escape partition (DFSSSP/LASH style), built greedily: flows
+    // are considered one at a time (longest paths first — they constrain
+    // the CDG the most — with seeded random tie-breaking) and each flow is
+    // placed in the lowest layer whose channel dependency graph stays
+    // acyclic after adding the flow's path.  Ordered maps keep the
+    // procedure deterministic for a given seed.
+    let paths: BTreeMap<Flow, Vec<usize>> = table
+        .flows()
+        .map(|(f, p)| (f, p.to_vec()))
+        .collect();
+    let mut order: Vec<Flow> = paths.keys().copied().collect();
+    {
+        // Seeded shuffle, then stable sort by descending path length.
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        order.sort_by_key(|f| std::cmp::Reverse(paths[f].len()));
+    }
+    let mut layer_of: BTreeMap<Flow, usize> = BTreeMap::new();
+    let mut layer_cdgs: Vec<ChannelDependencyGraph> = vec![ChannelDependencyGraph::new()];
+    for flow in &order {
+        let path = paths[flow].as_slice();
+        let mut placed = false;
+        for (layer, cdg) in layer_cdgs.iter_mut().enumerate() {
+            let mut tentative = cdg.clone();
+            tentative.add_path(path);
+            if tentative.is_acyclic() {
+                *cdg = tentative;
+                layer_of.insert(*flow, layer);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            let mut cdg = ChannelDependencyGraph::new();
+            cdg.add_path(path);
+            layer_cdgs.push(cdg);
+            layer_of.insert(*flow, layer_cdgs.len() - 1);
+        }
+    }
+    let num_layers = layer_cdgs.len();
+
+    if num_layers > total_vcs {
+        return None;
+    }
+
+    // Balance: flows may move from their escape layer to any *higher* VC
+    // index as long as that VC's CDG stays acyclic.  Greedily move flows
+    // from the most occupied VC to the least occupied higher-indexed VC.
+    let mut assignment: BTreeMap<Flow, usize> = layer_of.clone();
+    let weight = |f: &Flow| (paths[f].len() - 1) as f64;
+    let mut occupancy = vec![0.0f64; total_vcs];
+    for (f, &vc) in &assignment {
+        occupancy[vc] += weight(f);
+    }
+    // Spread into unused upper VCs.
+    let mut improved = true;
+    let mut guard = 0usize;
+    while improved && guard < 10_000 {
+        improved = false;
+        guard += 1;
+        // Most loaded VC and its flows.
+        let (hot_vc, _) = occupancy
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        let (cold_vc, _) = occupancy
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        if occupancy[hot_vc] - occupancy[cold_vc] < 1e-9 {
+            break;
+        }
+        // Try to move one flow from hot to cold, keeping the cold VC acyclic
+        // and never moving a flow below its escape layer.
+        let mut candidates: Vec<Flow> = assignment
+            .iter()
+            .filter(|(f, &vc)| vc == hot_vc && layer_of[f] <= cold_vc)
+            .map(|(f, _)| *f)
+            .collect();
+        candidates.sort();
+        for f in candidates {
+            let w = weight(&f);
+            // Moving must actually reduce the imbalance.
+            if occupancy[hot_vc] - w < occupancy[cold_vc] + w - 1e-9 {
+                continue;
+            }
+            // Check acyclicity of the destination VC with the flow added.
+            let members: Vec<Flow> = assignment
+                .iter()
+                .filter(|(_, &vc)| vc == cold_vc)
+                .map(|(f2, _)| *f2)
+                .chain(std::iter::once(f))
+                .collect();
+            let cdg =
+                ChannelDependencyGraph::from_paths(members.iter().map(|m| paths[m].as_slice()));
+            if cdg.is_acyclic() {
+                assignment.insert(f, cold_vc);
+                occupancy[hot_vc] -= w;
+                occupancy[cold_vc] += w;
+                improved = true;
+                break;
+            }
+        }
+    }
+
+    let num_vcs = assignment.values().copied().max().unwrap_or(0) + 1;
+    Some(VcAllocation {
+        assignment: assignment.into_iter().collect::<HashMap<_, _>>(),
+        num_vcs,
+        escape_layers: num_layers,
+        occupancy,
+    })
+}
+
+/// Verify that an allocation is deadlock-free: for every VC, the CDG of the
+/// flows assigned to it must be acyclic.
+pub fn verify_deadlock_free(table: &RoutingTable, alloc: &VcAllocation) -> bool {
+    for vc in 0..alloc.num_vcs {
+        let members: Vec<&[usize]> = table
+            .flows()
+            .filter(|(f, _)| alloc.assignment.get(f) == Some(&vc))
+            .map(|(_, p)| p)
+            .collect();
+        let cdg = ChannelDependencyGraph::from_paths(members);
+        if !cdg.is_acyclic() {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mclb::{mclb_route, MclbConfig};
+    use crate::ndbt::ndbt_route;
+    use crate::paths::all_shortest_paths;
+    use netsmith_topo::expert;
+    use netsmith_topo::Layout;
+
+    #[test]
+    fn xy_routing_on_a_mesh_needs_exactly_one_vc() {
+        // Dimension-ordered (XY) routing on a mesh famously has an acyclic
+        // CDG, so the allocator must report a single escape VC.
+        let layout = Layout::noi_4x5();
+        let mesh = expert::mesh(&layout);
+        let ps = all_shortest_paths(&mesh);
+        let mut table = crate::table::RoutingTable::new(20, "XY");
+        for (s, d) in ps.flows() {
+            // The XY path is the shortest path whose column moves all happen
+            // before its row moves.
+            let xy = ps
+                .paths(s, d)
+                .iter()
+                .find(|p| {
+                    let mut seen_row_move = false;
+                    for w in p.windows(2) {
+                        let (r0, c0) = layout.position(w[0]);
+                        let (r1, c1) = layout.position(w[1]);
+                        if r0 != r1 {
+                            seen_row_move = true;
+                        } else if c0 != c1 && seen_row_move {
+                            return false;
+                        }
+                    }
+                    true
+                })
+                .expect("mesh always has an XY shortest path")
+                .clone();
+            table.set_path(crate::table::Flow::new(s, d), xy);
+        }
+        let alloc = allocate_vcs(&table, 6, 11).expect("fits trivially");
+        assert!(verify_deadlock_free(&table, &alloc));
+        assert_eq!(alloc.escape_layers, 1, "XY routing must be acyclic");
+    }
+
+    #[test]
+    fn ndbt_routed_mesh_fits_in_six_vcs() {
+        let layout = Layout::noi_4x5();
+        let mesh = expert::mesh(&layout);
+        let ps = all_shortest_paths(&mesh);
+        let (table, _) = ndbt_route(&layout, &ps, 3);
+        let alloc = allocate_vcs(&table, 6, 11).expect("allocation fits in 6 VCs");
+        assert!(verify_deadlock_free(&table, &alloc));
+        assert!(alloc.num_vcs <= 6);
+        assert_eq!(alloc.assignment.len(), 380);
+    }
+
+    #[test]
+    fn expert_topologies_fit_in_six_vcs_with_mclb() {
+        let layout = Layout::noi_4x5();
+        for topo in [
+            expert::folded_torus(&layout),
+            expert::kite_large(&layout),
+            expert::butter_donut(&layout),
+        ] {
+            let ps = all_shortest_paths(&topo);
+            let table = mclb_route(&ps, &MclbConfig::default());
+            let alloc = allocate_vcs(&table, 6, 5)
+                .unwrap_or_else(|| panic!("{} needs more than 6 VCs", topo.name()));
+            assert!(
+                verify_deadlock_free(&table, &alloc),
+                "{} allocation has a cyclic VC",
+                topo.name()
+            );
+            assert!(alloc.num_vcs <= 6);
+        }
+    }
+
+    #[test]
+    fn allocation_fails_gracefully_when_vc_budget_is_too_small() {
+        // With a single VC, topologies whose shortest-path CDG is cyclic
+        // cannot be made deadlock free.
+        let layout = Layout::noi_4x5();
+        let torus = expert::folded_torus(&layout);
+        let ps = all_shortest_paths(&torus);
+        let table = mclb_route(&ps, &MclbConfig::default());
+        let single = allocate_vcs(&table, 1, 5);
+        // Either it fits in one VC (already acyclic) or it must return None.
+        if let Some(alloc) = single {
+            assert!(verify_deadlock_free(&table, &alloc));
+            assert_eq!(alloc.num_vcs, 1);
+        }
+    }
+
+    #[test]
+    fn occupancy_accounts_every_flow_weight() {
+        let layout = Layout::noi_4x5();
+        let kite = expert::kite_medium(&layout);
+        let ps = all_shortest_paths(&kite);
+        let table = mclb_route(&ps, &MclbConfig::default());
+        let alloc = allocate_vcs(&table, 6, 1).unwrap();
+        let total_weight: f64 = table.flows().map(|(_, p)| (p.len() - 1) as f64).sum();
+        let occ_sum: f64 = alloc.occupancy.iter().sum();
+        assert!((total_weight - occ_sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let layout = Layout::noi_4x5();
+        let bd = expert::butter_donut(&layout);
+        let ps = all_shortest_paths(&bd);
+        let table = mclb_route(&ps, &MclbConfig::default());
+        let a = allocate_vcs(&table, 6, 77).unwrap();
+        let b = allocate_vcs(&table, 6, 77).unwrap();
+        assert_eq!(a, b);
+    }
+}

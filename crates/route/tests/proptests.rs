@@ -1,0 +1,111 @@
+//! Property-based tests for routing, channel-dependency analysis and VC
+//! allocation.
+
+use netsmith_route::cdg::ChannelDependencyGraph;
+use netsmith_route::paths::{all_shortest_paths, path_length};
+use netsmith_route::vc::verify_deadlock_free;
+use netsmith_route::{allocate_vcs, mclb_route, ndbt_route, MclbConfig};
+use netsmith_topo::expert;
+use netsmith_topo::{Layout, LinkClass, LinkSpan, Topology};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A random connected topology on a 3x4 layout with generous radix.
+fn random_topology(seed: u64, extra_links: usize) -> Topology {
+    let layout = Layout::interposer_grid(3, 4, 6);
+    let mut topo = Topology::empty(
+        format!("rand{seed}"),
+        layout.clone(),
+        LinkClass::Custom(LinkSpan::new(3, 3)),
+    );
+    for (a, b) in expert::hamiltonian_ring(&layout) {
+        topo.add_bidirectional(a, b);
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = layout.num_routers();
+    for _ in 0..extra_links {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b
+            && !topo.has_link(a, b)
+            && topo.free_out_ports(a) > 0
+            && topo.free_in_ports(b) > 0
+        {
+            topo.add_link(a, b);
+        }
+    }
+    topo
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mclb_paths_are_always_shortest_and_real(seed in 0u64..10_000, extra in 0usize..24) {
+        let topo = random_topology(seed, extra);
+        let paths = all_shortest_paths(&topo);
+        let table = mclb_route(&paths, &MclbConfig { seed, restarts: 1, ..Default::default() });
+        prop_assert!(table.is_complete());
+        prop_assert!(table.validate(&topo).is_ok());
+        for (flow, p) in table.flows() {
+            prop_assert_eq!(path_length(p) as u32, paths.distance(flow.src, flow.dst).unwrap());
+        }
+    }
+
+    #[test]
+    fn mclb_max_load_never_exceeds_worst_single_path_choice(seed in 0u64..10_000) {
+        let topo = random_topology(seed, 12);
+        let paths = all_shortest_paths(&topo);
+        let mclb = mclb_route(&paths, &MclbConfig { seed, ..Default::default() });
+        // Worst case: every flow picks its first enumerated path.
+        let mut naive = netsmith_route::RoutingTable::new(topo.num_routers(), "naive");
+        for (s, d) in paths.flows() {
+            naive.set_path(netsmith_route::Flow::new(s, d), paths.paths(s, d)[0].clone());
+        }
+        prop_assert!(
+            mclb.uniform_channel_loads().max_load <= naive.uniform_channel_loads().max_load + 1e-9
+        );
+    }
+
+    #[test]
+    fn vc_allocation_is_always_deadlock_free_when_it_fits(seed in 0u64..10_000) {
+        let topo = random_topology(seed, 16);
+        let paths = all_shortest_paths(&topo);
+        let table = mclb_route(&paths, &MclbConfig { seed, restarts: 1, ..Default::default() });
+        if let Some(alloc) = allocate_vcs(&table, 8, seed) {
+            prop_assert!(verify_deadlock_free(&table, &alloc));
+            prop_assert_eq!(alloc.assignment.len(), table.num_routed_flows());
+            prop_assert!(alloc.escape_layers <= alloc.num_vcs.max(8));
+            // Every per-VC CDG is acyclic by construction; the union need not be.
+            for vc in 0..alloc.num_vcs {
+                let members: Vec<&[usize]> = table
+                    .flows()
+                    .filter(|(f, _)| alloc.assignment[f] == vc)
+                    .map(|(_, p)| p)
+                    .collect();
+                prop_assert!(ChannelDependencyGraph::from_paths(members).is_acyclic());
+            }
+        }
+    }
+
+    #[test]
+    fn ndbt_tables_stay_on_shortest_paths(seed in 0u64..10_000) {
+        let layout = Layout::noi_4x5();
+        let topo = expert::folded_torus(&layout);
+        let paths = all_shortest_paths(&topo);
+        let (table, _) = ndbt_route(&layout, &paths, seed);
+        prop_assert!(table.is_complete());
+        for (flow, p) in table.flows() {
+            prop_assert_eq!(path_length(p) as u32, paths.distance(flow.src, flow.dst).unwrap());
+        }
+    }
+
+    #[test]
+    fn cdg_of_any_single_path_is_acyclic(path_len in 2usize..10) {
+        let path: Vec<usize> = (0..path_len).collect();
+        let cdg = ChannelDependencyGraph::from_paths([path.as_slice()]);
+        prop_assert!(cdg.is_acyclic());
+        prop_assert_eq!(cdg.num_channels(), path_len - 1);
+    }
+}

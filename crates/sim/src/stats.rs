@@ -1,0 +1,128 @@
+//! Latency and throughput statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregated latency statistics over measured packets.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    count: u64,
+    total: f64,
+    max: f64,
+    /// Latency histogram with 1-cycle bins up to 1024, used for percentile
+    /// estimates without storing every sample.
+    histogram: Vec<u64>,
+}
+
+impl LatencyStats {
+    /// Empty statistics.
+    pub fn new() -> Self {
+        LatencyStats {
+            histogram: vec![0; 1025],
+            ..Default::default()
+        }
+    }
+
+    /// Record one packet latency (in cycles).
+    pub fn record(&mut self, latency_cycles: f64) {
+        self.count += 1;
+        self.total += latency_cycles;
+        if latency_cycles > self.max {
+            self.max = latency_cycles;
+        }
+        let bin = (latency_cycles.round() as usize).min(self.histogram.len() - 1);
+        self.histogram[bin] += 1;
+    }
+
+    /// Number of recorded packets.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in cycles (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total / self.count as f64
+        }
+    }
+
+    /// Maximum observed latency in cycles.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Approximate percentile (e.g. 0.99) from the histogram.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (bin, &c) in self.histogram.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bin as f64;
+            }
+        }
+        self.max
+    }
+
+    /// Merge another set of statistics into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.count += other.count;
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+        if self.histogram.len() < other.histogram.len() {
+            self.histogram.resize(other.histogram.len(), 0);
+        }
+        for (bin, &c) in other.histogram.iter().enumerate() {
+            self.histogram[bin] += c;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_max_and_count() {
+        let mut s = LatencyStats::new();
+        for l in [10.0, 20.0, 30.0] {
+            s.record(l);
+        }
+        assert_eq!(s.count(), 3);
+        assert!((s.mean() - 20.0).abs() < 1e-9);
+        assert_eq!(s.max(), 30.0);
+    }
+
+    #[test]
+    fn percentile_is_monotone() {
+        let mut s = LatencyStats::new();
+        for i in 0..100 {
+            s.record(i as f64);
+        }
+        assert!(s.percentile(0.5) <= s.percentile(0.9));
+        assert!(s.percentile(0.9) <= s.percentile(1.0) + 1e-9);
+        assert!(s.percentile(0.99) >= 90.0);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_means() {
+        let mut a = LatencyStats::new();
+        a.record(10.0);
+        let mut b = LatencyStats::new();
+        b.record(30.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!((a.mean() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = LatencyStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.percentile(0.99), 0.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Injection-rate sweeps and saturation-throughput extraction.
+//!
+//! The paper's Figures 6, 10 and 11 plot average packet latency against the
+//! achieved throughput while sweeping the offered injection rate of
+//! synthetic traffic.  [`sweep_injection_rates`] reproduces exactly that
+//! curve for one topology + routing + VC allocation, and
+//! [`saturation_throughput`] extracts the saturation point (the highest
+//! load the network still delivers without the latency blowing up).
+
+use crate::config::SimConfig;
+use crate::network::{NetworkSim, SimReport};
+use netsmith_route::{RoutingTable, VcAllocation};
+use netsmith_topo::traffic::TrafficPattern;
+use netsmith_topo::Topology;
+use serde::{Deserialize, Serialize};
+
+/// One point of a latency/throughput curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Offered load (flits/node/cycle).
+    pub offered: f64,
+    /// Accepted throughput (flits/node/cycle).
+    pub accepted: f64,
+    /// Accepted throughput in packets/node/ns at the configured clock.
+    pub accepted_packets_per_ns: f64,
+    /// Average latency in cycles.
+    pub latency_cycles: f64,
+    /// Average latency in nanoseconds.
+    pub latency_ns: f64,
+    /// Whether the network was saturated at this point.
+    pub saturated: bool,
+}
+
+/// A full latency-vs-throughput curve for one network configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyCurve {
+    /// Label, e.g. "NS-LatOp-large / MCLB".
+    pub label: String,
+    pub points: Vec<SweepPoint>,
+    /// Zero-load latency estimate in cycles.
+    pub zero_load_latency_cycles: f64,
+}
+
+impl LatencyCurve {
+    /// Saturation throughput in flits/node/cycle: the largest accepted
+    /// throughput among non-saturated points (falling back to the largest
+    /// accepted value overall when every point saturated).
+    pub fn saturation_flits_per_node_cycle(&self) -> f64 {
+        let unsaturated = self
+            .points
+            .iter()
+            .filter(|p| !p.saturated)
+            .map(|p| p.accepted)
+            .fold(0.0f64, f64::max);
+        if unsaturated > 0.0 {
+            unsaturated
+        } else {
+            self.points.iter().map(|p| p.accepted).fold(0.0, f64::max)
+        }
+    }
+
+    /// Saturation throughput in packets/node/ns (the unit of Figure 6).
+    pub fn saturation_packets_per_ns(&self, config: &SimConfig) -> f64 {
+        config.flit_rate_to_packets_per_ns(self.saturation_flits_per_node_cycle())
+    }
+
+    /// Low-load average latency in nanoseconds (first point of the curve).
+    pub fn low_load_latency_ns(&self) -> f64 {
+        self.points.first().map(|p| p.latency_ns).unwrap_or(0.0)
+    }
+
+    /// CSV rows `offered,accepted,accepted_pkts_per_ns,latency_cycles,latency_ns,saturated`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("offered,accepted,accepted_pkts_per_ns,latency_cycles,latency_ns,saturated\n");
+        for p in &self.points {
+            out.push_str(&format!(
+                "{:.4},{:.4},{:.4},{:.2},{:.2},{}\n",
+                p.offered, p.accepted, p.accepted_packets_per_ns, p.latency_cycles, p.latency_ns, p.saturated
+            ));
+        }
+        out
+    }
+}
+
+/// Sweep the offered injection rate over `loads` (flits/node/cycle) and
+/// collect the latency curve.
+pub fn sweep_injection_rates(
+    label: impl Into<String>,
+    topo: &Topology,
+    table: &RoutingTable,
+    vcs: Option<&VcAllocation>,
+    pattern: TrafficPattern,
+    config: &SimConfig,
+    loads: &[f64],
+) -> LatencyCurve {
+    let sim = NetworkSim::new(topo, table, vcs, pattern, config.clone());
+    let zero = sim.zero_load_latency_cycles();
+    let mut points = Vec::with_capacity(loads.len());
+    for &load in loads {
+        let report: SimReport = sim.run(load);
+        points.push(SweepPoint {
+            offered: load,
+            accepted: report.accepted_flits_per_node_cycle,
+            accepted_packets_per_ns: config
+                .flit_rate_to_packets_per_ns(report.accepted_flits_per_node_cycle),
+            latency_cycles: report.avg_latency_cycles,
+            latency_ns: report.avg_latency_ns,
+            saturated: report.is_saturated(zero),
+        });
+    }
+    LatencyCurve {
+        label: label.into(),
+        points,
+        zero_load_latency_cycles: zero,
+    }
+}
+
+/// Default load grid used by the benchmark harness (flits/node/cycle).
+/// The grid extends past 1.0 so that topologies whose cut/occupancy bounds
+/// exceed the single-flit injection port can still be driven into
+/// saturation (the injection process can start at most one packet per node
+/// per cycle, i.e. up to ~5 flits/node/cycle of offered load).
+pub fn default_load_grid() -> Vec<f64> {
+    vec![
+        0.02, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 1.2,
+    ]
+}
+
+/// Convenience: saturation throughput (flits/node/cycle) via a bisection-
+/// style search between `lo` and `hi`, cheaper than a full sweep when only
+/// the saturation point matters.
+pub fn saturation_throughput(
+    topo: &Topology,
+    table: &RoutingTable,
+    vcs: Option<&VcAllocation>,
+    pattern: TrafficPattern,
+    config: &SimConfig,
+    lo: f64,
+    hi: f64,
+    iterations: usize,
+) -> f64 {
+    let sim = NetworkSim::new(topo, table, vcs, pattern, config.clone());
+    let zero = sim.zero_load_latency_cycles();
+    let mut lo = lo.max(0.0);
+    let mut hi = hi.max(lo + 1e-6);
+    let mut best_accepted = 0.0f64;
+    for _ in 0..iterations {
+        let mid = 0.5 * (lo + hi);
+        let report = sim.run(mid);
+        if report.is_saturated(zero) {
+            hi = mid;
+            best_accepted = best_accepted.max(report.accepted_flits_per_node_cycle);
+        } else {
+            lo = mid;
+            best_accepted = best_accepted.max(report.accepted_flits_per_node_cycle);
+        }
+    }
+    best_accepted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsmith_route::paths::all_shortest_paths;
+    use netsmith_route::{allocate_vcs, mclb_route, MclbConfig};
+    use netsmith_topo::expert;
+    use netsmith_topo::Layout;
+
+    fn curve_for(topo: &Topology, loads: &[f64]) -> (LatencyCurve, SimConfig) {
+        let ps = all_shortest_paths(topo);
+        let table = mclb_route(&ps, &MclbConfig::default());
+        let alloc = allocate_vcs(&table, 6, 9).unwrap();
+        let config = SimConfig::quick();
+        let curve = sweep_injection_rates(
+            topo.name(),
+            topo,
+            &table,
+            Some(&alloc),
+            TrafficPattern::UniformRandom,
+            &config,
+            loads,
+        );
+        (curve, config)
+    }
+
+    #[test]
+    fn latency_is_monotonically_non_decreasing_with_load_until_saturation() {
+        let mesh = expert::mesh(&Layout::noi_4x5());
+        let (curve, _) = curve_for(&mesh, &[0.05, 0.2, 0.5, 0.8]);
+        assert_eq!(curve.points.len(), 4);
+        // The last point must be slower than the first.
+        assert!(curve.points.last().unwrap().latency_cycles > curve.points[0].latency_cycles);
+        // Saturation flagged at the top of the sweep for a mesh.
+        assert!(curve.points.last().unwrap().saturated);
+    }
+
+    #[test]
+    fn saturation_throughput_is_positive_and_below_injection_cap() {
+        let torus = expert::folded_torus(&Layout::noi_4x5());
+        let (curve, config) = curve_for(&torus, &[0.05, 0.2, 0.4, 0.6, 0.8]);
+        let sat = curve.saturation_flits_per_node_cycle();
+        assert!(sat > 0.05, "saturation {sat}");
+        assert!(sat <= 1.0);
+        assert!(curve.saturation_packets_per_ns(&config) > 0.0);
+    }
+
+    #[test]
+    fn csv_export_has_one_row_per_point() {
+        let mesh = expert::mesh(&Layout::noi_4x5());
+        let (curve, _) = curve_for(&mesh, &[0.05, 0.3]);
+        let csv = curve.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("offered,"));
+    }
+
+    #[test]
+    fn bisection_saturation_matches_sweep_order() {
+        // Folded torus must saturate at a higher load than the LPBT-like
+        // sparse network.
+        let layout = Layout::noi_4x5();
+        let torus = expert::folded_torus(&layout);
+        let lpbt = expert::lpbt_power(&layout);
+        let config = SimConfig::quick();
+        let sat = |topo: &Topology| {
+            let ps = all_shortest_paths(topo);
+            let table = mclb_route(&ps, &MclbConfig::default());
+            let alloc = allocate_vcs(&table, 6, 9).unwrap();
+            saturation_throughput(
+                topo,
+                &table,
+                Some(&alloc),
+                TrafficPattern::UniformRandom,
+                &config,
+                0.05,
+                0.9,
+                5,
+            )
+        };
+        let torus_sat = sat(&torus);
+        let lpbt_sat = sat(&lpbt);
+        assert!(
+            torus_sat > lpbt_sat,
+            "torus {torus_sat} should beat LPBT-Power {lpbt_sat}"
+        );
+    }
+
+    #[test]
+    fn default_grid_is_sorted_and_in_range() {
+        let grid = default_load_grid();
+        assert!(grid.windows(2).all(|w| w[0] < w[1]));
+        assert!(grid.iter().all(|&l| l > 0.0 && l <= 2.0));
+    }
+}

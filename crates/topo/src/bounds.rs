@@ -1,0 +1,138 @@
+//! Analytical saturation-throughput bounds.
+//!
+//! The paper reasons about two topology-level throughput bottlenecks
+//! (Section II-D and Figure 7):
+//!
+//! * **Cut-based bound** — for any bipartition `(U, V)`, uniform traffic
+//!   must push `lambda * |U| * |V| / (n-1)` flits per cycle across the cut,
+//!   which cannot exceed the number of links crossing it.  The tightest such
+//!   bound over all cuts is given by the sparsest cut.
+//! * **Link-occupancy bound** — each injected flit occupies `avg_hops`
+//!   channels on average (with minimal routing), so aggregate channel
+//!   capacity limits the injection rate to `num_links / (n * avg_hops)`.
+//!
+//! Both are expressed in flits per node per cycle assuming unit-capacity
+//! channels; converting to packets/node/ns additionally requires the NoI
+//! clock frequency and the average packet length, which the simulator and
+//! benchmark harness apply.
+
+use crate::cuts;
+use crate::metrics;
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// Cut-based saturation throughput bound (flits/node/cycle).
+pub fn cut_throughput_bound(topo: &Topology) -> f64 {
+    let n = topo.num_routers();
+    if n < 2 {
+        return 0.0;
+    }
+    let cut = cuts::sparsest_cut(topo);
+    cut.normalized_bandwidth * (n - 1) as f64
+}
+
+/// Link-occupancy saturation throughput bound (flits/node/cycle) under
+/// minimal (shortest-path) routing.
+pub fn occupancy_throughput_bound(topo: &Topology) -> f64 {
+    let n = topo.num_routers();
+    let avg = metrics::average_hops(topo);
+    if !avg.is_finite() || avg <= 0.0 {
+        return 0.0;
+    }
+    topo.num_directed_links() as f64 / (n as f64 * avg)
+}
+
+/// Combined bound report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputBounds {
+    /// Sparsest-cut based bound (flits/node/cycle).
+    pub cut_bound: f64,
+    /// Link-occupancy based bound (flits/node/cycle).
+    pub occupancy_bound: f64,
+    /// Injection/ejection port bound (flits/node/cycle); 1.0 for the single
+    /// local port per router modelled here.
+    pub injection_bound: f64,
+}
+
+impl ThroughputBounds {
+    /// Compute all bounds for a topology.
+    pub fn compute(topo: &Topology) -> Self {
+        ThroughputBounds {
+            cut_bound: cut_throughput_bound(topo),
+            occupancy_bound: occupancy_throughput_bound(topo),
+            injection_bound: 1.0,
+        }
+    }
+
+    /// The binding (minimum) bound.
+    pub fn limiting(&self) -> f64 {
+        self.cut_bound.min(self.occupancy_bound).min(self.injection_bound)
+    }
+
+    /// Which bound is binding, as a human-readable label.
+    pub fn limiting_kind(&self) -> &'static str {
+        let l = self.limiting();
+        if l == self.cut_bound {
+            "cut"
+        } else if l == self.occupancy_bound {
+            "occupancy"
+        } else {
+            "injection"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expert;
+    use crate::layout::Layout;
+
+    #[test]
+    fn bounds_are_positive_for_mesh() {
+        let mesh = expert::mesh(&Layout::noi_4x5());
+        let b = ThroughputBounds::compute(&mesh);
+        assert!(b.cut_bound > 0.0);
+        assert!(b.occupancy_bound > 0.0);
+        assert!(b.limiting() <= b.cut_bound);
+        assert!(b.limiting() <= b.occupancy_bound);
+    }
+
+    #[test]
+    fn folded_torus_has_higher_cut_bound_than_mesh() {
+        let layout = Layout::noi_4x5();
+        let mesh = expert::mesh(&layout);
+        let torus = expert::folded_torus(&layout);
+        assert!(cut_throughput_bound(&torus) > cut_throughput_bound(&mesh));
+    }
+
+    #[test]
+    fn occupancy_bound_formula() {
+        let mesh = expert::mesh(&Layout::noi_4x5());
+        let avg = crate::metrics::average_hops(&mesh);
+        let expected = mesh.num_directed_links() as f64 / (20.0 * avg);
+        assert!((occupancy_throughput_bound(&mesh) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_topology_has_zero_bounds() {
+        use crate::linkclass::LinkClass;
+        use crate::topology::Topology;
+        let t = Topology::empty("empty", Layout::noi_4x5(), LinkClass::Small);
+        assert_eq!(occupancy_throughput_bound(&t), 0.0);
+        let b = ThroughputBounds::compute(&t);
+        assert_eq!(b.limiting(), 0.0);
+    }
+
+    #[test]
+    fn limiting_kind_is_consistent() {
+        let mesh = expert::mesh(&Layout::noi_4x5());
+        let b = ThroughputBounds::compute(&mesh);
+        match b.limiting_kind() {
+            "cut" => assert_eq!(b.limiting(), b.cut_bound),
+            "occupancy" => assert_eq!(b.limiting(), b.occupancy_bound),
+            "injection" => assert_eq!(b.limiting(), b.injection_bound),
+            other => panic!("unexpected kind {other}"),
+        }
+    }
+}

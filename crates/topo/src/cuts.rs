@@ -1,0 +1,399 @@
+//! Cut-based bandwidth metrics: bisection bandwidth and the sparsest cut.
+//!
+//! Bisection bandwidth (the traditional metric reported by the expert
+//! topology papers and in Table II) is the minimum number of links crossing
+//! any *balanced* bipartition of the routers.  The sparsest cut is the more
+//! general — and tighter — cut-based throughput bottleneck used by NetSmith
+//! as its bandwidth objective (constraint C6 of Table I): over every
+//! bipartition `(U, V)` of the routers, the crossing capacity is normalized
+//! by `|U| * |V|`, which is proportional to the uniform-traffic demand that
+//! must cross the cut.  For asymmetric topologies the minimum of the two
+//! directions is taken, because the weaker direction is the true bottleneck.
+//!
+//! For the paper's 20-router configurations the sparsest cut is computed
+//! exhaustively (2^19 bipartitions); for larger networks (30/48 routers) an
+//! exhaustive sweep is infeasible, so a seeded multi-start local-search
+//! (Kernighan–Lin style single-node moves) is used instead, which matches
+//! how we use the metric (as an optimization objective and reporting
+//! statistic, not a proof of optimality).
+
+use crate::topology::Topology;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Largest router count for which cuts are enumerated exhaustively.
+pub const EXHAUSTIVE_LIMIT: usize = 24;
+
+/// Report describing the minimizing cut found.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CutReport {
+    /// Routers in partition `U` (the complement forms `V`).
+    pub partition: Vec<usize>,
+    /// Directed links crossing from `U` to `V`.
+    pub crossing_forward: usize,
+    /// Directed links crossing from `V` to `U`.
+    pub crossing_backward: usize,
+    /// `min(forward, backward) / (|U| * |V|)` — the normalized sparsest-cut
+    /// bandwidth `B(U, V)` from the paper's constraint C6.
+    pub normalized_bandwidth: f64,
+    /// Whether the minimizing partition happens to be a bisection.
+    pub is_bisection: bool,
+    /// Whether the value is exact (exhaustive enumeration) or heuristic.
+    pub exact: bool,
+}
+
+impl CutReport {
+    /// Bottleneck crossing capacity (the weaker direction).
+    pub fn crossing_min(&self) -> usize {
+        self.crossing_forward.min(self.crossing_backward)
+    }
+}
+
+/// Count directed links crossing a bipartition given membership flags
+/// (`true` = in `U`).  Returns `(U -> V, V -> U)`.
+pub fn crossing_links(topo: &Topology, in_u: &[bool]) -> (usize, usize) {
+    let mut fwd = 0;
+    let mut bwd = 0;
+    for (i, j) in topo.links() {
+        match (in_u[i], in_u[j]) {
+            (true, false) => fwd += 1,
+            (false, true) => bwd += 1,
+            _ => {}
+        }
+    }
+    (fwd, bwd)
+}
+
+fn report_for(topo: &Topology, in_u: &[bool], exact: bool) -> CutReport {
+    let n = topo.num_routers();
+    let (fwd, bwd) = crossing_links(topo, in_u);
+    let size_u = in_u.iter().filter(|&&b| b).count();
+    let size_v = n - size_u;
+    let norm = if size_u == 0 || size_v == 0 {
+        f64::INFINITY
+    } else {
+        fwd.min(bwd) as f64 / (size_u * size_v) as f64
+    };
+    CutReport {
+        partition: (0..n).filter(|&i| in_u[i]).collect(),
+        crossing_forward: fwd,
+        crossing_backward: bwd,
+        normalized_bandwidth: norm,
+        is_bisection: size_u == size_v || size_u.abs_diff(size_v) == 1,
+        exact,
+    }
+}
+
+/// Exhaustive sparsest cut over all bipartitions (requires `n <=
+/// EXHAUSTIVE_LIMIT`).  The partition containing router 0 is fixed to `U`
+/// to avoid enumerating mirror-image cuts twice.
+pub fn sparsest_cut_exhaustive(topo: &Topology) -> CutReport {
+    let n = topo.num_routers();
+    assert!(n <= EXHAUSTIVE_LIMIT, "exhaustive sparsest cut limited to {EXHAUSTIVE_LIMIT} routers");
+    assert!(n >= 2);
+    // Collect links once for the inner loop.
+    let links: Vec<(usize, usize)> = topo.links().collect();
+    let mut best: Option<(f64, Vec<bool>)> = None;
+    // Router 0 always in U; enumerate membership of routers 1..n.
+    let combos: u64 = 1u64 << (n - 1);
+    for mask in 0..combos {
+        let mut in_u = vec![false; n];
+        in_u[0] = true;
+        let mut size_u = 1usize;
+        for b in 0..(n - 1) {
+            if (mask >> b) & 1 == 1 {
+                in_u[b + 1] = true;
+                size_u += 1;
+            }
+        }
+        if size_u == n {
+            continue; // V must be non-empty
+        }
+        let size_v = n - size_u;
+        let mut fwd = 0usize;
+        let mut bwd = 0usize;
+        for &(i, j) in &links {
+            match (in_u[i], in_u[j]) {
+                (true, false) => fwd += 1,
+                (false, true) => bwd += 1,
+                _ => {}
+            }
+        }
+        let norm = fwd.min(bwd) as f64 / (size_u * size_v) as f64;
+        if best.as_ref().map_or(true, |(b, _)| norm < *b) {
+            best = Some((norm, in_u));
+        }
+    }
+    let (_, in_u) = best.expect("at least one cut exists");
+    report_for(topo, &in_u, true)
+}
+
+/// Heuristic sparsest cut: multi-start single-node-move local search.
+pub fn sparsest_cut_heuristic(topo: &Topology, starts: usize, seed: u64) -> CutReport {
+    let n = topo.num_routers();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut best: Option<CutReport> = None;
+    for _ in 0..starts.max(1) {
+        let mut in_u = vec![false; n];
+        // Random initial partition, non-trivial.
+        loop {
+            let mut size_u = 0;
+            for flag in in_u.iter_mut() {
+                *flag = rng.gen_bool(0.5);
+                size_u += *flag as usize;
+            }
+            if size_u > 0 && size_u < n {
+                break;
+            }
+        }
+        // Greedy single-node moves until no improvement.
+        let mut current = report_for(topo, &in_u, false);
+        loop {
+            let mut improved = false;
+            for v in 0..n {
+                let size_u = in_u.iter().filter(|&&b| b).count();
+                // Keep both sides non-empty.
+                if (in_u[v] && size_u == 1) || (!in_u[v] && size_u == n - 1) {
+                    continue;
+                }
+                in_u[v] = !in_u[v];
+                let candidate = report_for(topo, &in_u, false);
+                if candidate.normalized_bandwidth < current.normalized_bandwidth - 1e-12 {
+                    current = candidate;
+                    improved = true;
+                } else {
+                    in_u[v] = !in_u[v];
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        if best
+            .as_ref()
+            .map_or(true, |b| current.normalized_bandwidth < b.normalized_bandwidth)
+        {
+            best = Some(current);
+        }
+    }
+    best.expect("at least one start")
+}
+
+/// Sparsest cut with automatic method selection: exhaustive when the router
+/// count permits, heuristic otherwise.
+pub fn sparsest_cut(topo: &Topology) -> CutReport {
+    if topo.num_routers() <= EXHAUSTIVE_LIMIT {
+        sparsest_cut_exhaustive(topo)
+    } else {
+        sparsest_cut_heuristic(topo, 32, 0x5EED_CA7)
+    }
+}
+
+/// Bisection bandwidth: minimum crossing capacity (weaker direction) over
+/// balanced bipartitions.  Exhaustive for small networks; for larger ones a
+/// heuristic restricted to balanced partitions is used.  The value reported
+/// matches how the expert-topology papers count it: number of (full-duplex)
+/// links crossing the bisection, i.e. the directed crossing count of the
+/// weaker direction.
+pub fn bisection_bandwidth(topo: &Topology) -> f64 {
+    let n = topo.num_routers();
+    if n <= EXHAUSTIVE_LIMIT {
+        bisection_exhaustive(topo)
+    } else {
+        bisection_heuristic(topo, 64, 0xB15EC)
+    }
+}
+
+fn bisection_exhaustive(topo: &Topology) -> f64 {
+    let n = topo.num_routers();
+    let half = n / 2;
+    let links: Vec<(usize, usize)> = topo.links().collect();
+    let mut best = f64::INFINITY;
+    let combos: u64 = 1u64 << (n - 1);
+    for mask in 0..combos {
+        let size_u = 1 + (mask as u64).count_ones() as usize;
+        if size_u != half {
+            continue;
+        }
+        let mut in_u = vec![false; n];
+        in_u[0] = true;
+        for b in 0..(n - 1) {
+            if (mask >> b) & 1 == 1 {
+                in_u[b + 1] = true;
+            }
+        }
+        let mut fwd = 0usize;
+        let mut bwd = 0usize;
+        for &(i, j) in &links {
+            match (in_u[i], in_u[j]) {
+                (true, false) => fwd += 1,
+                (false, true) => bwd += 1,
+                _ => {}
+            }
+        }
+        best = best.min(fwd.min(bwd) as f64);
+    }
+    best
+}
+
+fn bisection_heuristic(topo: &Topology, starts: usize, seed: u64) -> f64 {
+    let n = topo.num_routers();
+    let half = n / 2;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut best = f64::INFINITY;
+    for _ in 0..starts {
+        // Random balanced partition.
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let mut in_u = vec![false; n];
+        for &r in order.iter().take(half) {
+            in_u[r] = true;
+        }
+        // Pairwise swap local search maintaining balance.  After an accepted
+        // swap the current `a` is no longer in U, so the inner scan must be
+        // restarted (otherwise further swaps would unbalance the partition).
+        let mut current = {
+            let (f, b) = crossing_links(topo, &in_u);
+            f.min(b) as f64
+        };
+        loop {
+            let mut improved = false;
+            'outer: for a in 0..n {
+                if !in_u[a] {
+                    continue;
+                }
+                for b in 0..n {
+                    if in_u[b] {
+                        continue;
+                    }
+                    in_u[a] = false;
+                    in_u[b] = true;
+                    let (f, w) = crossing_links(topo, &in_u);
+                    let cand = f.min(w) as f64;
+                    if cand < current {
+                        current = cand;
+                        improved = true;
+                        break 'outer;
+                    } else {
+                        in_u[a] = true;
+                        in_u[b] = false;
+                    }
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        best = best.min(current);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expert;
+    use crate::layout::Layout;
+    use crate::linkclass::{LinkClass, LinkSpan};
+
+    #[test]
+    fn ring_sparsest_cut() {
+        // Bidirectional ring over 6 routers: any contiguous cut crosses 2
+        // links each way; the sparsest cut balances the partition.
+        let layout = Layout::interposer_grid(2, 3, 4);
+        let links = [(0, 1), (1, 2), (2, 5), (5, 4), (4, 3), (3, 0)];
+        let t = Topology::from_bidirectional_links(
+            "ring6",
+            layout,
+            LinkClass::Custom(LinkSpan::new(8, 8)),
+            &links,
+        );
+        let cut = sparsest_cut_exhaustive(&t);
+        assert!(cut.exact);
+        assert_eq!(cut.crossing_min(), 2);
+        // Minimum normalized value is 2 / (3*3).
+        assert!((cut.normalized_bandwidth - 2.0 / 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mesh_bisection_matches_row_cut() {
+        // 4x5 mesh: the balanced 10/10 cut with the fewest crossing links is
+        // the horizontal cut between rows 1 and 2, severing 5 column links.
+        // (Column cuts sever only 4 links but are 8/12, not balanced.)
+        let mesh = expert::mesh(&Layout::noi_4x5());
+        let bb = bisection_bandwidth(&mesh);
+        assert_eq!(bb, 5.0);
+    }
+
+    #[test]
+    fn heuristic_close_to_exhaustive_on_small_networks() {
+        let mesh = expert::mesh(&Layout::noi_4x5());
+        let exact = sparsest_cut_exhaustive(&mesh);
+        let heur = sparsest_cut_heuristic(&mesh, 16, 42);
+        assert!(heur.normalized_bandwidth >= exact.normalized_bandwidth - 1e-12);
+        assert!(heur.normalized_bandwidth <= exact.normalized_bandwidth * 1.5 + 1e-9);
+    }
+
+    #[test]
+    fn asymmetric_direction_minimum_is_used() {
+        // Two routers connected one way only: the reverse direction has zero
+        // capacity, so the sparsest cut must be zero.
+        let layout = Layout::interposer_grid(2, 2, 4);
+        let mut t = Topology::empty("one-way", layout, LinkClass::Large);
+        t.add_link(0, 1);
+        t.add_link(1, 0);
+        t.add_link(1, 3);
+        t.add_link(3, 1);
+        t.add_link(3, 2);
+        t.add_link(2, 3);
+        t.add_link(2, 0);
+        // Missing 0 -> 2 reverse: cut {0,1} vs {2,3} has fwd 1 (1->3? no..)
+        let cut = sparsest_cut_exhaustive(&t);
+        assert!(cut.normalized_bandwidth <= 0.25 + 1e-12);
+    }
+
+    #[test]
+    fn crossing_links_counts_directions_separately() {
+        let layout = Layout::interposer_grid(2, 2, 4);
+        let mut t = Topology::empty("x", layout, LinkClass::Large);
+        t.add_link(0, 3);
+        t.add_link(3, 0);
+        t.add_link(1, 2);
+        let in_u = vec![true, true, false, false];
+        let (f, b) = crossing_links(&t, &in_u);
+        assert_eq!(f, 2);
+        assert_eq!(b, 1);
+    }
+
+    #[test]
+    fn heuristic_bisection_stays_balanced_on_larger_layouts() {
+        // 6x5 mesh: the minimum balanced (15/15) cut severs the 5 column
+        // links between two rows; the heuristic reports a real cut, so it
+        // can never be below that optimum and must stay close to it.
+        let mesh = expert::mesh(&Layout::noi_6x5());
+        let bb = bisection_heuristic(&mesh, 64, 0xB15EC);
+        assert!(bb >= 5.0, "heuristic produced an impossible cut {bb}");
+        assert!(bb <= 7.0, "heuristic far from the optimum: {bb}");
+    }
+
+    #[test]
+    fn folded_torus_beats_mesh_on_bisection() {
+        let layout = Layout::noi_4x5();
+        let mesh = expert::mesh(&layout);
+        let torus = expert::folded_torus(&layout);
+        assert!(bisection_bandwidth(&torus) > bisection_bandwidth(&mesh));
+    }
+
+    #[test]
+    fn cut_report_partition_is_consistent() {
+        let mesh = expert::mesh(&Layout::noi_4x5());
+        let cut = sparsest_cut(&mesh);
+        assert!(!cut.partition.is_empty());
+        assert!(cut.partition.len() < 20);
+        assert!(cut.partition.contains(&0));
+    }
+}

@@ -1,0 +1,342 @@
+//! Analytical topology metrics: hop distances, average hops, diameter.
+//!
+//! At low loads the end-to-end latency of a packet is (average hops) x
+//! (per-hop delay), so the paper uses the average hop count under uniform
+//! all-to-all traffic as its latency proxy (objective O1 / constraint C5 in
+//! Table I).  These helpers compute exact all-pairs shortest hop distances
+//! by breadth-first search from every source, which for the network sizes
+//! of interest (20–48 routers) is far cheaper than a general Floyd–Warshall
+//! and is used both by the metric reports and by the optimizer's
+//! incremental evaluation.
+
+use crate::cuts;
+use crate::topology::Topology;
+use crate::traffic::DemandMatrix;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Distance value used to mark unreachable pairs.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// All-pairs hop distance matrix (row-major `n x n`), computed by BFS from
+/// each source over the directed adjacency.  `dist[s*n + d]` is the minimum
+/// number of links a packet from `s` to `d` must traverse, `0` on the
+/// diagonal and [`UNREACHABLE`] when no path exists.
+pub fn all_pairs_hops(topo: &Topology) -> Vec<u32> {
+    let n = topo.num_routers();
+    let mut dist = vec![UNREACHABLE; n * n];
+    // Pre-collect adjacency lists once; BFS from each source.
+    let adj: Vec<Vec<usize>> = (0..n).map(|i| topo.neighbours_out(i)).collect();
+    let mut queue = VecDeque::with_capacity(n);
+    for s in 0..n {
+        let row = &mut dist[s * n..(s + 1) * n];
+        row[s] = 0;
+        queue.clear();
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            let du = row[u];
+            for &v in &adj[u] {
+                if row[v] == UNREACHABLE {
+                    row[v] = du + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    dist
+}
+
+/// Number of ordered `(s, d)` pairs (s != d) with no directed path.
+pub fn unreachable_pairs(topo: &Topology) -> usize {
+    let n = topo.num_routers();
+    let dist = all_pairs_hops(topo);
+    let mut count = 0;
+    for s in 0..n {
+        for d in 0..n {
+            if s != d && dist[s * n + d] == UNREACHABLE {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// True when every router can reach every other router.
+pub fn is_strongly_connected(topo: &Topology) -> bool {
+    unreachable_pairs(topo) == 0
+}
+
+/// Average hop count over all ordered source/destination pairs (excluding
+/// self pairs), i.e. the unweighted latency proxy from the paper's Table II.
+/// Returns `f64::INFINITY` when the topology is not strongly connected.
+pub fn average_hops(topo: &Topology) -> f64 {
+    let n = topo.num_routers();
+    let dist = all_pairs_hops(topo);
+    let mut total = 0u64;
+    for s in 0..n {
+        for d in 0..n {
+            if s == d {
+                continue;
+            }
+            let h = dist[s * n + d];
+            if h == UNREACHABLE {
+                return f64::INFINITY;
+            }
+            total += h as u64;
+        }
+    }
+    total as f64 / (n * (n - 1)) as f64
+}
+
+/// Demand-weighted average hop count: `sum(demand[s][d] * hops(s,d)) /
+/// sum(demand)`.  Used for pattern-optimized topologies (e.g. the paper's
+/// shuffle-optimized "NS ShufOpt" networks).
+pub fn weighted_average_hops(topo: &Topology, demand: &DemandMatrix) -> f64 {
+    let n = topo.num_routers();
+    assert_eq!(demand.num_nodes(), n, "demand matrix size mismatch");
+    let dist = all_pairs_hops(topo);
+    let mut total = 0.0;
+    let mut weight = 0.0;
+    for s in 0..n {
+        for d in 0..n {
+            if s == d {
+                continue;
+            }
+            let w = demand.demand(s, d);
+            if w <= 0.0 {
+                continue;
+            }
+            let h = dist[s * n + d];
+            if h == UNREACHABLE {
+                return f64::INFINITY;
+            }
+            total += w * h as f64;
+            weight += w;
+        }
+    }
+    if weight == 0.0 {
+        0.0
+    } else {
+        total / weight
+    }
+}
+
+/// Total hop count: the raw objective `O1 = sum_{s,d} D(s,d)` of Table I.
+pub fn total_hops(topo: &Topology) -> Option<u64> {
+    let n = topo.num_routers();
+    let dist = all_pairs_hops(topo);
+    let mut total = 0u64;
+    for s in 0..n {
+        for d in 0..n {
+            if s == d {
+                continue;
+            }
+            let h = dist[s * n + d];
+            if h == UNREACHABLE {
+                return None;
+            }
+            total += h as u64;
+        }
+    }
+    Some(total)
+}
+
+/// Network diameter: the maximum shortest-path hop distance over all pairs,
+/// or `None` when the topology is not strongly connected.
+pub fn diameter(topo: &Topology) -> Option<u32> {
+    let n = topo.num_routers();
+    let dist = all_pairs_hops(topo);
+    let mut max = 0;
+    for s in 0..n {
+        for d in 0..n {
+            if s == d {
+                continue;
+            }
+            let h = dist[s * n + d];
+            if h == UNREACHABLE {
+                return None;
+            }
+            max = max.max(h);
+        }
+    }
+    Some(max)
+}
+
+/// Full distribution of shortest-path hop counts across ordered pairs.
+/// Index `h` holds the number of pairs at exactly `h` hops.  Used to verify
+/// the paper's observation that NetSmith shifts the whole latency
+/// distribution downward rather than trading some pairs off against others.
+pub fn hop_histogram(topo: &Topology) -> Vec<usize> {
+    let n = topo.num_routers();
+    let dist = all_pairs_hops(topo);
+    let mut hist = Vec::new();
+    for s in 0..n {
+        for d in 0..n {
+            if s == d {
+                continue;
+            }
+            let h = dist[s * n + d];
+            if h == UNREACHABLE {
+                continue;
+            }
+            let h = h as usize;
+            if hist.len() <= h {
+                hist.resize(h + 1, 0);
+            }
+            hist[h] += 1;
+        }
+    }
+    hist
+}
+
+/// Aggregated metric report for one topology, matching the columns of the
+/// paper's Table II plus the cut/occupancy throughput bounds of Figure 7.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopologyMetrics {
+    pub name: String,
+    pub class: String,
+    pub num_routers: usize,
+    pub num_links: usize,
+    pub diameter: Option<u32>,
+    pub average_hops: f64,
+    pub bisection_bandwidth: f64,
+    pub sparsest_cut: f64,
+    /// Saturation throughput bound from the sparsest cut (flits/node/cycle).
+    pub cut_bound: f64,
+    /// Saturation throughput bound from link occupancy (flits/node/cycle).
+    pub occupancy_bound: f64,
+}
+
+impl TopologyMetrics {
+    /// Compute the full metric report for a topology.
+    pub fn compute(topo: &Topology) -> Self {
+        let bounds = crate::bounds::ThroughputBounds::compute(topo);
+        TopologyMetrics {
+            name: topo.name().to_string(),
+            class: topo.class().name(),
+            num_routers: topo.num_routers(),
+            num_links: topo.num_links(),
+            diameter: diameter(topo),
+            average_hops: average_hops(topo),
+            bisection_bandwidth: cuts::bisection_bandwidth(topo),
+            sparsest_cut: cuts::sparsest_cut(topo).normalized_bandwidth,
+            cut_bound: bounds.cut_bound,
+            occupancy_bound: bounds.occupancy_bound,
+        }
+    }
+
+    /// One-line CSV row (matching the header from [`TopologyMetrics::csv_header`]).
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{:.3},{:.1},{:.4},{:.4},{:.4}",
+            self.name,
+            self.class,
+            self.num_routers,
+            self.num_links,
+            self.diameter.map(|d| d.to_string()).unwrap_or_else(|| "inf".into()),
+            self.average_hops,
+            self.bisection_bandwidth,
+            self.sparsest_cut,
+            self.cut_bound,
+            self.occupancy_bound
+        )
+    }
+
+    /// CSV header for [`TopologyMetrics::csv_row`].
+    pub fn csv_header() -> &'static str {
+        "name,class,routers,links,diameter,avg_hops,bisection_bw,sparsest_cut,cut_bound,occupancy_bound"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expert;
+    use crate::layout::Layout;
+    use crate::linkclass::LinkClass;
+
+    fn ring(n: usize) -> Topology {
+        // Build a directed cycle over the first `n` routers of a 4x5 layout;
+        // the Custom class bypasses length validation for metric tests.
+        let layout = Layout::interposer_grid(4, 5, 4);
+        let mut t = Topology::empty(
+            format!("ring{n}"),
+            layout,
+            LinkClass::Custom(crate::linkclass::LinkSpan::new(8, 8)),
+        );
+        for i in 0..n {
+            t.add_link(i, (i + 1) % n);
+        }
+        t
+    }
+
+    #[test]
+    fn directed_ring_distances() {
+        let t = ring(5);
+        let n = t.num_routers();
+        let dist = all_pairs_hops(&t);
+        // Within the ring of the first five routers, distance 0->4 is 4.
+        assert_eq!(dist[4], 4);
+        assert_eq!(dist[1], 1);
+        // Routers outside the ring are unreachable.
+        assert_eq!(dist[5], UNREACHABLE);
+        assert_eq!(unreachable_pairs(&t) > 0, true);
+        assert_eq!(n, 20);
+    }
+
+    #[test]
+    fn mesh_average_hops_and_diameter() {
+        let mesh = expert::mesh(&Layout::noi_4x5());
+        let d = diameter(&mesh).unwrap();
+        // 4x5 mesh diameter = (4-1)+(5-1) = 7
+        assert_eq!(d, 7);
+        let avg = average_hops(&mesh);
+        assert!(avg > 2.5 && avg < 3.5, "mesh avg hops {avg}");
+    }
+
+    #[test]
+    fn hop_histogram_sums_to_pairs() {
+        let mesh = expert::mesh(&Layout::noi_4x5());
+        let hist = hop_histogram(&mesh);
+        let total: usize = hist.iter().sum();
+        assert_eq!(total, 20 * 19);
+        // No pairs at distance 0 (diagonal excluded).
+        assert_eq!(hist[0], 0);
+    }
+
+    #[test]
+    fn total_hops_matches_average() {
+        let mesh = expert::mesh(&Layout::noi_4x5());
+        let total = total_hops(&mesh).unwrap();
+        let avg = average_hops(&mesh);
+        assert!((total as f64 / (20.0 * 19.0) - avg).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disconnected_topology_reports_infinite_metrics() {
+        let t = Topology::empty("empty", Layout::noi_4x5(), LinkClass::Small);
+        assert_eq!(average_hops(&t), f64::INFINITY);
+        assert_eq!(diameter(&t), None);
+        assert_eq!(total_hops(&t), None);
+        assert!(!is_strongly_connected(&t));
+    }
+
+    #[test]
+    fn metrics_report_is_consistent() {
+        let mesh = expert::mesh(&Layout::noi_4x5());
+        let m = TopologyMetrics::compute(&mesh);
+        assert_eq!(m.num_routers, 20);
+        assert_eq!(m.diameter, Some(7));
+        assert!(m.csv_row().starts_with("Mesh"));
+        assert!(TopologyMetrics::csv_header().contains("avg_hops"));
+    }
+
+    #[test]
+    fn weighted_hops_uniform_matches_plain_average() {
+        let mesh = expert::mesh(&Layout::noi_4x5());
+        let demand = DemandMatrix::uniform(20);
+        let w = weighted_average_hops(&mesh, &demand);
+        let a = average_hops(&mesh);
+        assert!((w - a).abs() < 1e-9);
+    }
+}

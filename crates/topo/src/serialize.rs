@@ -1,0 +1,223 @@
+//! Plain-text serialization of topologies.
+//!
+//! Discovered topologies are expensive to regenerate (minutes of search),
+//! so the harness and examples need a way to persist them without pulling a
+//! serialization format crate into the dependency set.  The format is a
+//! small, self-describing text file:
+//!
+//! ```text
+//! netsmith-topology v1
+//! name NS-LatOp-medium
+//! class medium
+//! layout 4 5 4 4.0
+//! kind 0 cores_mem 2 2
+//! ...
+//! link 0 1
+//! link 1 0
+//! ...
+//! ```
+//!
+//! Every router's kind is listed explicitly so a file round-trips even for
+//! non-standard layouts.
+
+use crate::layout::{Layout, NodeKind};
+use crate::linkclass::{LinkClass, LinkSpan};
+use crate::topology::Topology;
+use std::fmt::Write as _;
+
+/// Serialize a topology to the text format.
+pub fn to_text(topo: &Topology) -> String {
+    let layout = topo.layout();
+    let mut out = String::new();
+    let _ = writeln!(out, "netsmith-topology v1");
+    let _ = writeln!(out, "name {}", topo.name());
+    let class = match topo.class() {
+        LinkClass::Small => "small".to_string(),
+        LinkClass::Medium => "medium".to_string(),
+        LinkClass::Large => "large".to_string(),
+        LinkClass::Custom(s) => format!("custom {} {}", s.dx, s.dy),
+    };
+    let _ = writeln!(out, "class {class}");
+    let _ = writeln!(
+        out,
+        "layout {} {} {} {}",
+        layout.rows(),
+        layout.cols(),
+        layout.radix(),
+        layout.pitch_mm()
+    );
+    for (r, kind) in layout.kinds() {
+        match kind {
+            NodeKind::Cores { count } => {
+                let _ = writeln!(out, "kind {r} cores {count}");
+            }
+            NodeKind::CoresAndMemory {
+                cores,
+                memory_controllers,
+            } => {
+                let _ = writeln!(out, "kind {r} cores_mem {cores} {memory_controllers}");
+            }
+        }
+    }
+    for (a, b) in topo.links() {
+        let _ = writeln!(out, "link {a} {b}");
+    }
+    out
+}
+
+/// Parse a topology from the text format.
+pub fn from_text(text: &str) -> Result<Topology, String> {
+    let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty());
+    let header = lines.next().ok_or("empty input")?;
+    if header != "netsmith-topology v1" {
+        return Err(format!("unsupported header: {header}"));
+    }
+    let mut name = String::from("unnamed");
+    let mut class: Option<LinkClass> = None;
+    let mut rows = 0usize;
+    let mut cols = 0usize;
+    let mut radix = 0usize;
+    let mut pitch = 4.0f64;
+    let mut kinds: Vec<(usize, NodeKind)> = Vec::new();
+    let mut links: Vec<(usize, usize)> = Vec::new();
+
+    for line in lines {
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("name") => {
+                name = parts.collect::<Vec<_>>().join(" ");
+            }
+            Some("class") => {
+                class = Some(match parts.next().ok_or("class missing value")? {
+                    "small" => LinkClass::Small,
+                    "medium" => LinkClass::Medium,
+                    "large" => LinkClass::Large,
+                    "custom" => {
+                        let dx: usize = parse(parts.next(), "custom dx")?;
+                        let dy: usize = parse(parts.next(), "custom dy")?;
+                        LinkClass::Custom(LinkSpan::new(dx, dy))
+                    }
+                    other => return Err(format!("unknown class {other}")),
+                });
+            }
+            Some("layout") => {
+                rows = parse(parts.next(), "layout rows")?;
+                cols = parse(parts.next(), "layout cols")?;
+                radix = parse(parts.next(), "layout radix")?;
+                pitch = parse(parts.next(), "layout pitch")?;
+            }
+            Some("kind") => {
+                let r: usize = parse(parts.next(), "kind router")?;
+                let kind = match parts.next() {
+                    Some("cores") => NodeKind::Cores {
+                        count: parse(parts.next(), "core count")?,
+                    },
+                    Some("cores_mem") => NodeKind::CoresAndMemory {
+                        cores: parse(parts.next(), "core count")?,
+                        memory_controllers: parse(parts.next(), "mc count")?,
+                    },
+                    other => return Err(format!("unknown kind {other:?}")),
+                };
+                kinds.push((r, kind));
+            }
+            Some("link") => {
+                let a: usize = parse(parts.next(), "link src")?;
+                let b: usize = parse(parts.next(), "link dst")?;
+                links.push((a, b));
+            }
+            Some(other) => return Err(format!("unknown directive {other}")),
+            None => {}
+        }
+    }
+
+    if rows == 0 || cols == 0 {
+        return Err("missing layout directive".into());
+    }
+    if kinds.len() != rows * cols {
+        return Err(format!(
+            "expected {} kind entries, found {}",
+            rows * cols,
+            kinds.len()
+        ));
+    }
+    kinds.sort_by_key(|(r, _)| *r);
+    let layout = Layout::new(
+        rows,
+        cols,
+        kinds.into_iter().map(|(_, k)| k).collect(),
+        radix,
+    )
+    .with_pitch_mm(pitch);
+    let class = class.ok_or("missing class directive")?;
+    let n = layout.num_routers();
+    for &(a, b) in &links {
+        if a >= n || b >= n {
+            return Err(format!("link {a}->{b} out of range for {n} routers"));
+        }
+    }
+    Ok(Topology::from_directed_links(name, layout, class, &links))
+}
+
+fn parse<T: std::str::FromStr>(value: Option<&str>, what: &str) -> Result<T, String> {
+    value
+        .ok_or_else(|| format!("{what} missing"))?
+        .parse()
+        .map_err(|_| format!("{what} unparsable"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expert;
+    use crate::metrics;
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let original = expert::kite_large(&Layout::noi_4x5());
+        let text = to_text(&original);
+        let parsed = from_text(&text).unwrap();
+        assert_eq!(parsed.name(), original.name());
+        assert_eq!(parsed.class(), original.class());
+        assert_eq!(parsed.num_directed_links(), original.num_directed_links());
+        assert_eq!(
+            metrics::average_hops(&parsed),
+            metrics::average_hops(&original)
+        );
+        for (a, b) in original.links() {
+            assert!(parsed.has_link(a, b));
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_custom_class_and_asymmetry() {
+        let layout = Layout::interposer_grid(2, 3, 3);
+        let mut t = Topology::empty(
+            "asym",
+            layout,
+            LinkClass::Custom(LinkSpan::new(2, 1)),
+        );
+        t.add_link(0, 1);
+        t.add_link(1, 2);
+        t.add_link(2, 0);
+        let parsed = from_text(&to_text(&t)).unwrap();
+        assert!(!parsed.is_symmetric());
+        assert_eq!(parsed.class(), t.class());
+        assert_eq!(parsed.num_directed_links(), 3);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_text("").is_err());
+        assert!(from_text("garbage header").is_err());
+        assert!(from_text("netsmith-topology v1\nclass small").is_err());
+        let bad_link = "netsmith-topology v1\nname x\nclass small\nlayout 2 2 4 4.0\n\
+            kind 0 cores 4\nkind 1 cores 4\nkind 2 cores 4\nkind 3 cores 4\nlink 0 9";
+        assert!(from_text(bad_link).is_err());
+    }
+
+    #[test]
+    fn kind_counts_are_validated() {
+        let missing_kind = "netsmith-topology v1\nname x\nclass small\nlayout 2 2 4 4.0\nkind 0 cores 4";
+        assert!(from_text(missing_kind).is_err());
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the topology substrate.
+
+use netsmith_topo::cuts::{crossing_links, sparsest_cut_exhaustive, sparsest_cut_heuristic};
+use netsmith_topo::expert;
+use netsmith_topo::layout::Layout;
+use netsmith_topo::linkclass::{LinkClass, LinkSpan};
+use netsmith_topo::metrics::{all_pairs_hops, average_hops, diameter, UNREACHABLE};
+use netsmith_topo::topology::Topology;
+use netsmith_topo::traffic::{DemandMatrix, TrafficPattern};
+use proptest::prelude::*;
+
+/// Strategy: a random topology on a small layout (3x3, radix 4, custom
+/// class so arbitrary links are allowed), built from a random subset of
+/// candidate directed links plus a Hamiltonian ring so it stays connected.
+fn random_connected_topology() -> impl Strategy<Value = Topology> {
+    let layout = Layout::interposer_grid(3, 3, 8);
+    let n = layout.num_routers();
+    let candidates: Vec<(usize, usize)> = (0..n)
+        .flat_map(|i| (0..n).filter(move |&j| j != i).map(move |j| (i, j)))
+        .collect();
+    let len = candidates.len();
+    (proptest::collection::vec(any::<bool>(), len)).prop_map(move |mask| {
+        let mut t = Topology::empty(
+            "random",
+            layout.clone(),
+            LinkClass::Custom(LinkSpan::new(8, 8)),
+        );
+        for (a, b) in expert::hamiltonian_ring(&layout) {
+            t.add_bidirectional(a, b);
+        }
+        for (keep, &(i, j)) in mask.iter().zip(candidates.iter()) {
+            if *keep {
+                t.add_link(i, j);
+            }
+        }
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_inequality(topo in random_connected_topology()) {
+        let n = topo.num_routers();
+        let dist = all_pairs_hops(&topo);
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    let dij = dist[i * n + j];
+                    let dik = dist[i * n + k];
+                    let dkj = dist[k * n + j];
+                    if dik != UNREACHABLE && dkj != UNREACHABLE {
+                        prop_assert!(dij as u64 <= dik as u64 + dkj as u64);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adding_a_link_never_increases_average_hops(topo in random_connected_topology()) {
+        let before = average_hops(&topo);
+        let mut augmented = topo.clone();
+        // add the first missing link
+        let n = augmented.num_routers();
+        'outer: for i in 0..n {
+            for j in 0..n {
+                if i != j && !augmented.has_link(i, j) {
+                    augmented.add_link(i, j);
+                    break 'outer;
+                }
+            }
+        }
+        let after = average_hops(&augmented);
+        prop_assert!(after <= before + 1e-9);
+    }
+
+    #[test]
+    fn diameter_bounds_average_hops(topo in random_connected_topology()) {
+        let avg = average_hops(&topo);
+        let diam = diameter(&topo);
+        if let Some(d) = diam {
+            prop_assert!(avg <= d as f64 + 1e-9);
+            prop_assert!(avg >= 1.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn heuristic_cut_never_beats_exhaustive(topo in random_connected_topology()) {
+        let exact = sparsest_cut_exhaustive(&topo);
+        let heur = sparsest_cut_heuristic(&topo, 8, 99);
+        prop_assert!(heur.normalized_bandwidth >= exact.normalized_bandwidth - 1e-12);
+    }
+
+    #[test]
+    fn crossing_links_sum_matches_total_cross_pairs(topo in random_connected_topology()) {
+        let n = topo.num_routers();
+        // Partition: first half vs rest.
+        let in_u: Vec<bool> = (0..n).map(|i| i < n / 2).collect();
+        let (f, b) = crossing_links(&topo, &in_u);
+        let manual = topo
+            .links()
+            .filter(|&(i, j)| in_u[i] != in_u[j])
+            .count();
+        prop_assert_eq!(f + b, manual);
+    }
+
+    #[test]
+    fn demand_matrices_are_normalized(pattern_idx in 0usize..4) {
+        let layout = Layout::noi_4x5();
+        let pattern = match pattern_idx {
+            0 => TrafficPattern::UniformRandom,
+            1 => TrafficPattern::Shuffle,
+            2 => TrafficPattern::Memory,
+            _ => TrafficPattern::Transpose,
+        };
+        let m = pattern.demand_matrix(&layout);
+        prop_assert!((m.total() - 1.0).abs() < 1e-9);
+        for s in 0..20 {
+            prop_assert_eq!(m.demand(s, s), 0.0);
+        }
+    }
+
+    #[test]
+    fn uniform_demand_weighted_hops_equals_plain_average(topo in random_connected_topology()) {
+        let n = topo.num_routers();
+        let plain = average_hops(&topo);
+        let weighted = netsmith_topo::metrics::weighted_average_hops(&topo, &DemandMatrix::uniform(n));
+        if plain.is_finite() {
+            prop_assert!((plain - weighted).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn validation_accepts_expert_baselines_after_random_link_removal_restore(seed in 0u64..500) {
+        // Removing and re-adding the same link leaves the topology valid.
+        let layout = Layout::noi_4x5();
+        let mut t = expert::folded_torus(&layout);
+        let links: Vec<(usize, usize)> = t.links().collect();
+        let pick = links[(seed as usize) % links.len()];
+        t.remove_link(pick.0, pick.1);
+        t.add_link(pick.0, pick.1);
+        prop_assert!(t.is_valid());
+    }
+}

@@ -1,0 +1,58 @@
+//! Discover NetSmith topologies for every link-length class and both
+//! objectives (LatOp and SCOp), reproducing the per-class "NS-*" rows of
+//! the paper's Table II for the 20-router interposer.
+//!
+//! Usage:
+//!   cargo run --release --example discover_topology [small|medium|large] [latop|scop]
+//!
+//! Without arguments, all classes and both objectives are generated.
+//! `NETSMITH_EVALS` controls the per-worker search budget.
+
+use netsmith::prelude::*;
+use netsmith_topo::metrics::TopologyMetrics;
+
+fn classes_from(arg: Option<&str>) -> Vec<LinkClass> {
+    match arg {
+        Some("small") => vec![LinkClass::Small],
+        Some("medium") => vec![LinkClass::Medium],
+        Some("large") => vec![LinkClass::Large],
+        _ => vec![LinkClass::Small, LinkClass::Medium, LinkClass::Large],
+    }
+}
+
+fn objectives_from(arg: Option<&str>) -> Vec<Objective> {
+    match arg {
+        Some("latop") => vec![Objective::LatOp],
+        Some("scop") => vec![Objective::SCOp],
+        _ => vec![Objective::LatOp, Objective::SCOp],
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let evals: u64 = std::env::var("NETSMITH_EVALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30_000);
+    let layout = Layout::noi_4x5();
+
+    println!("{}", TopologyMetrics::csv_header());
+    for class in classes_from(args.first().map(|s| s.as_str())) {
+        for objective in objectives_from(args.get(1).map(|s| s.as_str())) {
+            let result = NetSmith::new(layout.clone(), class)
+                .objective(objective.clone())
+                .evaluations(evals)
+                .workers(4)
+                .seed(7 + class.clock_ghz() as u64)
+                .discover();
+            let metrics = TopologyMetrics::compute(&result.topology);
+            println!("{}", metrics.csv_row());
+            eprintln!(
+                "# {}: gap {:.1}% after {} evaluations",
+                result.topology.name(),
+                result.gap * 100.0,
+                result.evaluations
+            );
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Full-system PARSEC-style evaluation (the experiment behind the paper's
+//! Figure 8): execution-time speedup and packet-latency reduction relative
+//! to the mesh baseline for every benchmark profile, across a small set of
+//! topologies.
+//!
+//! Run with `cargo run --release --example parsec_speedup`.
+
+use netsmith::prelude::*;
+
+fn main() {
+    let evals: u64 = std::env::var("NETSMITH_EVALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25_000);
+    let layout = Layout::noi_4x5();
+    let config = FullSystemConfig::default();
+
+    // Mesh baseline plus one expert and one NetSmith topology per class
+    // would take a while; the example uses the medium class as in the
+    // paper's headline Kite comparison.
+    let mesh = EvaluatedNetwork::prepare(&expert::mesh(&layout), RoutingScheme::Ndbt, 6, 5).unwrap();
+    let kite =
+        EvaluatedNetwork::prepare(&expert::kite_medium(&layout), RoutingScheme::Ndbt, 6, 5).unwrap();
+    let ns = NetSmith::new(layout.clone(), LinkClass::Medium)
+        .objective(Objective::LatOp)
+        .evaluations(evals)
+        .workers(4)
+        .seed(5)
+        .discover();
+    let ns = EvaluatedNetwork::prepare(&ns.topology, RoutingScheme::Mclb, 6, 5).unwrap();
+
+    println!("benchmark,topology,speedup_vs_mesh,packet_latency_reduction_vs_mesh");
+    for profile in parsec_suite() {
+        let base = evaluate_topology(&profile, &mesh.topology, &mesh.routing, Some(&mesh.vcs), &config);
+        for network in [&kite, &ns] {
+            let r = evaluate_topology(
+                &profile,
+                &network.topology,
+                &network.routing,
+                Some(&network.vcs),
+                &config,
+            );
+            println!(
+                "{},{},{:.4},{:.4}",
+                profile.name,
+                network.topology.name(),
+                r.speedup_over(&base),
+                r.latency_reduction_over(&base)
+            );
+        }
+    }
+}

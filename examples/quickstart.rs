@@ -1,0 +1,54 @@
+//! Quickstart: discover a latency-optimized NoI topology for the paper's
+//! 20-router (4x5) interposer, compare it against the expert-designed
+//! baselines of the same link-length class, and print a Table II-style
+//! metric report.
+//!
+//! Run with `cargo run --release --example quickstart`.
+//! Set `NETSMITH_EVALS` (default 40000) to trade time for quality.
+
+use netsmith::prelude::*;
+use netsmith_topo::metrics::TopologyMetrics;
+
+fn main() {
+    let evals: u64 = std::env::var("NETSMITH_EVALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40_000);
+    let layout = Layout::noi_4x5();
+    let class = LinkClass::Medium;
+
+    println!("NetSmith quickstart: {} / {} link class", layout, class);
+    println!("searching with {evals} evaluations per worker...\n");
+
+    let result = NetSmith::new(layout.clone(), class)
+        .objective(Objective::LatOp)
+        .evaluations(evals)
+        .workers(4)
+        .seed(2024)
+        .discover();
+
+    println!(
+        "discovered {} with average hops {:.3} (objective-bounds gap {:.1}%)",
+        result.topology.name(),
+        result.objective.average_hops,
+        result.gap * 100.0
+    );
+    println!();
+
+    // Compare against the expert-designed baselines of the same class.
+    println!("{}", TopologyMetrics::csv_header());
+    for baseline in expert::baselines_for_class(&layout, class) {
+        println!("{}", TopologyMetrics::compute(&baseline).csv_row());
+    }
+    println!("{}", TopologyMetrics::compute(&result.topology).csv_row());
+
+    // Route the discovered topology and estimate its saturation throughput.
+    let network = EvaluatedNetwork::prepare(&result.topology, RoutingScheme::Mclb, 6, 1)
+        .expect("discovered topology must be routable");
+    println!(
+        "\nMCLB max channel load: {:.2} flows on the hottest link; {} escape VCs required",
+        network.routing.uniform_channel_loads().max_load * 380.0,
+        network.vcs.escape_layers
+    );
+    println!("\ndiscovered topology (DOT):\n{}", netsmith_topo::viz::to_dot(&result.topology, None));
+}

@@ -1,0 +1,53 @@
+//! Pattern-optimized topology discovery (the experiment behind the paper's
+//! Figure 10): generate a topology optimized for the gem5 "shuffle"
+//! permutation and show that it outperforms both the expert networks and
+//! the uniform-random-optimized NetSmith topology under that pattern.
+//!
+//! Run with `cargo run --release --example shuffle_custom`.
+
+use netsmith::gen::Objective;
+use netsmith::prelude::*;
+
+fn main() {
+    let evals: u64 = std::env::var("NETSMITH_EVALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25_000);
+    let layout = Layout::noi_4x5();
+    let class = LinkClass::Medium;
+    let shuffle = TrafficPattern::Shuffle.demand_matrix(&layout);
+
+    // Uniform-optimized and shuffle-optimized NetSmith topologies.
+    let ns_uniform = NetSmith::new(layout.clone(), class)
+        .objective(Objective::LatOp)
+        .evaluations(evals)
+        .workers(2)
+        .seed(21)
+        .discover();
+    let ns_shuffle = NetSmith::new(layout.clone(), class)
+        .objective(Objective::PatternLatOp(shuffle.clone()))
+        .evaluations(evals)
+        .workers(2)
+        .seed(22)
+        .discover();
+
+    let mut rows = Vec::new();
+    for (name, topo, scheme) in [
+        ("Kite-Medium", expert::kite_medium(&layout), RoutingScheme::Ndbt),
+        ("FoldedTorus", expert::folded_torus(&layout), RoutingScheme::Ndbt),
+        ("NS-LatOp", ns_uniform.topology.clone(), RoutingScheme::Mclb),
+        ("NS-ShufOpt", ns_shuffle.topology.clone(), RoutingScheme::Mclb),
+    ] {
+        let network = EvaluatedNetwork::prepare(&topo, scheme, 6, 33).expect("routable");
+        let config = network.sim_config();
+        let curve = network.sweep(TrafficPattern::Shuffle, &config, &[0.05, 0.15, 0.3, 0.5, 0.7]);
+        let weighted_hops =
+            netsmith_topo::metrics::weighted_average_hops(&topo, &shuffle);
+        rows.push((name, weighted_hops, curve.saturation_packets_per_ns(&config)));
+    }
+
+    println!("topology,shuffle_weighted_hops,shuffle_saturation_pkts_per_ns");
+    for (name, hops, sat) in rows {
+        println!("{name},{hops:.3},{sat:.3}");
+    }
+}

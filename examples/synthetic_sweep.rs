@@ -1,0 +1,63 @@
+//! Synthetic uniform-random traffic sweep (the experiment behind the
+//! paper's Figure 6): latency vs accepted throughput for a set of 20-router
+//! topologies, each routed with its paper-assigned scheme (NDBT for the
+//! expert designs, MCLB for NetSmith) and clocked per its link class.
+//!
+//! Run with `cargo run --release --example synthetic_sweep`.
+
+use netsmith::prelude::*;
+
+fn main() {
+    let evals: u64 = std::env::var("NETSMITH_EVALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25_000);
+    let layout = Layout::noi_4x5();
+    let loads = [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7];
+
+    // Expert baselines use the NDBT heuristic, NetSmith uses MCLB —
+    // exactly the assignment used in the paper's evaluation.
+    let mut networks: Vec<EvaluatedNetwork> = Vec::new();
+    for baseline in [
+        expert::kite_small(&layout),
+        expert::folded_torus(&layout),
+        expert::kite_large(&layout),
+        expert::butter_donut(&layout),
+    ] {
+        if let Some(n) = EvaluatedNetwork::prepare(&baseline, RoutingScheme::Ndbt, 6, 11) {
+            networks.push(n);
+        }
+    }
+    let ns = NetSmith::new(layout.clone(), LinkClass::Large)
+        .objective(Objective::LatOp)
+        .evaluations(evals)
+        .workers(4)
+        .seed(3)
+        .discover();
+    networks.push(
+        EvaluatedNetwork::prepare(&ns.topology, RoutingScheme::Mclb, 6, 11)
+            .expect("NetSmith topology routable"),
+    );
+
+    println!("topology,routing,offered,accepted_pkts_per_ns,latency_ns,saturated");
+    for network in &networks {
+        let config = network.sim_config();
+        let curve = network.sweep(TrafficPattern::UniformRandom, &config, &loads);
+        for p in &curve.points {
+            println!(
+                "{},{},{:.3},{:.4},{:.2},{}",
+                network.topology.name(),
+                network.scheme.label(),
+                p.offered,
+                p.accepted_packets_per_ns,
+                p.latency_ns,
+                p.saturated
+            );
+        }
+        eprintln!(
+            "# {} saturates at {:.3} packets/node/ns",
+            network.label(),
+            curve.saturation_packets_per_ns(&config)
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Property-based tests spanning crates: any valid topology the generator
+//! can produce must be routable, deadlock-free-allocatable and simulable.
+
+use netsmith::gen::anneal::anneal;
+use netsmith::gen::{AnnealConfig, GenerationProblem, Objective};
+use netsmith::prelude::*;
+use netsmith_route::paths::all_shortest_paths;
+use netsmith_route::vc::verify_deadlock_free;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Whatever seed the annealer starts from, the resulting topology must
+    /// route, allocate within 6 VCs and keep every shortest-path promise.
+    #[test]
+    fn any_discovered_topology_is_routable_and_deadlock_free(seed in 0u64..1000) {
+        let problem = GenerationProblem::new(
+            Layout::noi_4x5(),
+            LinkClass::Medium,
+            Objective::LatOp,
+        );
+        let config = AnnealConfig {
+            seed,
+            max_evaluations: 800,
+            ..AnnealConfig::quick()
+        };
+        let result = anneal(&problem, &config, 0.0);
+        prop_assert!(result.topology.is_valid());
+
+        let paths = all_shortest_paths(&result.topology);
+        let network = EvaluatedNetwork::prepare(&result.topology, RoutingScheme::Mclb, 6, seed);
+        prop_assert!(network.is_some(), "must be routable in 6 VCs");
+        let network = network.unwrap();
+        prop_assert!(verify_deadlock_free(&network.routing, &network.vcs));
+        // Every routed path is a shortest path.
+        for (flow, path) in network.routing.flows() {
+            let expected = paths.distance(flow.src, flow.dst).unwrap();
+            prop_assert_eq!((path.len() - 1) as u32, expected);
+        }
+    }
+
+    /// The analytical cut bound always upper-bounds what the simulator
+    /// actually delivers per cycle.
+    #[test]
+    fn simulated_throughput_never_exceeds_cut_bound(seed in 0u64..500) {
+        let layout = Layout::noi_4x5();
+        let topo = expert::kite_medium(&layout);
+        let bounds = netsmith_topo::bounds::ThroughputBounds::compute(&topo);
+        let network = EvaluatedNetwork::prepare(&topo, RoutingScheme::Mclb, 6, seed).unwrap();
+        let mut config = SimConfig::quick();
+        config.seed = seed;
+        let curve = network.sweep(TrafficPattern::UniformRandom, &config, &[0.8]);
+        let accepted = curve.points[0].accepted;
+        prop_assert!(accepted <= bounds.limiting() + 0.05,
+            "accepted {} exceeds analytical bound {}", accepted, bounds.limiting());
+    }
+}
