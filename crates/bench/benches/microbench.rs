@@ -66,7 +66,9 @@ fn bench_metrics(c: &mut Criterion) {
     let kite = expert::kite_large(&layout);
     let mut group = c.benchmark_group("metrics");
     group.sample_size(30);
-    group.bench_function("average_hops_20r", |b| b.iter(|| metrics::average_hops(&kite)));
+    group.bench_function("average_hops_20r", |b| {
+        b.iter(|| metrics::average_hops(&kite))
+    });
     group.bench_function("sparsest_cut_exhaustive_20r", |b| {
         b.iter(|| cuts::sparsest_cut_exhaustive(&kite))
     });

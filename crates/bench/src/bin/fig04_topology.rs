@@ -13,8 +13,14 @@ fn main() {
     let ns = discover(&layout, LinkClass::Medium, Objective::LatOp);
     let cut = cuts::sparsest_cut(&ns.topology);
     println!("{}", viz::to_dot(&ns.topology, Some(&cut)));
-    eprintln!("# adjacency listing:\n{}", viz::adjacency_listing(&ns.topology));
-    eprintln!("# link span histogram: {:?}", ns.topology.link_span_histogram());
+    eprintln!(
+        "# adjacency listing:\n{}",
+        viz::adjacency_listing(&ns.topology)
+    );
+    eprintln!(
+        "# link span histogram: {:?}",
+        ns.topology.link_span_histogram()
+    );
     eprintln!(
         "# sparsest cut: {} fwd / {} bwd crossing links over partition {:?} (bisection: {})",
         cut.crossing_forward, cut.crossing_backward, cut.partition, cut.is_bisection

@@ -33,6 +33,10 @@ fn main() {
             );
         }
     }
-    eprintln!("# MCLB should raise every topology's measured saturation towards its analytical bound;");
-    eprintln!("# NetSmith topologies should remain ahead even when the expert designs also use MCLB.");
+    eprintln!(
+        "# MCLB should raise every topology's measured saturation towards its analytical bound;"
+    );
+    eprintln!(
+        "# NetSmith topologies should remain ahead even when the expert designs also use MCLB."
+    );
 }

@@ -56,8 +56,20 @@ fn main() {
         let mut product = 1.0f64;
         let mut count = 0;
         for profile in parsec_suite() {
-            let base = evaluate_topology(&profile, &mesh.topology, &mesh.routing, Some(&mesh.vcs), &config);
-            let r = evaluate_topology(&profile, &network.topology, &network.routing, Some(&network.vcs), &config);
+            let base = evaluate_topology(
+                &profile,
+                &mesh.topology,
+                &mesh.routing,
+                Some(&mesh.vcs),
+                &config,
+            );
+            let r = evaluate_topology(
+                &profile,
+                &network.topology,
+                &network.routing,
+                Some(&network.vcs),
+                &config,
+            );
             product *= r.speedup_over(&base);
             count += 1;
         }

@@ -4,7 +4,9 @@
 
 use netsmith::gen::Objective;
 use netsmith::prelude::*;
-use netsmith_bench::{class_lineup, discover, evals_budget, load_grid, prepare, workers, HARNESS_SEED};
+use netsmith_bench::{
+    class_lineup, discover, evals_budget, load_grid, prepare, workers, HARNESS_SEED,
+};
 
 fn main() {
     let layout = Layout::noi_4x5();

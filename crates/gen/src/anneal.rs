@@ -39,9 +39,11 @@ pub struct AnnealConfig {
     pub max_evaluations: u64,
     /// Wall-clock budget.
     pub time_budget: Duration,
-    /// Starting temperature (in units of the objective score).
+    /// Starting temperature, in units of the typical `|Δscore|` of a
+    /// single move (sampled at startup, so one schedule works for both the
+    /// hop-scale LatOp objective and the cut-scale SCOp objective).
     pub initial_temperature: f64,
-    /// Final temperature.
+    /// Final temperature, in the same relative units.
     pub final_temperature: f64,
     /// For cut-based objectives: refresh the cut pool every this many
     /// accepted moves.
@@ -54,8 +56,8 @@ impl Default for AnnealConfig {
             seed: 0x5EED_0001,
             max_evaluations: 60_000,
             time_budget: Duration::from_secs(30),
-            initial_temperature: 40.0,
-            final_temperature: 0.05,
+            initial_temperature: 2.0,
+            final_temperature: 1e-3,
             cut_pool_refresh: 200,
         }
     }
@@ -118,11 +120,69 @@ pub fn anneal(problem: &GenerationProblem, config: &AnnealConfig, bound: f64) ->
     let mut best_score = current_score;
     progress.record(start.elapsed(), best_score, bound, 0);
 
+    // Budget split: every candidate evaluation — calibration, annealing and
+    // polish — counts against `max_evaluations`, so the configured budget is
+    // an exact cap on objective evaluations.
+    let calibration_budget = (config.max_evaluations / 8).min(64);
+    let polish_budget = (config.max_evaluations / 4)
+        .clamp(64, 8_192)
+        .min(config.max_evaluations - calibration_budget);
+    let sa_end = config.max_evaluations - polish_budget;
     let mut evaluations = 0u64;
+
+    // Calibrate the temperature scale to this objective: sample the score
+    // deltas of a handful of moves from the initial solution and use their
+    // median magnitude as the unit.  LatOp deltas are fractions of a hop
+    // while SCOp deltas are cut-scaled by 1e7, so a fixed absolute schedule
+    // cannot serve both.
+    let delta_scale = {
+        let mut deltas: Vec<f64> = Vec::with_capacity(32);
+        for _ in 0..calibration_budget {
+            if start.elapsed() >= config.time_budget {
+                break;
+            }
+            evaluations += 1;
+            let mut candidate = current.clone();
+            if !propose_move(problem, &mut candidate, &valid_links, &mut rng) {
+                continue;
+            }
+            let d = (score_of(&candidate, &cut_pool) - current_score).abs();
+            if d > 1e-12 {
+                deltas.push(d);
+            }
+            if deltas.len() >= 32 {
+                break;
+            }
+        }
+        if deltas.is_empty() {
+            1.0
+        } else {
+            deltas.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            deltas[deltas.len() / 2]
+        }
+    };
+
     let mut accepted = 0u64;
-    while evaluations < config.max_evaluations && start.elapsed() < config.time_budget {
+    // Stall-triggered reheating: when no new incumbent lands for a window,
+    // restart the cooling schedule from the best topology over the
+    // remaining horizon.  Cheap basin-hopping that stays inside the budget.
+    let stall_window = (sa_end / 4).max(256);
+    let mut last_improvement = evaluations;
+    let mut schedule_anchor = evaluations;
+    while evaluations < sa_end && start.elapsed() < config.time_budget {
         evaluations += 1;
-        let temperature = temperature_at(config, evaluations);
+        if evaluations - last_improvement > stall_window {
+            current = best.clone();
+            current_score = score_of(&current, &cut_pool);
+            schedule_anchor = evaluations;
+            last_improvement = evaluations;
+        }
+        let temperature = delta_scale
+            * temperature_at(
+                config,
+                evaluations - schedule_anchor,
+                (sa_end - schedule_anchor).max(1),
+            );
         let mut candidate = current.clone();
         if !propose_move(problem, &mut candidate, &valid_links, &mut rng) {
             continue;
@@ -134,12 +194,45 @@ pub fn anneal(problem: &GenerationProblem, config: &AnnealConfig, bound: f64) ->
             current = candidate;
             current_score = candidate_score;
             accepted += 1;
-            if problem.objective.needs_cut() && accepted % config.cut_pool_refresh.max(1) == 0 {
+            if problem.objective.needs_cut()
+                && accepted.is_multiple_of(config.cut_pool_refresh.max(1))
+            {
                 refresh_cut_pool(&current, &mut cut_pool, &mut rng);
                 // Pool change can alter the score scale; re-evaluate.
                 current_score = score_of(&current, &cut_pool);
                 best_score = score_of(&best, &cut_pool);
             }
+            if current_score < best_score && current.is_valid() {
+                best = current.clone();
+                best_score = current_score;
+                last_improvement = evaluations;
+                progress.record(start.elapsed(), best_score, bound, evaluations);
+            }
+        }
+    }
+
+    // Zero-temperature polish: the SA tail leaves the incumbent a few moves
+    // short of its local optimum, which makes low-budget runs noisy.  A
+    // greedy descent that also drifts along equal-score plateaus (common
+    // for hop-count objectives) converges every run onto a local optimum
+    // without disturbing per-seed determinism; `best` only moves on strict
+    // improvement, so the plateau walk can never lose ground.
+    let sideways_eps = delta_scale * 1e-9;
+    current = best.clone();
+    current_score = best_score;
+    while evaluations < config.max_evaluations {
+        if start.elapsed() >= config.time_budget {
+            break;
+        }
+        evaluations += 1;
+        let mut candidate = current.clone();
+        if !propose_move(problem, &mut candidate, &valid_links, &mut rng) {
+            continue;
+        }
+        let candidate_score = score_of(&candidate, &cut_pool);
+        if candidate_score <= current_score + sideways_eps {
+            current = candidate;
+            current_score = candidate_score;
             if current_score < best_score && current.is_valid() {
                 best = current.clone();
                 best_score = current_score;
@@ -153,8 +246,7 @@ pub fn anneal(problem: &GenerationProblem, config: &AnnealConfig, bound: f64) ->
     let objective = problem.objective.evaluate(&best);
     progress.record(start.elapsed(), objective.score, bound, evaluations);
     AnnealResult {
-        topology: best
-            .with_name(problem.topology_name()),
+        topology: best.with_name(problem.topology_name()),
         objective,
         progress,
         evaluations,
@@ -162,19 +254,15 @@ pub fn anneal(problem: &GenerationProblem, config: &AnnealConfig, bound: f64) ->
 }
 
 /// Geometric temperature schedule.
-fn temperature_at(config: &AnnealConfig, evaluation: u64) -> f64 {
-    let frac = evaluation as f64 / config.max_evaluations.max(1) as f64;
+fn temperature_at(config: &AnnealConfig, evaluation: u64, horizon: u64) -> f64 {
+    let frac = evaluation as f64 / horizon.max(1) as f64;
     let t0 = config.initial_temperature.max(1e-9);
     let tf = config.final_temperature.max(1e-12);
     t0 * (tf / t0).powf(frac)
 }
 
 /// Penalty for violating the optional diameter / minimum-cut constraints.
-fn constraint_penalty(
-    problem: &GenerationProblem,
-    topo: &Topology,
-    value: &ObjectiveValue,
-) -> f64 {
+fn constraint_penalty(problem: &GenerationProblem, topo: &Topology, value: &ObjectiveValue) -> f64 {
     let mut penalty = 0.0;
     if let Some(max_diam) = problem.max_diameter {
         if let Some(d) = metrics::diameter(topo) {
@@ -424,7 +512,11 @@ mod tests {
     fn annealer_returns_valid_connected_topologies() {
         let problem = quick_problem(LinkClass::Medium, Objective::LatOp);
         let result = anneal(&problem, &AnnealConfig::quick(), 0.0);
-        assert!(result.topology.is_valid(), "{:?}", result.topology.validate());
+        assert!(
+            result.topology.is_valid(),
+            "{:?}",
+            result.topology.validate()
+        );
         assert!(result.objective.connected);
         assert!(result.evaluations > 0);
         assert_eq!(result.topology.name(), "NS-LatOp-medium");
@@ -457,8 +549,7 @@ mod tests {
 
     #[test]
     fn symmetric_mode_produces_symmetric_topologies() {
-        let problem =
-            quick_problem(LinkClass::Small, Objective::LatOp).with_symmetric_links(true);
+        let problem = quick_problem(LinkClass::Small, Objective::LatOp).with_symmetric_links(true);
         let result = anneal(&problem, &AnnealConfig::quick(), 0.0);
         assert!(result.topology.is_symmetric());
         assert!(result.topology.is_valid());
@@ -499,8 +590,8 @@ mod tests {
         let result = anneal(&problem, &cfg, 0.0);
         assert!(result.topology.is_valid());
         // The mesh's sparsest cut is a floor any sensible SCOp run beats.
-        let mesh_cut =
-            netsmith_topo::cuts::sparsest_cut(&expert::mesh(&Layout::noi_4x5())).normalized_bandwidth;
+        let mesh_cut = netsmith_topo::cuts::sparsest_cut(&expert::mesh(&Layout::noi_4x5()))
+            .normalized_bandwidth;
         assert!(
             result.objective.sparsest_cut >= mesh_cut,
             "NS cut {} below mesh {mesh_cut}",

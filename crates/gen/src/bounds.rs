@@ -59,9 +59,7 @@ pub fn latop_lower_bound(problem: &GenerationProblem) -> f64 {
         let mut level_capacity: Vec<u64> = Vec::new();
         let mut level = 1u32;
         let mut remaining = dests.len() as u64;
-        let cap_at = |lvl: u32| -> u64 {
-            (radix as u64).saturating_pow(lvl)
-        };
+        let cap_at = |lvl: u32| -> u64 { (radix as u64).saturating_pow(lvl) };
         let mut level_used: Vec<u64> = vec![0];
         while remaining > 0 {
             level_capacity.push(cap_at(level));
@@ -198,7 +196,11 @@ mod tests {
         let bound = scop_upper_bound(&p);
         for topo in expert::all_baselines(&layout) {
             let cut = netsmith_topo::cuts::sparsest_cut(&topo).normalized_bandwidth;
-            assert!(cut <= bound + 1e-9, "{} cut {cut} above bound {bound}", topo.name());
+            assert!(
+                cut <= bound + 1e-9,
+                "{} cut {cut} above bound {bound}",
+                topo.name()
+            );
         }
     }
 

@@ -150,12 +150,12 @@ impl NetSmith {
                 c.seed = self.config.seed.wrapping_add(w as u64 * 0x9E37_79B9);
                 configs.push(c);
             }
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let handles: Vec<_> = configs
                     .iter()
                     .map(|c| {
                         let problem = &self.problem;
-                        scope.spawn(move |_| anneal(problem, c, bound))
+                        scope.spawn(move || anneal(problem, c, bound))
                     })
                     .collect();
                 handles
@@ -163,7 +163,6 @@ impl NetSmith {
                     .map(|h| h.join().expect("worker panicked"))
                     .collect()
             })
-            .expect("scope panicked")
         };
 
         let mut progress = SolverProgress::new();
@@ -219,8 +218,12 @@ mod tests {
 
     #[test]
     fn parallel_workers_never_do_worse_than_a_single_worker() {
-        let single = quick(LinkClass::Medium, Objective::LatOp).workers(1).discover();
-        let multi = quick(LinkClass::Medium, Objective::LatOp).workers(3).discover();
+        let single = quick(LinkClass::Medium, Objective::LatOp)
+            .workers(1)
+            .discover();
+        let multi = quick(LinkClass::Medium, Objective::LatOp)
+            .workers(3)
+            .discover();
         assert!(multi.objective.score <= single.objective.score + 1e-9);
     }
 
@@ -246,7 +249,11 @@ mod tests {
         let result = quick(LinkClass::Large, Objective::LatOp).discover();
         // The combinatorial bound can never exceed the incumbent score.
         assert!(result.bound <= result.objective.score + 1e-6);
-        assert!(result.progress.samples().iter().all(|s| s.bound <= s.incumbent + 1e-6));
+        assert!(result
+            .progress
+            .samples()
+            .iter()
+            .all(|s| s.bound <= s.incumbent + 1e-6));
     }
 
     #[test]

@@ -127,13 +127,7 @@ pub fn build_latop_model(problem: &GenerationProblem) -> LatOpModel {
             if i == j {
                 continue;
             }
-            let v = model.add_var(
-                VarType::Integer,
-                1.0,
-                dist_upper,
-                1.0,
-                format!("D_{i}_{j}"),
-            );
+            let v = model.add_var(VarType::Integer, 1.0, dist_upper, 1.0, format!("D_{i}_{j}"));
             dist_vars.insert((i, j), v);
         }
     }
@@ -400,11 +394,8 @@ mod tests {
         // into the LatOp model.
         let layout = Layout::noi_4x5();
         for topo in [expert::mesh(&layout), expert::kite_small(&layout)] {
-            let problem = GenerationProblem::new(
-                layout.clone(),
-                LinkClass::Small,
-                Objective::LatOp,
-            );
+            let problem =
+                GenerationProblem::new(layout.clone(), LinkClass::Small, Objective::LatOp);
             let built = build_latop_model(&problem);
             let assignment = latop_assignment_for_topology(&built, &topo)
                 .expect("connected topology has a full assignment");
@@ -455,7 +446,11 @@ mod tests {
         };
         let (topo, sol) = solve_latop_milp(&problem, &config).expect("solved");
         assert!(sol.status.has_solution());
-        assert!((sol.objective - 16.0).abs() < 1e-6, "objective {}", sol.objective);
+        assert!(
+            (sol.objective - 16.0).abs() < 1e-6,
+            "objective {}",
+            sol.objective
+        );
         assert_eq!(netsmith_topo::metrics::total_hops(&topo), Some(16));
         assert!(topo.is_valid(), "{:?}", topo.validate());
     }

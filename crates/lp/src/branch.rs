@@ -143,7 +143,13 @@ impl MilpSolver {
 
         let mut nodes_explored: u64 = 0;
         let mut incumbent: Option<(f64, Vec<f64>)> = None;
-        let better = |a: f64, b: f64| if minimize { a < b - 1e-12 } else { a > b + 1e-12 };
+        let better = |a: f64, b: f64| {
+            if minimize {
+                a < b - 1e-12
+            } else {
+                a > b + 1e-12
+            }
+        };
 
         let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
         heap.push(HeapEntry {
@@ -157,9 +163,9 @@ impl MilpSolver {
 
         let mut best_bound = root.objective;
         let emit = |nodes: u64,
-                        incumbent: &Option<(f64, Vec<f64>)>,
-                        bound: f64,
-                        on_progress: &mut dyn FnMut(&ProgressEvent)| {
+                    incumbent: &Option<(f64, Vec<f64>)>,
+                    bound: f64,
+                    on_progress: &mut dyn FnMut(&ProgressEvent)| {
             let inc = incumbent.as_ref().map(|(obj, _)| *obj);
             let gap = match inc {
                 Some(obj) => ((obj - bound).abs() / obj.abs().max(1e-9)).max(0.0),
@@ -236,10 +242,7 @@ impl MilpSolver {
                         let gap = (obj - best_bound).abs() / obj.abs().max(1e-9);
                         if gap <= self.config.gap_tolerance {
                             // Everything remaining is no better than the incumbent.
-                            if heap
-                                .peek()
-                                .map_or(true, |e| !better(e.node.priority, obj))
-                            {
+                            if heap.peek().is_none_or(|e| !better(e.node.priority, obj)) {
                                 break;
                             }
                         }
@@ -299,10 +302,8 @@ impl MilpSolver {
             nodes_explored >= self.config.max_nodes || start.elapsed() >= self.config.time_limit;
         match incumbent {
             Some((obj, values)) => {
-                let exhausted = heap.is_empty()
-                    || heap
-                        .peek()
-                        .map_or(true, |e| !better(e.node.priority, obj));
+                let exhausted =
+                    heap.is_empty() || heap.peek().is_none_or(|e| !better(e.node.priority, obj));
                 let status = if exhausted && !elapsed_exceeded {
                     SolveStatus::Optimal
                 } else {
@@ -313,7 +314,11 @@ impl MilpSolver {
                         SolveStatus::Feasible
                     }
                 };
-                let bound = if status == SolveStatus::Optimal { obj } else { best_bound };
+                let bound = if status == SolveStatus::Optimal {
+                    obj
+                } else {
+                    best_bound
+                };
                 Ok(Solution {
                     status,
                     values,
@@ -388,7 +393,8 @@ mod tests {
             .enumerate()
             .map(|(i, &v)| m.add_binary(v, format!("x{i}")))
             .collect();
-        let weight_expr = LinExpr::from_terms(vars.iter().zip(weights.iter()).map(|(&v, &w)| (v, w)));
+        let weight_expr =
+            LinExpr::from_terms(vars.iter().zip(weights.iter()).map(|(&v, &w)| (v, w)));
         m.add_constr(weight_expr, Cmp::Le, capacity);
         let sol = MilpSolver::default().solve(&m).unwrap();
 
@@ -437,13 +443,13 @@ mod tests {
         let cost = [[1.0, 4.0, 5.0], [3.0, 1.0, 9.0], [6.0, 7.0, 3.0]];
         let mut m = Model::new(Sense::Minimize);
         let mut vars = [[None; 3]; 3];
-        for i in 0..3 {
-            for j in 0..3 {
-                vars[i][j] = Some(m.add_binary(cost[i][j], format!("x{i}{j}")));
+        for (i, row) in vars.iter_mut().enumerate() {
+            for (j, var) in row.iter_mut().enumerate() {
+                *var = Some(m.add_binary(cost[i][j], format!("x{i}{j}")));
             }
         }
-        for i in 0..3 {
-            let row = LinExpr::sum((0..3).map(|j| vars[i][j].unwrap()));
+        for (i, var_row) in vars.iter().enumerate() {
+            let row = LinExpr::sum(var_row.iter().map(|v| v.unwrap()));
             m.add_constr(row, Cmp::Eq, 1.0);
             let col = LinExpr::sum((0..3).map(|j| vars[j][i].unwrap()));
             m.add_constr(col, Cmp::Eq, 1.0);
@@ -456,8 +462,14 @@ mod tests {
     #[test]
     fn progress_events_are_monotonic_in_time_and_report_gap() {
         let mut m = Model::new(Sense::Maximize);
-        let vars: Vec<_> = (0..8).map(|i| m.add_binary(1.0 + i as f64, format!("x{i}"))).collect();
-        let expr = LinExpr::from_terms(vars.iter().enumerate().map(|(i, &v)| (v, 1.0 + (i % 3) as f64)));
+        let vars: Vec<_> = (0..8)
+            .map(|i| m.add_binary(1.0 + i as f64, format!("x{i}")))
+            .collect();
+        let expr = LinExpr::from_terms(
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, 1.0 + (i % 3) as f64)),
+        );
         m.add_constr(expr, Cmp::Le, 7.0);
         let mut events = Vec::new();
         let sol = MilpSolver::default()
@@ -477,8 +489,14 @@ mod tests {
     fn node_limit_returns_feasible_or_limit() {
         let mut m = Model::new(Sense::Maximize);
         // A larger knapsack to keep the tree busy.
-        let vars: Vec<_> = (0..14).map(|i| m.add_binary((i % 5 + 1) as f64, format!("x{i}"))).collect();
-        let expr = LinExpr::from_terms(vars.iter().enumerate().map(|(i, &v)| (v, ((i * 7) % 11 + 1) as f64)));
+        let vars: Vec<_> = (0..14)
+            .map(|i| m.add_binary((i % 5 + 1) as f64, format!("x{i}")))
+            .collect();
+        let expr = LinExpr::from_terms(
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, ((i * 7) % 11 + 1) as f64)),
+        );
         m.add_constr(expr, Cmp::Le, 20.0);
         let solver = MilpSolver::new(BranchBoundConfig {
             max_nodes: 3,
@@ -509,7 +527,9 @@ mod tests {
     fn binary_indicator_interacts_with_branching() {
         // Choose exactly 2 of 4 facilities; an indicator forces capacity when chosen.
         let mut m = Model::new(Sense::Minimize);
-        let open: Vec<_> = (0..4).map(|i| m.add_binary([3.0, 2.0, 5.0, 4.0][i], format!("open{i}"))).collect();
+        let open: Vec<_> = (0..4)
+            .map(|i| m.add_binary([3.0, 2.0, 5.0, 4.0][i], format!("open{i}")))
+            .collect();
         let cap: Vec<_> = (0..4)
             .map(|i| m.add_var(VarType::Continuous, 0.0, 10.0, 0.1, format!("cap{i}")))
             .collect();
@@ -522,6 +542,10 @@ mod tests {
         let sol = MilpSolver::default().solve(&m).unwrap();
         assert_eq!(sol.status, SolveStatus::Optimal);
         // Cheapest two facilities are 1 and 0 (2 + 3), with 5 capacity each.
-        assert!((sol.objective - (5.0 + 1.0)).abs() < 1e-6, "obj {}", sol.objective);
+        assert!(
+            (sol.objective - (5.0 + 1.0)).abs() < 1e-6,
+            "obj {}",
+            sol.objective
+        );
     }
 }

@@ -260,12 +260,12 @@ fn run_phase(tab: &mut Tableau, cost: &[f64], ban_artificials: bool) -> (PhaseOu
     let mut reduced = vec![0.0; cols];
     {
         let c_b: Vec<f64> = tab.basis.iter().map(|&j| cost[j]).collect();
-        for j in 0..cols {
+        for (j, r) in reduced.iter_mut().enumerate() {
             let mut dot = 0.0;
-            for i in 0..m {
-                dot += c_b[i] * tab.a[i][j];
+            for (cb, row) in c_b.iter().zip(tab.a.iter()) {
+                dot += cb * row[j];
             }
-            reduced[j] = cost[j] - dot;
+            *r = cost[j] - dot;
         }
     }
 
@@ -278,23 +278,23 @@ fn run_phase(tab: &mut Tableau, cost: &[f64], ban_artificials: bool) -> (PhaseOu
         // Entering column.
         let mut entering: Option<usize> = None;
         if use_bland {
-            for j in 0..cols {
+            for (j, &r) in reduced.iter().enumerate() {
                 if ban_artificials && tab.artificial[j] {
                     continue;
                 }
-                if reduced[j] < -TOL {
+                if r < -TOL {
                     entering = Some(j);
                     break;
                 }
             }
         } else {
             let mut best = -TOL;
-            for j in 0..cols {
+            for (j, &r) in reduced.iter().enumerate() {
                 if ban_artificials && tab.artificial[j] {
                     continue;
                 }
-                if reduced[j] < best {
-                    best = reduced[j];
+                if r < best {
+                    best = r;
                     entering = Some(j);
                 }
             }
@@ -313,7 +313,7 @@ fn run_phase(tab: &mut Tableau, cost: &[f64], ban_artificials: bool) -> (PhaseOu
                 let ratio = tab.b[i] / aij;
                 if ratio < best_ratio - TOL
                     || (ratio < best_ratio + TOL
-                        && leaving.map_or(true, |l| tab.basis[i] < tab.basis[l]))
+                        && leaving.is_none_or(|l| tab.basis[i] < tab.basis[l]))
                 {
                     best_ratio = ratio;
                     leaving = Some(i);
@@ -361,8 +361,8 @@ fn pivot(tab: &mut Tableau, row: usize, col: usize, reduced: &mut [f64]) {
     // cost must become zero, which the row elimination below achieves.
     let factor = reduced[col];
     if factor.abs() > 1e-12 {
-        for j in 0..cols {
-            reduced[j] -= factor * tab.a[row][j];
+        for (r, &a) in reduced.iter_mut().zip(tab.a[row].iter()) {
+            *r -= factor * a;
         }
     }
     tab.basis[row] = col;

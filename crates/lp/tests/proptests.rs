@@ -24,7 +24,15 @@ fn random_bounded_lp() -> impl Strategy<Value = (Model, usize)> {
             let vars: Vec<_> = objs
                 .iter()
                 .enumerate()
-                .map(|(i, &o)| m.add_var(netsmith_lp::VarType::Continuous, 0.0, 10.0, o, format!("x{i}")))
+                .map(|(i, &o)| {
+                    m.add_var(
+                        netsmith_lp::VarType::Continuous,
+                        0.0,
+                        10.0,
+                        o,
+                        format!("x{i}"),
+                    )
+                })
                 .collect();
             for (row, &b) in coeffs.iter().zip(rhs.iter()) {
                 let expr = LinExpr::from_terms(vars.iter().zip(row.iter()).map(|(&v, &c)| (v, c)));

@@ -68,6 +68,6 @@ pub mod prelude {
     pub use netsmith_sim::{sweep_injection_rates, LatencyCurve, SimConfig};
     pub use netsmith_system::{evaluate_topology, parsec_suite, FullSystemConfig};
     pub use netsmith_topo::prelude::*;
-    pub use netsmith_topo::{expert, LinkClass};
     pub use netsmith_topo::Layout;
+    pub use netsmith_topo::{expert, LinkClass};
 }

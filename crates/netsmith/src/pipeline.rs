@@ -1,7 +1,9 @@
 //! The discover → route → allocate → evaluate pipeline.
 
 use netsmith_route::paths::all_shortest_paths;
-use netsmith_route::{allocate_vcs, mclb_route, ndbt_route, MclbConfig, RoutingTable, VcAllocation};
+use netsmith_route::{
+    allocate_vcs, mclb_route, ndbt_route, MclbConfig, RoutingTable, VcAllocation,
+};
 use netsmith_sim::{sweep_injection_rates, LatencyCurve, SimConfig};
 use netsmith_topo::metrics::TopologyMetrics;
 use netsmith_topo::traffic::TrafficPattern;
@@ -143,8 +145,9 @@ mod tests {
     #[test]
     fn sim_config_clock_tracks_class() {
         let layout = Layout::noi_4x5();
-        let small = EvaluatedNetwork::prepare(&expert::kite_small(&layout), RoutingScheme::Mclb, 6, 3)
-            .unwrap();
+        let small =
+            EvaluatedNetwork::prepare(&expert::kite_small(&layout), RoutingScheme::Mclb, 6, 3)
+                .unwrap();
         assert_eq!(small.sim_config().clock_ghz, 3.6);
     }
 }

@@ -19,4 +19,4 @@
 
 pub mod model;
 
-pub use model::{AreaReport, PowerConfig, PowerReport, area_report, power_report, relative_to};
+pub use model::{area_report, power_report, relative_to, AreaReport, PowerConfig, PowerReport};

@@ -134,8 +134,14 @@ mod tests {
         let layout = Layout::noi_4x5();
         let cfg = PowerConfig::default();
         let topo = expert::folded_torus(&layout);
-        let slow = SimConfig { clock_ghz: 2.7, ..SimConfig::default() };
-        let fast = SimConfig { clock_ghz: 3.6, ..SimConfig::default() };
+        let slow = SimConfig {
+            clock_ghz: 2.7,
+            ..SimConfig::default()
+        };
+        let fast = SimConfig {
+            clock_ghz: 3.6,
+            ..SimConfig::default()
+        };
         let low = power_report(&topo, &cfg, &slow, 0.1);
         let high = power_report(&topo, &cfg, &slow, 0.3);
         assert!(high.dynamic_mw > low.dynamic_mw);

@@ -91,11 +91,8 @@ impl ChannelDependencyGraph {
             Grey,
             Black,
         }
-        let mut marks: BTreeMap<Channel, Mark> = self
-            .channels
-            .iter()
-            .map(|&c| (c, Mark::White))
-            .collect();
+        let mut marks: BTreeMap<Channel, Mark> =
+            self.channels.iter().map(|&c| (c, Mark::White)).collect();
 
         // Iterative DFS with an explicit stack that tracks the path.
         for &start in &self.channels {
@@ -182,7 +179,10 @@ mod tests {
 
     #[test]
     fn dependencies_require_consecutive_links() {
-        let cdg = ChannelDependencyGraph::from_paths([vec![0usize, 1, 2].as_slice(), vec![3usize, 4].as_slice()]);
+        let cdg = ChannelDependencyGraph::from_paths([
+            vec![0usize, 1, 2].as_slice(),
+            vec![3usize, 4].as_slice(),
+        ]);
         assert!(cdg.has_dependency((0, 1), (1, 2)));
         assert!(!cdg.has_dependency((0, 1), (3, 4)));
     }

@@ -145,10 +145,7 @@ mod tests {
         let (c, _) = ndbt_route(&layout, &ps, 43);
         assert_eq!(a, b);
         // Different seeds usually pick at least one different path.
-        let differs = a
-            .flows()
-            .zip(c.flows())
-            .any(|((_, pa), (_, pc))| pa != pc);
+        let differs = a.flows().zip(c.flows()).any(|((_, pa), (_, pc))| pa != pc);
         assert!(differs);
     }
 }

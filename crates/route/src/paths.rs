@@ -58,7 +58,9 @@ impl PathSet {
     pub fn flows(&self) -> impl Iterator<Item = (RouterId, RouterId)> + '_ {
         let n = self.n;
         (0..n).flat_map(move |s| {
-            (0..n).filter(move |&d| d != s && !self.paths[s * n + d].is_empty()).map(move |d| (s, d))
+            (0..n)
+                .filter(move |&d| d != s && !self.paths[s * n + d].is_empty())
+                .map(move |d| (s, d))
         })
     }
 }
@@ -82,16 +84,7 @@ pub fn all_shortest_paths_capped(topo: &Topology, max_per_flow: usize) -> PathSe
             }
             let mut found = Vec::new();
             let mut current = vec![s];
-            enumerate_dag_paths(
-                s,
-                d,
-                n,
-                &dist,
-                &adj,
-                &mut current,
-                &mut found,
-                max_per_flow,
-            );
+            enumerate_dag_paths(s, d, n, &dist, &adj, &mut current, &mut found, max_per_flow);
             paths[s * n + d] = found;
         }
     }

@@ -62,7 +62,11 @@ impl RoutingTable {
     pub fn set_path(&mut self, flow: Flow, path: Vec<RouterId>) {
         assert!(path.len() >= 2, "path must contain at least two routers");
         assert_eq!(path[0], flow.src, "path must start at the flow source");
-        assert_eq!(*path.last().unwrap(), flow.dst, "path must end at the flow destination");
+        assert_eq!(
+            *path.last().unwrap(),
+            flow.dst,
+            "path must end at the flow destination"
+        );
         self.routes[flow.src * self.n + flow.dst] = Some(path);
     }
 
@@ -86,17 +90,20 @@ impl RoutingTable {
     /// Iterate over `(Flow, path)` pairs.
     pub fn flows(&self) -> impl Iterator<Item = (Flow, &[RouterId])> + '_ {
         let n = self.n;
-        self.routes.iter().enumerate().filter_map(move |(idx, route)| {
-            route.as_ref().map(|p| {
-                (
-                    Flow {
-                        src: idx / n,
-                        dst: idx % n,
-                    },
-                    p.as_slice(),
-                )
+        self.routes
+            .iter()
+            .enumerate()
+            .filter_map(move |(idx, route)| {
+                route.as_ref().map(|p| {
+                    (
+                        Flow {
+                            src: idx / n,
+                            dst: idx % n,
+                        },
+                        p.as_slice(),
+                    )
+                })
             })
-        })
     }
 
     /// True when every ordered pair of distinct routers has a route.
@@ -156,7 +163,10 @@ impl RoutingTable {
             seen.sort_unstable();
             seen.dedup();
             if seen.len() != path.len() {
-                return Err(format!("flow {}->{} path revisits a router", flow.src, flow.dst));
+                return Err(format!(
+                    "flow {}->{} path revisits a router",
+                    flow.src, flow.dst
+                ));
             }
         }
         Ok(())
@@ -178,7 +188,7 @@ pub struct ChannelLoadReport {
 impl ChannelLoadReport {
     fn from_loads(n: usize, map: HashMap<(RouterId, RouterId), f64>) -> Self {
         let mut loads: Vec<_> = map.into_iter().collect();
-        loads.sort_by(|a, b| a.0.cmp(&b.0));
+        loads.sort_by_key(|a| a.0);
         let max_load = loads.iter().map(|(_, l)| *l).fold(0.0, f64::max);
         let mean_load = if loads.is_empty() {
             0.0

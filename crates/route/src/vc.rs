@@ -49,11 +49,7 @@ impl VcAllocation {
     /// balanced.
     pub fn imbalance(&self) -> f64 {
         let max = self.occupancy.iter().copied().fold(0.0f64, f64::max);
-        let min = self
-            .occupancy
-            .iter()
-            .copied()
-            .fold(f64::INFINITY, f64::min);
+        let min = self.occupancy.iter().copied().fold(f64::INFINITY, f64::min);
         if min <= 0.0 {
             f64::INFINITY
         } else {
@@ -75,10 +71,7 @@ pub fn allocate_vcs(table: &RoutingTable, total_vcs: usize, seed: u64) -> Option
     // placed in the lowest layer whose channel dependency graph stays
     // acyclic after adding the flow's path.  Ordered maps keep the
     // procedure deterministic for a given seed.
-    let paths: BTreeMap<Flow, Vec<usize>> = table
-        .flows()
-        .map(|(f, p)| (f, p.to_vec()))
-        .collect();
+    let paths: BTreeMap<Flow, Vec<usize>> = table.flows().map(|(f, p)| (f, p.to_vec())).collect();
     let mut order: Vec<Flow> = paths.keys().copied().collect();
     {
         // Seeded shuffle, then stable sort by descending path length.

@@ -27,10 +27,7 @@ fn random_topology(seed: u64, extra_links: usize) -> Topology {
     for _ in 0..extra_links {
         let a = rng.gen_range(0..n);
         let b = rng.gen_range(0..n);
-        if a != b
-            && !topo.has_link(a, b)
-            && topo.free_out_ports(a) > 0
-            && topo.free_in_ports(b) > 0
+        if a != b && !topo.has_link(a, b) && topo.free_out_ports(a) > 0 && topo.free_in_ports(b) > 0
         {
             topo.add_link(a, b);
         }

@@ -2,8 +2,8 @@
 
 use crate::config::{PacketClass, SimConfig};
 use crate::stats::LatencyStats;
-use netsmith_route::{RoutingTable, VcAllocation};
 use netsmith_route::Flow;
+use netsmith_route::{RoutingTable, VcAllocation};
 use netsmith_topo::traffic::TrafficPattern;
 use netsmith_topo::{RouterId, Topology};
 use rand::rngs::SmallRng;
@@ -65,8 +65,8 @@ impl SimReport {
     /// keeps low-load points (where the finite measurement window introduces
     /// sampling noise) from being misclassified.
     pub fn is_saturated(&self, zero_load_latency_cycles: f64) -> bool {
-        let delivery_shortfall = self.accepted_flits_per_node_cycle
-            < 0.85 * self.offered_flits_per_node_cycle - 0.01;
+        let delivery_shortfall =
+            self.accepted_flits_per_node_cycle < 0.85 * self.offered_flits_per_node_cycle - 0.01;
         let latency_blowup = self.avg_latency_cycles > 6.0 * zero_load_latency_cycles.max(1.0);
         delivery_shortfall || latency_blowup
     }
@@ -116,7 +116,8 @@ impl<'a> NetworkSim<'a> {
         let cfg = &self.config;
         let n = self.topo.num_routers();
         let layout = self.topo.layout().clone();
-        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (offered_flits_per_node_cycle * 1e6) as u64);
+        let mut rng =
+            SmallRng::seed_from_u64(cfg.seed ^ (offered_flits_per_node_cycle * 1e6) as u64);
         // Packet injection probability per node per cycle.
         let packets_per_cycle =
             (offered_flits_per_node_cycle / cfg.average_flits()).clamp(0.0, 1.0);
@@ -149,10 +150,9 @@ impl<'a> NetworkSim<'a> {
             // 1. Traffic generation (stops after the measurement window so
             //    the drain phase can empty the network).
             if cycle < measure_end {
-                for src in 0..n {
+                for (src, queue) in source_queues.iter_mut().enumerate() {
                     if rng.gen_bool(packets_per_cycle) {
-                        if let Some(dst) = self.pattern.sample_destination(&layout, src, &mut rng)
-                        {
+                        if let Some(dst) = self.pattern.sample_destination(&layout, src, &mut rng) {
                             let class = if rng.gen_bool(cfg.data_fraction) {
                                 PacketClass::Data
                             } else {
@@ -174,7 +174,7 @@ impl<'a> NetworkSim<'a> {
                                 packets_injected += 1;
                                 measured_outstanding += 1;
                             }
-                            source_queues[src].push_back(packet);
+                            queue.push_back(packet);
                         }
                     }
                 }
@@ -195,7 +195,7 @@ impl<'a> NetworkSim<'a> {
                     }
                     let next = self.table.next_hop(r.packet.src, r.packet.dst, from);
                     if next == Some(to)
-                        && best.map_or(true, |(created, _, _)| r.packet.created < created)
+                        && best.is_none_or(|(created, _, _)| r.packet.created < created)
                     {
                         best = Some((r.packet.created, ri, false));
                     }
@@ -205,7 +205,7 @@ impl<'a> NetworkSim<'a> {
                     if head.src == from {
                         let next = self.table.next_hop(head.src, head.dst, from);
                         if next == Some(to)
-                            && best.map_or(true, |(created, _, _)| head.created < created)
+                            && best.is_none_or(|(created, _, _)| head.created < created)
                         {
                             best = Some((head.created, 0, true));
                         }
@@ -244,8 +244,7 @@ impl<'a> NetworkSim<'a> {
                 if ejecting {
                     // Ejected at the destination.
                     let latency = (arrival - packet.created) as f64;
-                    let measured =
-                        packet.created >= measure_start && packet.created < measure_end;
+                    let measured = packet.created >= measure_start && packet.created < measure_end;
                     if measured {
                         stats.record(latency);
                         packets_ejected += 1;
@@ -270,8 +269,7 @@ impl<'a> NetworkSim<'a> {
         let utilization = if links.is_empty() {
             0.0
         } else {
-            link_busy_cycles.iter().sum::<u64>() as f64
-                / (links.len() as f64 * total_cycles as f64)
+            link_busy_cycles.iter().sum::<u64>() as f64 / (links.len() as f64 * total_cycles as f64)
         };
         let avg_latency_cycles = stats.mean();
         SimReport {
@@ -291,8 +289,8 @@ impl<'a> NetworkSim<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netsmith_route::{allocate_vcs, mclb_route, MclbConfig};
     use netsmith_route::paths::all_shortest_paths;
+    use netsmith_route::{allocate_vcs, mclb_route, MclbConfig};
     use netsmith_topo::expert;
     use netsmith_topo::Layout;
 

@@ -71,11 +71,18 @@ impl LatencyCurve {
 
     /// CSV rows `offered,accepted,accepted_pkts_per_ns,latency_cycles,latency_ns,saturated`.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("offered,accepted,accepted_pkts_per_ns,latency_cycles,latency_ns,saturated\n");
+        let mut out = String::from(
+            "offered,accepted,accepted_pkts_per_ns,latency_cycles,latency_ns,saturated\n",
+        );
         for p in &self.points {
             out.push_str(&format!(
                 "{:.4},{:.4},{:.4},{:.2},{:.2},{}\n",
-                p.offered, p.accepted, p.accepted_packets_per_ns, p.latency_cycles, p.latency_ns, p.saturated
+                p.offered,
+                p.accepted,
+                p.accepted_packets_per_ns,
+                p.latency_cycles,
+                p.latency_ns,
+                p.saturated
             ));
         }
         out
@@ -129,6 +136,7 @@ pub fn default_load_grid() -> Vec<f64> {
 /// Convenience: saturation throughput (flits/node/cycle) via a bisection-
 /// style search between `lo` and `hi`, cheaper than a full sweep when only
 /// the saturation point matters.
+#[allow(clippy::too_many_arguments)]
 pub fn saturation_throughput(
     topo: &Topology,
     table: &RoutingTable,

@@ -189,7 +189,10 @@ mod tests {
         let (mesh_table, mesh_alloc) = routed(&mesh);
         let (kite_table, kite_alloc) = routed(&kite);
         let config = FullSystemConfig::quick();
-        let canneal = parsec_suite().into_iter().find(|w| w.name == "canneal").unwrap();
+        let canneal = parsec_suite()
+            .into_iter()
+            .find(|w| w.name == "canneal")
+            .unwrap();
         let base = evaluate_topology(&canneal, &mesh, &mesh_table, Some(&mesh_alloc), &config);
         let better = evaluate_topology(&canneal, &kite, &kite_table, Some(&kite_alloc), &config);
         let speedup = better.speedup_over(&base);
@@ -211,10 +214,34 @@ mod tests {
         let suite = parsec_suite();
         let compute_bound = &suite[0];
         let network_bound = suite.last().unwrap();
-        let s_light = evaluate_topology(compute_bound, &kite, &kite_table, Some(&kite_alloc), &config)
-            .speedup_over(&evaluate_topology(compute_bound, &mesh, &mesh_table, Some(&mesh_alloc), &config));
-        let s_heavy = evaluate_topology(network_bound, &kite, &kite_table, Some(&kite_alloc), &config)
-            .speedup_over(&evaluate_topology(network_bound, &mesh, &mesh_table, Some(&mesh_alloc), &config));
+        let s_light = evaluate_topology(
+            compute_bound,
+            &kite,
+            &kite_table,
+            Some(&kite_alloc),
+            &config,
+        )
+        .speedup_over(&evaluate_topology(
+            compute_bound,
+            &mesh,
+            &mesh_table,
+            Some(&mesh_alloc),
+            &config,
+        ));
+        let s_heavy = evaluate_topology(
+            network_bound,
+            &kite,
+            &kite_table,
+            Some(&kite_alloc),
+            &config,
+        )
+        .speedup_over(&evaluate_topology(
+            network_bound,
+            &mesh,
+            &mesh_table,
+            Some(&mesh_alloc),
+            &config,
+        ));
         assert!(
             s_heavy >= s_light,
             "network-bound speedup {s_heavy} should exceed compute-bound {s_light}"

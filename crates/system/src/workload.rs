@@ -39,18 +39,90 @@ impl WorkloadProfile {
 /// increasing order of L2 MPKI — the same ordering as the figure's X axis.
 pub fn parsec_suite() -> Vec<WorkloadProfile> {
     vec![
-        WorkloadProfile { name: "swaptions", l2_mpki: 0.08, coherence_fraction: 0.45, base_cpi: 0.55, overlap: 0.55 },
-        WorkloadProfile { name: "blackscholes", l2_mpki: 0.15, coherence_fraction: 0.30, base_cpi: 0.55, overlap: 0.55 },
-        WorkloadProfile { name: "bodytrack", l2_mpki: 0.35, coherence_fraction: 0.45, base_cpi: 0.60, overlap: 0.50 },
-        WorkloadProfile { name: "freqmine", l2_mpki: 0.60, coherence_fraction: 0.40, base_cpi: 0.65, overlap: 0.50 },
-        WorkloadProfile { name: "raytrace", l2_mpki: 0.80, coherence_fraction: 0.50, base_cpi: 0.65, overlap: 0.50 },
-        WorkloadProfile { name: "x264", l2_mpki: 1.10, coherence_fraction: 0.45, base_cpi: 0.70, overlap: 0.45 },
-        WorkloadProfile { name: "ferret", l2_mpki: 1.60, coherence_fraction: 0.50, base_cpi: 0.75, overlap: 0.45 },
-        WorkloadProfile { name: "dedup", l2_mpki: 2.20, coherence_fraction: 0.55, base_cpi: 0.80, overlap: 0.45 },
-        WorkloadProfile { name: "fluidanimate", l2_mpki: 2.80, coherence_fraction: 0.60, base_cpi: 0.85, overlap: 0.40 },
-        WorkloadProfile { name: "facesim", l2_mpki: 3.50, coherence_fraction: 0.55, base_cpi: 0.90, overlap: 0.40 },
-        WorkloadProfile { name: "streamcluster", l2_mpki: 5.50, coherence_fraction: 0.35, base_cpi: 1.00, overlap: 0.35 },
-        WorkloadProfile { name: "canneal", l2_mpki: 7.50, coherence_fraction: 0.40, base_cpi: 1.10, overlap: 0.35 },
+        WorkloadProfile {
+            name: "swaptions",
+            l2_mpki: 0.08,
+            coherence_fraction: 0.45,
+            base_cpi: 0.55,
+            overlap: 0.55,
+        },
+        WorkloadProfile {
+            name: "blackscholes",
+            l2_mpki: 0.15,
+            coherence_fraction: 0.30,
+            base_cpi: 0.55,
+            overlap: 0.55,
+        },
+        WorkloadProfile {
+            name: "bodytrack",
+            l2_mpki: 0.35,
+            coherence_fraction: 0.45,
+            base_cpi: 0.60,
+            overlap: 0.50,
+        },
+        WorkloadProfile {
+            name: "freqmine",
+            l2_mpki: 0.60,
+            coherence_fraction: 0.40,
+            base_cpi: 0.65,
+            overlap: 0.50,
+        },
+        WorkloadProfile {
+            name: "raytrace",
+            l2_mpki: 0.80,
+            coherence_fraction: 0.50,
+            base_cpi: 0.65,
+            overlap: 0.50,
+        },
+        WorkloadProfile {
+            name: "x264",
+            l2_mpki: 1.10,
+            coherence_fraction: 0.45,
+            base_cpi: 0.70,
+            overlap: 0.45,
+        },
+        WorkloadProfile {
+            name: "ferret",
+            l2_mpki: 1.60,
+            coherence_fraction: 0.50,
+            base_cpi: 0.75,
+            overlap: 0.45,
+        },
+        WorkloadProfile {
+            name: "dedup",
+            l2_mpki: 2.20,
+            coherence_fraction: 0.55,
+            base_cpi: 0.80,
+            overlap: 0.45,
+        },
+        WorkloadProfile {
+            name: "fluidanimate",
+            l2_mpki: 2.80,
+            coherence_fraction: 0.60,
+            base_cpi: 0.85,
+            overlap: 0.40,
+        },
+        WorkloadProfile {
+            name: "facesim",
+            l2_mpki: 3.50,
+            coherence_fraction: 0.55,
+            base_cpi: 0.90,
+            overlap: 0.40,
+        },
+        WorkloadProfile {
+            name: "streamcluster",
+            l2_mpki: 5.50,
+            coherence_fraction: 0.35,
+            base_cpi: 1.00,
+            overlap: 0.35,
+        },
+        WorkloadProfile {
+            name: "canneal",
+            l2_mpki: 7.50,
+            coherence_fraction: 0.40,
+            base_cpi: 1.10,
+            overlap: 0.35,
+        },
     ]
 }
 
@@ -80,7 +152,10 @@ mod tests {
     #[test]
     fn canneal_is_the_most_network_bound() {
         let suite = parsec_suite();
-        let max = suite.iter().max_by(|a, b| a.l2_mpki.partial_cmp(&b.l2_mpki).unwrap()).unwrap();
+        let max = suite
+            .iter()
+            .max_by(|a, b| a.l2_mpki.partial_cmp(&b.l2_mpki).unwrap())
+            .unwrap();
         assert_eq!(max.name, "canneal");
     }
 }

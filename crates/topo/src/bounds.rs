@@ -66,7 +66,9 @@ impl ThroughputBounds {
 
     /// The binding (minimum) bound.
     pub fn limiting(&self) -> f64 {
-        self.cut_bound.min(self.occupancy_bound).min(self.injection_bound)
+        self.cut_bound
+            .min(self.occupancy_bound)
+            .min(self.injection_bound)
     }
 
     /// Which bound is binding, as a human-readable label.

@@ -90,7 +90,10 @@ fn report_for(topo: &Topology, in_u: &[bool], exact: bool) -> CutReport {
 /// to avoid enumerating mirror-image cuts twice.
 pub fn sparsest_cut_exhaustive(topo: &Topology) -> CutReport {
     let n = topo.num_routers();
-    assert!(n <= EXHAUSTIVE_LIMIT, "exhaustive sparsest cut limited to {EXHAUSTIVE_LIMIT} routers");
+    assert!(
+        n <= EXHAUSTIVE_LIMIT,
+        "exhaustive sparsest cut limited to {EXHAUSTIVE_LIMIT} routers"
+    );
     assert!(n >= 2);
     // Collect links once for the inner loop.
     let links: Vec<(usize, usize)> = topo.links().collect();
@@ -121,7 +124,7 @@ pub fn sparsest_cut_exhaustive(topo: &Topology) -> CutReport {
             }
         }
         let norm = fwd.min(bwd) as f64 / (size_u * size_v) as f64;
-        if best.as_ref().map_or(true, |(b, _)| norm < *b) {
+        if best.as_ref().is_none_or(|(b, _)| norm < *b) {
             best = Some((norm, in_u));
         }
     }
@@ -172,7 +175,7 @@ pub fn sparsest_cut_heuristic(topo: &Topology, starts: usize, seed: u64) -> CutR
         }
         if best
             .as_ref()
-            .map_or(true, |b| current.normalized_bandwidth < b.normalized_bandwidth)
+            .is_none_or(|b| current.normalized_bandwidth < b.normalized_bandwidth)
         {
             best = Some(current);
         }
@@ -186,7 +189,7 @@ pub fn sparsest_cut(topo: &Topology) -> CutReport {
     if topo.num_routers() <= EXHAUSTIVE_LIMIT {
         sparsest_cut_exhaustive(topo)
     } else {
-        sparsest_cut_heuristic(topo, 32, 0x5EED_CA7)
+        sparsest_cut_heuristic(topo, 32, 0x5EEDCA7)
     }
 }
 
@@ -212,7 +215,7 @@ fn bisection_exhaustive(topo: &Topology) -> f64 {
     let mut best = f64::INFINITY;
     let combos: u64 = 1u64 << (n - 1);
     for mask in 0..combos {
-        let size_u = 1 + (mask as u64).count_ones() as usize;
+        let size_u = 1 + mask.count_ones() as usize;
         if size_u != half {
             continue;
         }

@@ -81,7 +81,11 @@ pub fn folded_torus(layout: &Layout) -> Topology {
         }
         // folds at both ends
         links.push((0, 1));
-        let last_even = if (k - 1) % 2 == 0 { k - 1 } else { k - 2 };
+        let last_even = if (k - 1).is_multiple_of(2) {
+            k - 1
+        } else {
+            k - 2
+        };
         let last_odd = if (k - 1) % 2 == 1 { k - 1 } else { k - 2 };
         links.push((last_even, last_odd));
         links
@@ -120,11 +124,12 @@ pub fn double_butterfly(layout: &Layout) -> Topology {
     }
     // Butterfly stages: between columns (c, c+2) swap a row bit, staying
     // within the (2,1) length budget by pairing adjacent rows.
-    let mut stage = 0usize;
     let mut c = 0usize;
     while c + 2 < cols {
         for r in 0..rows {
-            let partner = if stage % 2 == 0 { r ^ 1 } else { r ^ 1 };
+            // Every stage pairs adjacent rows: the (2,1) length budget
+            // collapses the usual per-stage bit rotation down to `r ^ 1`.
+            let partner = r ^ 1;
             if partner < rows && r < partner {
                 let a = layout.router_at(r, c);
                 let b = layout.router_at(partner, c + 2);
@@ -138,7 +143,6 @@ pub fn double_butterfly(layout: &Layout) -> Topology {
                 }
             }
         }
-        stage += 1;
         c += 2;
     }
     t
@@ -362,10 +366,7 @@ fn greedy_fill_symmetric(t: &mut Topology) {
     let class = t.class();
     let n = layout.num_routers();
     loop {
-        let base = match metrics::total_hops(t) {
-            Some(h) => h,
-            None => u64::MAX,
-        };
+        let base = metrics::total_hops(t).unwrap_or(u64::MAX);
         let mut best: Option<(u64, usize, (RouterId, RouterId))> = None;
         for a in 0..n {
             for b in (a + 1)..n {
@@ -391,7 +392,7 @@ fn greedy_fill_symmetric(t: &mut Topology) {
                 let candidate = (hops, span_len, (a, b));
                 if best
                     .as_ref()
-                    .map_or(true, |cur| (hops, span_len, (a, b)) < *cur)
+                    .is_none_or(|cur| (hops, span_len, (a, b)) < *cur)
                 {
                     best = Some(candidate);
                 }
@@ -431,11 +432,20 @@ mod tests {
     #[test]
     fn kite_constructions_are_valid_and_within_class() {
         let layout = Layout::noi_4x5();
-        for topo in [kite_small(&layout), kite_medium(&layout), kite_large(&layout)] {
+        for topo in [
+            kite_small(&layout),
+            kite_medium(&layout),
+            kite_large(&layout),
+        ] {
             assert!(topo.is_valid(), "{}: {:?}", topo.name(), topo.validate());
             assert!(topo.is_symmetric());
             // Expert-style networks use most of the radix budget.
-            assert!(topo.num_links() >= 30, "{} has {}", topo.name(), topo.num_links());
+            assert!(
+                topo.num_links() >= 30,
+                "{} has {}",
+                topo.name(),
+                topo.num_links()
+            );
         }
     }
 
@@ -482,7 +492,7 @@ mod tests {
         let layout = Layout::noi_4x5();
         let ring = hamiltonian_ring(&layout);
         assert_eq!(ring.len(), 20);
-        let mut seen = vec![0usize; 20];
+        let mut seen = [0usize; 20];
         for (a, b) in &ring {
             seen[*a] += 1;
             seen[*b] += 1;

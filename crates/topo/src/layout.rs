@@ -41,7 +41,9 @@ impl NodeKind {
     pub fn memory_controllers(&self) -> u8 {
         match *self {
             NodeKind::Cores { .. } => 0,
-            NodeKind::CoresAndMemory { memory_controllers, .. } => memory_controllers,
+            NodeKind::CoresAndMemory {
+                memory_controllers, ..
+            } => memory_controllers,
         }
     }
 

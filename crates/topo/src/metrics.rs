@@ -233,7 +233,9 @@ impl TopologyMetrics {
             self.class,
             self.num_routers,
             self.num_links,
-            self.diameter.map(|d| d.to_string()).unwrap_or_else(|| "inf".into()),
+            self.diameter
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "inf".into()),
             self.average_hops,
             self.bisection_bandwidth,
             self.sparsest_cut,
@@ -280,7 +282,7 @@ mod tests {
         assert_eq!(dist[1], 1);
         // Routers outside the ring are unreachable.
         assert_eq!(dist[5], UNREACHABLE);
-        assert_eq!(unreachable_pairs(&t) > 0, true);
+        assert!(unreachable_pairs(&t) > 0);
         assert_eq!(n, 20);
     }
 

@@ -191,11 +191,7 @@ mod tests {
     #[test]
     fn round_trip_preserves_custom_class_and_asymmetry() {
         let layout = Layout::interposer_grid(2, 3, 3);
-        let mut t = Topology::empty(
-            "asym",
-            layout,
-            LinkClass::Custom(LinkSpan::new(2, 1)),
-        );
+        let mut t = Topology::empty("asym", layout, LinkClass::Custom(LinkSpan::new(2, 1)));
         t.add_link(0, 1);
         t.add_link(1, 2);
         t.add_link(2, 0);
@@ -217,7 +213,8 @@ mod tests {
 
     #[test]
     fn kind_counts_are_validated() {
-        let missing_kind = "netsmith-topology v1\nname x\nclass small\nlayout 2 2 4 4.0\nkind 0 cores 4";
+        let missing_kind =
+            "netsmith-topology v1\nname x\nclass small\nlayout 2 2 4 4.0\nkind 0 cores 4";
         assert!(from_text(missing_kind).is_err());
     }
 }

@@ -18,11 +18,23 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TopologyError {
     /// A router exceeds the layout's radix on outgoing links.
-    OutRadixExceeded { router: RouterId, degree: usize, radix: usize },
+    OutRadixExceeded {
+        router: RouterId,
+        degree: usize,
+        radix: usize,
+    },
     /// A router exceeds the layout's radix on incoming links.
-    InRadixExceeded { router: RouterId, degree: usize, radix: usize },
+    InRadixExceeded {
+        router: RouterId,
+        degree: usize,
+        radix: usize,
+    },
     /// A link is longer than the link class allows.
-    LinkTooLong { from: RouterId, to: RouterId, span: LinkSpan },
+    LinkTooLong {
+        from: RouterId,
+        to: RouterId,
+        span: LinkSpan,
+    },
     /// A self-link was present.
     SelfLink { router: RouterId },
     /// The directed graph is not strongly connected.
@@ -32,11 +44,19 @@ pub enum TopologyError {
 impl fmt::Display for TopologyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TopologyError::OutRadixExceeded { router, degree, radix } => write!(
+            TopologyError::OutRadixExceeded {
+                router,
+                degree,
+                radix,
+            } => write!(
                 f,
                 "router {router} has out-degree {degree} exceeding radix {radix}"
             ),
-            TopologyError::InRadixExceeded { router, degree, radix } => write!(
+            TopologyError::InRadixExceeded {
+                router,
+                degree,
+                radix,
+            } => write!(
                 f,
                 "router {router} has in-degree {degree} exceeding radix {radix}"
             ),
@@ -45,7 +65,10 @@ impl fmt::Display for TopologyError {
             }
             TopologyError::SelfLink { router } => write!(f, "router {router} has a self link"),
             TopologyError::NotConnected { unreachable_pairs } => {
-                write!(f, "topology is not strongly connected ({unreachable_pairs} unreachable pairs)")
+                write!(
+                    f,
+                    "topology is not strongly connected ({unreachable_pairs} unreachable pairs)"
+                )
             }
         }
     }
@@ -174,7 +197,11 @@ impl Topology {
     /// Iterate over all directed links `(i, j)`.
     pub fn links(&self) -> impl Iterator<Item = (RouterId, RouterId)> + '_ {
         let n = self.num_routers();
-        (0..n).flat_map(move |i| (0..n).filter(move |&j| self.has_link(i, j)).map(move |j| (i, j)))
+        (0..n).flat_map(move |i| {
+            (0..n)
+                .filter(move |&j| self.has_link(i, j))
+                .map(move |j| (i, j))
+        })
     }
 
     /// Total number of directed links.
@@ -255,10 +282,10 @@ impl Topology {
                 let fwd = self.has_link(i, j);
                 let rev = self.has_link(j, i);
                 if fwd || rev {
-                    // A duplex pair shares the same physical route; an
-                    // unpaired link still needs its own wire.
-                    let wires = if fwd && rev { 1.0 } else { 1.0 };
-                    total += wires * self.layout.distance_mm(i, j);
+                    // A duplex pair shares the same physical route and an
+                    // unpaired link still needs its own wire, so either way
+                    // the pair contributes exactly one wire run.
+                    total += self.layout.distance_mm(i, j);
                 }
             }
         }
@@ -293,23 +320,37 @@ impl Topology {
             }
             let out = self.out_degree(i);
             if out > radix {
-                return Err(TopologyError::OutRadixExceeded { router: i, degree: out, radix });
+                return Err(TopologyError::OutRadixExceeded {
+                    router: i,
+                    degree: out,
+                    radix,
+                });
             }
             let inn = self.in_degree(i);
             if inn > radix {
-                return Err(TopologyError::InRadixExceeded { router: i, degree: inn, radix });
+                return Err(TopologyError::InRadixExceeded {
+                    router: i,
+                    degree: inn,
+                    radix,
+                });
             }
         }
         for (i, j) in self.links() {
             let (dx, dy) = self.layout.span(i, j);
             let span = LinkSpan::new(dx, dy);
             if !self.class.allows(span) {
-                return Err(TopologyError::LinkTooLong { from: i, to: j, span });
+                return Err(TopologyError::LinkTooLong {
+                    from: i,
+                    to: j,
+                    span,
+                });
             }
         }
         let unreachable = crate::metrics::unreachable_pairs(self);
         if unreachable > 0 {
-            return Err(TopologyError::NotConnected { unreachable_pairs: unreachable });
+            return Err(TopologyError::NotConnected {
+                unreachable_pairs: unreachable,
+            });
         }
         Ok(())
     }
@@ -415,14 +456,20 @@ mod tests {
         let mut t = Topology::empty("long", layout, LinkClass::Small);
         // (0,0) to (0,2) spans (2,0): not allowed in Small.
         t.add_link(0, 2);
-        assert!(matches!(t.validate(), Err(TopologyError::LinkTooLong { .. })));
+        assert!(matches!(
+            t.validate(),
+            Err(TopologyError::LinkTooLong { .. })
+        ));
     }
 
     #[test]
     fn disconnection_detected() {
         let layout = Layout::interposer_grid(2, 2, 4);
         let t = Topology::from_bidirectional_links("disc", layout, LinkClass::Small, &[(0, 1)]);
-        assert!(matches!(t.validate(), Err(TopologyError::NotConnected { .. })));
+        assert!(matches!(
+            t.validate(),
+            Err(TopologyError::NotConnected { .. })
+        ));
     }
 
     #[test]

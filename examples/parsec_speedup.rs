@@ -18,9 +18,10 @@ fn main() {
     // Mesh baseline plus one expert and one NetSmith topology per class
     // would take a while; the example uses the medium class as in the
     // paper's headline Kite comparison.
-    let mesh = EvaluatedNetwork::prepare(&expert::mesh(&layout), RoutingScheme::Ndbt, 6, 5).unwrap();
-    let kite =
-        EvaluatedNetwork::prepare(&expert::kite_medium(&layout), RoutingScheme::Ndbt, 6, 5).unwrap();
+    let mesh =
+        EvaluatedNetwork::prepare(&expert::mesh(&layout), RoutingScheme::Ndbt, 6, 5).unwrap();
+    let kite = EvaluatedNetwork::prepare(&expert::kite_medium(&layout), RoutingScheme::Ndbt, 6, 5)
+        .unwrap();
     let ns = NetSmith::new(layout.clone(), LinkClass::Medium)
         .objective(Objective::LatOp)
         .evaluations(evals)
@@ -31,7 +32,13 @@ fn main() {
 
     println!("benchmark,topology,speedup_vs_mesh,packet_latency_reduction_vs_mesh");
     for profile in parsec_suite() {
-        let base = evaluate_topology(&profile, &mesh.topology, &mesh.routing, Some(&mesh.vcs), &config);
+        let base = evaluate_topology(
+            &profile,
+            &mesh.topology,
+            &mesh.routing,
+            Some(&mesh.vcs),
+            &config,
+        );
         for network in [&kite, &ns] {
             let r = evaluate_topology(
                 &profile,

@@ -50,5 +50,8 @@ fn main() {
         network.routing.uniform_channel_loads().max_load * 380.0,
         network.vcs.escape_layers
     );
-    println!("\ndiscovered topology (DOT):\n{}", netsmith_topo::viz::to_dot(&result.topology, None));
+    println!(
+        "\ndiscovered topology (DOT):\n{}",
+        netsmith_topo::viz::to_dot(&result.topology, None)
+    );
 }

@@ -33,17 +33,36 @@ fn main() {
 
     let mut rows = Vec::new();
     for (name, topo, scheme) in [
-        ("Kite-Medium", expert::kite_medium(&layout), RoutingScheme::Ndbt),
-        ("FoldedTorus", expert::folded_torus(&layout), RoutingScheme::Ndbt),
+        (
+            "Kite-Medium",
+            expert::kite_medium(&layout),
+            RoutingScheme::Ndbt,
+        ),
+        (
+            "FoldedTorus",
+            expert::folded_torus(&layout),
+            RoutingScheme::Ndbt,
+        ),
         ("NS-LatOp", ns_uniform.topology.clone(), RoutingScheme::Mclb),
-        ("NS-ShufOpt", ns_shuffle.topology.clone(), RoutingScheme::Mclb),
+        (
+            "NS-ShufOpt",
+            ns_shuffle.topology.clone(),
+            RoutingScheme::Mclb,
+        ),
     ] {
         let network = EvaluatedNetwork::prepare(&topo, scheme, 6, 33).expect("routable");
         let config = network.sim_config();
-        let curve = network.sweep(TrafficPattern::Shuffle, &config, &[0.05, 0.15, 0.3, 0.5, 0.7]);
-        let weighted_hops =
-            netsmith_topo::metrics::weighted_average_hops(&topo, &shuffle);
-        rows.push((name, weighted_hops, curve.saturation_packets_per_ns(&config)));
+        let curve = network.sweep(
+            TrafficPattern::Shuffle,
+            &config,
+            &[0.05, 0.15, 0.3, 0.5, 0.7],
+        );
+        let weighted_hops = netsmith_topo::metrics::weighted_average_hops(&topo, &shuffle);
+        rows.push((
+            name,
+            weighted_hops,
+            curve.saturation_packets_per_ns(&config),
+        ));
     }
 
     println!("topology,shuffle_weighted_hops,shuffle_saturation_pkts_per_ns");

@@ -1,8 +1,8 @@
 //! Cross-crate integration tests: the full discover → route → allocate →
 //! simulate pipeline at reduced budgets.
 
-use netsmith::prelude::*;
 use netsmith::gen::Objective;
+use netsmith::prelude::*;
 use netsmith_route::vc::verify_deadlock_free;
 
 fn quick_discover(class: LinkClass, objective: Objective, seed: u64) -> DiscoveryResult {
@@ -50,23 +50,38 @@ fn expert_baselines_flow_through_the_pipeline_with_ndbt() {
 #[test]
 fn full_system_model_prefers_lower_latency_networks() {
     let layout = Layout::noi_4x5();
-    let mesh = EvaluatedNetwork::prepare(&expert::mesh(&layout), RoutingScheme::Ndbt, 6, 5).unwrap();
-    let kite =
-        EvaluatedNetwork::prepare(&expert::kite_medium(&layout), RoutingScheme::Ndbt, 6, 5).unwrap();
+    let mesh =
+        EvaluatedNetwork::prepare(&expert::mesh(&layout), RoutingScheme::Ndbt, 6, 5).unwrap();
+    let kite = EvaluatedNetwork::prepare(&expert::kite_medium(&layout), RoutingScheme::Ndbt, 6, 5)
+        .unwrap();
     let config = FullSystemConfig::quick();
     let mut better = 0;
     let mut total = 0;
     for profile in parsec_suite() {
-        let base = evaluate_topology(&profile, &mesh.topology, &mesh.routing, Some(&mesh.vcs), &config);
-        let improved =
-            evaluate_topology(&profile, &kite.topology, &kite.routing, Some(&kite.vcs), &config);
+        let base = evaluate_topology(
+            &profile,
+            &mesh.topology,
+            &mesh.routing,
+            Some(&mesh.vcs),
+            &config,
+        );
+        let improved = evaluate_topology(
+            &profile,
+            &kite.topology,
+            &kite.routing,
+            Some(&kite.vcs),
+            &config,
+        );
         if improved.speedup_over(&base) >= 1.0 {
             better += 1;
         }
         total += 1;
     }
     // The kite must help (or at least not hurt) the large majority of the suite.
-    assert!(better * 10 >= total * 8, "kite helped only {better}/{total}");
+    assert!(
+        better * 10 >= total * 8,
+        "kite helped only {better}/{total}"
+    );
 }
 
 #[test]

@@ -1,0 +1,42 @@
+//! Fast CI smoke test: the quickstart pipeline — discover → route →
+//! allocate escape VCs → simulate — end-to-end on a tiny 2x4 (8-router)
+//! interposer, so every CI run exercises all layers in seconds without the
+//! full figure workloads.
+
+use netsmith::gen::Objective;
+use netsmith::prelude::*;
+use netsmith_route::vc::verify_deadlock_free;
+
+#[test]
+fn quickstart_pipeline_runs_on_a_tiny_topology() {
+    let layout = Layout::interposer_grid(2, 4, 6);
+    assert!(layout.num_routers() <= 8);
+
+    // Discover (reduced budget: this is a smoke test, not a benchmark).
+    let result = NetSmith::new(layout, LinkClass::Medium)
+        .objective(Objective::LatOp)
+        .evaluations(500)
+        .workers(1)
+        .seed(42)
+        .discover();
+    assert!(result.topology.is_valid());
+    assert!(result.objective.average_hops >= 1.0);
+
+    // Route with MCLB and allocate deadlock-free escape VCs.
+    let network = EvaluatedNetwork::prepare(&result.topology, RoutingScheme::Mclb, 6, 42)
+        .expect("tiny discovered topology must be routable within 6 VCs");
+    assert!(network.routing.is_complete());
+    network.routing.validate(&network.topology).unwrap();
+    assert!(verify_deadlock_free(&network.routing, &network.vcs));
+
+    // Simulate one light load point; it must not saturate and must deliver
+    // measured traffic.
+    let curve = network.sweep(TrafficPattern::UniformRandom, &SimConfig::quick(), &[0.05]);
+    assert_eq!(curve.points.len(), 1);
+    assert!(
+        !curve.points[0].saturated,
+        "0.05 flits/node/cycle must not saturate"
+    );
+    assert!(curve.points[0].latency_ns > 0.0);
+    assert!(curve.points[0].accepted > 0.0);
+}

@@ -1,0 +1,27 @@
+//! Offline shim for `serde`.
+//!
+//! NetSmith derives `Serialize`/`Deserialize` on its public data types but
+//! persists everything through its own plain-text format
+//! (`netsmith_topo::serialize`), so no code path ever calls a serde trait
+//! method. The shim therefore only needs the trait *names* to exist (for
+//! `use serde::{Deserialize, Serialize}` imports and generic bounds) plus
+//! derive macros that accept the same input. Both traits are
+//! blanket-implemented so the no-op derives are always sound.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// sized types.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub mod de {
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+    impl<T: for<'de> super::Deserialize<'de>> DeserializeOwned for T {}
+}

@@ -1,0 +1,49 @@
+//! Offline shim for `serde_json`.
+//!
+//! NetSmith intentionally serializes through its own text format
+//! (`netsmith_topo::serialize`), so nothing in the workspace calls into this
+//! crate today. It exists so `[workspace.dependencies]` stays complete and
+//! future code can take a `serde_json` dependency without touching the
+//! manifest graph. The error type is honest: every entry point reports that
+//! JSON support is stubbed out rather than silently misbehaving.
+
+use std::fmt;
+
+/// Minimal JSON value tree (construction-only; no parser is wired up).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+/// Error type for the stubbed entry points.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json shim: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Stub: always errors (the shim carries no serializer).
+pub fn to_string<T: serde::Serialize>(_value: &T) -> Result<String> {
+    Err(Error(
+        "to_string is not implemented in the offline shim".into(),
+    ))
+}
+
+/// Stub: always errors (the shim carries no parser).
+pub fn from_str<'de, T: serde::Deserialize<'de>>(_s: &'de str) -> Result<T> {
+    Err(Error(
+        "from_str is not implemented in the offline shim".into(),
+    ))
+}
