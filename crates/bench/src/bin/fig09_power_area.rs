@@ -1,8 +1,10 @@
 //! Figure 9: NoI power (static + dynamic) and area (routers + wires)
-//! relative to the mesh baseline, using the DSENT-style model and activity
-//! factors taken from the simulator at a moderate operating point.
+//! relative to the mesh baseline, using the DSENT-style model fed with the
+//! simulator's measured per-link activity at a moderate operating point
+//! (the hand-picked scalar utilization of the original harness is gone —
+//! every flit is charged the wire it actually crossed).
 
-use netsmith::power::{area_report, power_report, relative_to, PowerConfig};
+use netsmith::power::{area_report, power_report_from_activity, relative_to, PowerConfig};
 use netsmith::prelude::*;
 use netsmith_bench::{class_lineup, prepare};
 
@@ -14,40 +16,25 @@ fn main() {
     // Mesh baseline (small class clock).
     let mesh = prepare(&expert::mesh(&layout), RoutingScheme::Ndbt);
     let mesh_cfg = mesh.sim_config();
-    let mesh_util = {
-        let sim = netsmith_sim::NetworkSim::new(
-            &mesh.topology,
-            &mesh.routing,
-            Some(&mesh.vcs),
-            TrafficPattern::UniformRandom,
-            mesh_cfg.clone(),
-        );
-        sim.run(operating_load).avg_link_utilization
-    };
-    let mesh_power = power_report(&mesh.topology, &power_cfg, &mesh_cfg, mesh_util);
+    let mesh_report = mesh.measure(TrafficPattern::UniformRandom, &mesh_cfg, operating_load);
+    let mesh_power =
+        power_report_from_activity(&mesh.topology, &power_cfg, &mesh_cfg, &mesh_report.activity);
     let mesh_area = area_report(&mesh.topology, &power_cfg);
 
-    println!("topology,class,static_power_rel_mesh,dynamic_power_rel_mesh,total_power_rel_mesh,router_area_rel_mesh,wire_area_rel_mesh,total_area_rel_mesh");
+    println!("topology,class,avg_link_utilization,static_power_rel_mesh,dynamic_power_rel_mesh,total_power_rel_mesh,router_area_rel_mesh,wire_area_rel_mesh,total_area_rel_mesh");
     for class in LinkClass::STANDARD {
         for (topo, scheme) in class_lineup(&layout, class) {
             let network = prepare(&topo, scheme);
             let cfg = network.sim_config();
-            let util = {
-                let sim = netsmith_sim::NetworkSim::new(
-                    &network.topology,
-                    &network.routing,
-                    Some(&network.vcs),
-                    TrafficPattern::UniformRandom,
-                    cfg.clone(),
-                );
-                sim.run(operating_load).avg_link_utilization
-            };
-            let power = power_report(&topo, &power_cfg, &cfg, util);
+            let report = network.measure(TrafficPattern::UniformRandom, &cfg, operating_load);
+            let power =
+                power_report_from_activity(&network.topology, &power_cfg, &cfg, &report.activity);
             let area = area_report(&topo, &power_cfg);
             println!(
-                "{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}",
+                "{},{},{:.4},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}",
                 topo.name(),
                 class.name(),
+                report.activity.avg_link_utilization(),
                 relative_to(power.static_mw, mesh_power.static_mw),
                 relative_to(power.dynamic_mw, mesh_power.dynamic_mw),
                 relative_to(power.total_mw(), mesh_power.total_mw()),

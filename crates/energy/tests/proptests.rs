@@ -1,0 +1,124 @@
+//! Property tests for the energy subsystem: dynamic energy monotone in
+//! injected load, gated savings bounded by the static budget, and gating
+//! never breaking deadlock freedom.
+
+use netsmith_energy::{AlwaysOn, EnergyConfig, EnergyContext, EnergyPolicy, LinkSleep};
+use netsmith_power::static_power_mw;
+use netsmith_route::paths::all_shortest_paths;
+use netsmith_route::vc::verify_deadlock_free;
+use netsmith_route::{allocate_vcs, mclb_route, MclbConfig, RoutingTable, VcAllocation};
+use netsmith_sim::{NetworkSim, SimConfig, SimReport};
+use netsmith_topo::metrics::unreachable_pairs;
+use netsmith_topo::traffic::TrafficPattern;
+use netsmith_topo::{expert, Layout, Topology};
+use proptest::prelude::*;
+
+fn quick_config(seed: u64) -> SimConfig {
+    SimConfig {
+        warmup_cycles: 200,
+        measure_cycles: 800,
+        drain_cycles: 600,
+        seed,
+        ..SimConfig::default()
+    }
+}
+
+fn prepared(topo: &Topology) -> (RoutingTable, VcAllocation) {
+    let paths = all_shortest_paths(topo);
+    let table = mclb_route(&paths, &MclbConfig::default());
+    let vcs = allocate_vcs(&table, 6, 7).expect("fits in 6 VCs");
+    (table, vcs)
+}
+
+fn run(
+    topo: &Topology,
+    table: &RoutingTable,
+    vcs: &VcAllocation,
+    seed: u64,
+    load: f64,
+) -> SimReport {
+    NetworkSim::new(
+        topo,
+        table,
+        Some(vcs),
+        TrafficPattern::UniformRandom,
+        quick_config(seed),
+    )
+    .run(load)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// More offered (and, below saturation, delivered) load means more flit
+    /// traversals, so dynamic energy must grow with injected load.
+    #[test]
+    fn dynamic_energy_is_monotone_in_injected_load(seed in 0u64..5_000, load in 0.02f64..0.12) {
+        let layout = Layout::noi_4x5();
+        let topo = expert::folded_torus(&layout);
+        let (table, vcs) = prepared(&topo);
+        let sim = quick_config(seed);
+        let config = EnergyConfig::default();
+        let low = run(&topo, &table, &vcs, seed, load);
+        let high = run(&topo, &table, &vcs, seed, 2.0 * load);
+        let energy_of = |report: &SimReport| {
+            AlwaysOn.evaluate(&EnergyContext {
+                topology: &topo,
+                routing: &table,
+                vcs: &vcs,
+                sim: &sim,
+                report,
+                config: &config,
+            })
+        };
+        let low_energy = energy_of(&low);
+        let high_energy = energy_of(&high);
+        prop_assert!(
+            high_energy.dynamic_mw > low_energy.dynamic_mw,
+            "dynamic power {} at load {} vs {} at load {}",
+            high_energy.dynamic_mw, 2.0 * load, low_energy.dynamic_mw, load
+        );
+        // Static power is activity-independent.
+        prop_assert!((high_energy.static_mw - low_energy.static_mw).abs() < 1e-9);
+    }
+
+    /// LinkSleep savings are non-negative and can never exceed the total
+    /// static (leakage) budget of the topology, and the gated sub-topology
+    /// always stays strongly connected and deadlock-free.
+    #[test]
+    fn link_sleep_savings_are_bounded_and_gating_is_safe(
+        seed in 0u64..5_000,
+        load in 0.02f64..0.2,
+        threshold in 0.0f64..0.5,
+    ) {
+        let layout = Layout::noi_4x5();
+        let topo = expert::kite_medium(&layout);
+        let (table, vcs) = prepared(&topo);
+        let sim = quick_config(seed);
+        let config = EnergyConfig::default();
+        let report = run(&topo, &table, &vcs, seed, load);
+        let ctx = EnergyContext {
+            topology: &topo,
+            routing: &table,
+            vcs: &vcs,
+            sim: &sim,
+            report: &report,
+            config: &config,
+        };
+        let policy = LinkSleep { idle_threshold: threshold, wake_penalty_cycles: 8 };
+        let energy = policy.evaluate(&ctx);
+        prop_assert!(energy.gated_savings_mw >= 0.0);
+        prop_assert!(energy.gated_savings_mw <= static_power_mw(&topo, &config.power) + 1e-9);
+        prop_assert!(energy.routable, "gated configuration must remain routable");
+        prop_assert!(energy.static_mw >= 0.0);
+
+        let gated = policy.gate(&ctx).expect("original network routes");
+        prop_assert_eq!(unreachable_pairs(&gated.topology), 0);
+        prop_assert!(gated.routing.is_complete());
+        prop_assert!(
+            verify_deadlock_free(&gated.routing, &gated.vcs),
+            "gating broke deadlock freedom with threshold {}", threshold
+        );
+        prop_assert_eq!(energy.gated_links, gated.gated_pairs.len());
+    }
+}

@@ -134,6 +134,16 @@ impl NetSmith {
                 latency_weight * bounds::latop_lower_bound(&self.problem)
                     - bandwidth_weight * bounds::scop_upper_bound(&self.problem) * 1.0e7
             }
+            Objective::EnergyOp { edp_weight } => {
+                // Router leakage is unavoidable; wire terms are >= 0 and
+                // the EDP term is increasing in hops, so evaluating it at
+                // the hop lower bound with zero wire length under-estimates
+                // every achievable score.
+                let n = self.problem.num_routers() as f64;
+                let avg_hops_lb = bounds::average_hops_lower_bound(&self.problem);
+                n * crate::objective::energy_proxy::ROUTER_LEAKAGE_MW
+                    + edp_weight * crate::objective::energy_proxy::edp_term(avg_hops_lb, 0.0)
+            }
         }
     }
 
@@ -241,6 +251,20 @@ mod tests {
             result.objective.average_hops < torus_hops,
             "NS-LatOp {} vs Folded Torus {torus_hops}",
             result.objective.average_hops
+        );
+    }
+
+    #[test]
+    fn energyop_discovery_is_valid_and_bound_consistent() {
+        let result = quick(LinkClass::Medium, Objective::EnergyOp { edp_weight: 5.0 }).discover();
+        assert_eq!(result.topology.name(), "NS-EnergyOp-medium");
+        assert!(result.topology.is_valid());
+        assert!(result.objective.connected);
+        assert!(
+            result.bound <= result.objective.score + 1e-6,
+            "bound {} exceeds incumbent {}",
+            result.bound,
+            result.objective.score
         );
     }
 

@@ -22,8 +22,8 @@
 //!
 //! The public entry point is [`NetSmith`], which mirrors the way the paper
 //! uses the framework: pick a layout, a link class and an objective, give
-//! it a time budget, and receive a validated [`Topology`] plus the solver
-//! progress trace.
+//! it a time budget, and receive a validated
+//! [`Topology`](netsmith_topo::Topology) plus the solver progress trace.
 
 pub mod anneal;
 pub mod bounds;

@@ -22,6 +22,31 @@ const SCOP_BANDWIDTH_SCALE: f64 = 1.0e7;
 /// topology scores better than any disconnected one.
 const DISCONNECTION_PENALTY: f64 = 1.0e9;
 
+/// Technology constants of the analytic energy proxy used by
+/// [`Objective::EnergyOp`].  They mirror `netsmith_power::PowerConfig`'s
+/// defaults (kept as local constants so the search engine stays free of the
+/// simulator/power dependency chain); the proxy only needs the *relative*
+/// weighting of router vs. wire energy to rank candidate topologies.
+pub(crate) mod energy_proxy {
+    /// Router leakage per router in mW.
+    pub const ROUTER_LEAKAGE_MW: f64 = 4.0;
+    /// Wire leakage per millimetre in mW.
+    pub const WIRE_LEAKAGE_MW_PER_MM: f64 = 0.15;
+    /// Dynamic energy per flit per router traversal in pJ.
+    pub const ROUTER_ENERGY_PJ: f64 = 3.0;
+    /// Dynamic energy per flit per millimetre of wire in pJ.
+    pub const WIRE_ENERGY_PJ_PER_MM: f64 = 0.9;
+
+    /// Hop-count-dependent part of the proxy: energy per flit (router +
+    /// wire traversals along an average path) times the delay proxy
+    /// (average hops) — an analytic energy-delay product.
+    pub fn edp_term(average_hops: f64, avg_link_mm: f64) -> f64 {
+        let energy_per_flit_pj = (average_hops + 1.0) * ROUTER_ENERGY_PJ
+            + average_hops * avg_link_mm * WIRE_ENERGY_PJ_PER_MM;
+        energy_per_flit_pj * average_hops
+    }
+}
+
 /// Optimization objective.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Objective {
@@ -42,6 +67,13 @@ pub enum Objective {
         latency_weight: f64,
         bandwidth_weight: f64,
     },
+    /// Minimize an analytic energy proxy: static (leakage) power of the
+    /// link/router inventory plus `edp_weight` times an energy-delay
+    /// product built from the average hop count and the wire length each
+    /// traversal drives.  Lets the annealer synthesize energy-optimal
+    /// topologies for the `netsmith-energy` subsystem; the proxy's
+    /// technology constants mirror `netsmith-power`'s defaults.
+    EnergyOp { edp_weight: f64 },
 }
 
 impl Objective {
@@ -52,6 +84,7 @@ impl Objective {
             Objective::SCOp => "SCOp",
             Objective::PatternLatOp(_) => "ShufOpt",
             Objective::Combined { .. } => "Combined",
+            Objective::EnergyOp { .. } => "EnergyOp",
         }
     }
 
@@ -94,6 +127,17 @@ impl Objective {
             } => {
                 latency_weight * total_hops as f64
                     - bandwidth_weight * sparsest_cut * SCOP_BANDWIDTH_SCALE
+            }
+            Objective::EnergyOp { edp_weight } => {
+                let wire_mm = topo.total_wire_length_mm();
+                let static_mw = n * energy_proxy::ROUTER_LEAKAGE_MW
+                    + wire_mm * energy_proxy::WIRE_LEAKAGE_MW_PER_MM;
+                let avg_link_mm = if topo.num_links() == 0 {
+                    0.0
+                } else {
+                    wire_mm / topo.num_links() as f64
+                };
+                static_mw + edp_weight * energy_proxy::edp_term(average_hops, avg_link_mm)
             }
         };
         ObjectiveValue {
@@ -260,5 +304,45 @@ mod tests {
     fn short_names_are_stable() {
         assert_eq!(Objective::LatOp.short_name(), "LatOp");
         assert_eq!(Objective::SCOp.short_name(), "SCOp");
+        assert_eq!(
+            Objective::EnergyOp { edp_weight: 1.0 }.short_name(),
+            "EnergyOp"
+        );
+    }
+
+    #[test]
+    fn energyop_prefers_sparser_wiring_at_zero_edp_weight() {
+        // With the EDP term switched off the proxy is pure static power, so
+        // the mesh (short links only) must beat the wire-hungry torus.
+        let layout = Layout::noi_4x5();
+        let o = Objective::EnergyOp { edp_weight: 0.0 };
+        let mesh = o.evaluate(&expert::mesh(&layout));
+        let torus = o.evaluate(&expert::folded_torus(&layout));
+        assert!(mesh.score < torus.score);
+        assert!(mesh.connected && torus.connected);
+    }
+
+    #[test]
+    fn energyop_edp_weight_rewards_lower_hop_counts() {
+        // Kite-Large has far fewer average hops than the mesh; with a large
+        // enough EDP weight the delay term dominates static wire power and
+        // the ordering flips relative to the pure-static proxy.
+        let layout = Layout::noi_4x5();
+        let mesh = expert::mesh(&layout);
+        let kite = expert::kite_large(&layout);
+        let static_only = Objective::EnergyOp { edp_weight: 0.0 };
+        assert!(static_only.evaluate(&mesh).score < static_only.evaluate(&kite).score);
+        let edp_heavy = Objective::EnergyOp { edp_weight: 50.0 };
+        assert!(edp_heavy.evaluate(&kite).score < edp_heavy.evaluate(&mesh).score);
+    }
+
+    #[test]
+    fn energyop_penalizes_disconnection() {
+        let layout = Layout::noi_4x5();
+        let empty = netsmith_topo::Topology::empty("none", layout.clone(), LinkClass::Small);
+        let o = Objective::EnergyOp { edp_weight: 1.0 };
+        let bad = o.evaluate(&empty);
+        assert!(!bad.connected);
+        assert!(bad.score > o.evaluate(&expert::mesh(&layout)).score * 1e3);
     }
 }

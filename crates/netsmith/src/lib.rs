@@ -21,6 +21,7 @@
 //! | [`sim`] | cycle-driven NoI simulator (gem5/HeteroGarnet substitute) |
 //! | [`system`] | PARSEC-style full-system speedup model |
 //! | [`power`] | DSENT-style area/power model |
+//! | [`energy`] | measured-activity energy policies (link sleep, DVFS) |
 //!
 //! The [`pipeline`] module strings these together the way the paper's
 //! evaluation does: discover (or pick) a topology → route it with MCLB (or
@@ -47,6 +48,7 @@
 //! assert!(network.metrics.average_hops < 3.0);
 //! ```
 
+pub use netsmith_energy as energy;
 pub use netsmith_gen as gen;
 pub use netsmith_lp as lp;
 pub use netsmith_power as power;
@@ -62,8 +64,13 @@ pub use pipeline::{EvaluatedNetwork, RoutingScheme};
 /// Commonly used items, re-exported for examples and downstream users.
 pub mod prelude {
     pub use crate::pipeline::{EvaluatedNetwork, RoutingScheme};
+    pub use netsmith_energy::{
+        AlwaysOn, Dvfs, EnergyConfig, EnergyPolicy, EnergyReport, LinkSleep,
+    };
     pub use netsmith_gen::{DiscoveryResult, NetSmith, Objective};
-    pub use netsmith_power::{area_report, power_report, PowerConfig};
+    #[allow(deprecated)] // the scalar power_report stays exported as a shim
+    pub use netsmith_power::power_report;
+    pub use netsmith_power::{area_report, power_report_from_activity, PowerConfig};
     pub use netsmith_route::{allocate_vcs, mclb_route, ndbt_route, MclbConfig, RoutingTable};
     pub use netsmith_sim::{sweep_injection_rates, LatencyCurve, SimConfig};
     pub use netsmith_system::{evaluate_topology, parsec_suite, FullSystemConfig};

@@ -1,10 +1,11 @@
 //! The discover → route → allocate → evaluate pipeline.
 
+use netsmith_energy::{EnergyConfig, EnergyContext, EnergyPolicy, EnergyReport};
 use netsmith_route::paths::all_shortest_paths;
 use netsmith_route::{
     allocate_vcs, mclb_route, ndbt_route, MclbConfig, RoutingTable, VcAllocation,
 };
-use netsmith_sim::{sweep_injection_rates, LatencyCurve, SimConfig};
+use netsmith_sim::{sweep_injection_rates, LatencyCurve, NetworkSim, SimConfig, SimReport};
 use netsmith_topo::metrics::TopologyMetrics;
 use netsmith_topo::traffic::TrafficPattern;
 use netsmith_topo::Topology;
@@ -105,6 +106,42 @@ impl EvaluatedNetwork {
     pub fn sim_config(&self) -> SimConfig {
         SimConfig::for_class(self.topology.class())
     }
+
+    /// Run one simulation at an offered load and return the full report,
+    /// including the per-link/per-router [`ActivityProfile`] that energy
+    /// policies and the measured power model consume.
+    ///
+    /// [`ActivityProfile`]: netsmith_sim::ActivityProfile
+    pub fn measure(&self, pattern: TrafficPattern, config: &SimConfig, load: f64) -> SimReport {
+        NetworkSim::new(
+            &self.topology,
+            &self.routing,
+            Some(&self.vcs),
+            pattern,
+            config.clone(),
+        )
+        .run(load)
+    }
+
+    /// Evaluate an energy-management policy against a measured operating
+    /// point (a report previously produced by [`EvaluatedNetwork::measure`]
+    /// under `config`).
+    pub fn energy_report(
+        &self,
+        policy: &dyn EnergyPolicy,
+        sim_config: &SimConfig,
+        report: &SimReport,
+        energy_config: &EnergyConfig,
+    ) -> EnergyReport {
+        policy.evaluate(&EnergyContext {
+            topology: &self.topology,
+            routing: &self.routing,
+            vcs: &self.vcs,
+            sim: sim_config,
+            report,
+            config: energy_config,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -140,6 +177,35 @@ mod tests {
         let curve = network.sweep(TrafficPattern::UniformRandom, &config, &[0.05, 0.3]);
         assert_eq!(curve.points.len(), 2);
         assert!(curve.points[0].latency_cycles > 0.0);
+    }
+
+    #[test]
+    fn energy_report_compares_policies_through_the_pipeline() {
+        use netsmith_energy::{AlwaysOn, LinkSleep};
+        let layout = Layout::noi_4x5();
+        let topo = expert::folded_torus(&layout);
+        let network = EvaluatedNetwork::prepare(&topo, RoutingScheme::Mclb, 6, 3).unwrap();
+        let sim_config = SimConfig::quick();
+        let energy_config = EnergyConfig::default();
+        let report = network.measure(TrafficPattern::UniformRandom, &sim_config, 0.02);
+        let always = network.energy_report(&AlwaysOn, &sim_config, &report, &energy_config);
+        let sleep = network.energy_report(
+            &LinkSleep {
+                idle_threshold: 0.15,
+                wake_penalty_cycles: 8,
+            },
+            &sim_config,
+            &report,
+            &energy_config,
+        );
+        assert!(always.total_mw() > 0.0);
+        assert!(sleep.routable);
+        assert!(
+            sleep.total_mw() < always.total_mw(),
+            "link sleep {} should beat always-on {} at 2% load",
+            sleep.total_mw(),
+            always.total_mw()
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The analytical area/power model.
 
-use netsmith_sim::SimConfig;
+use netsmith_sim::{ActivityProfile, SimConfig};
 use netsmith_topo::Topology;
 use serde::{Deserialize, Serialize};
 
@@ -61,20 +61,31 @@ impl AreaReport {
     }
 }
 
-/// Compute the power of a topology.
+/// Static (leakage) power of a topology in mW: router leakage plus
+/// length-proportional wire leakage.
+pub fn static_power_mw(topo: &Topology, config: &PowerConfig) -> f64 {
+    topo.num_routers() as f64 * config.router_leakage_mw
+        + topo.total_wire_length_mm() * config.wire_leakage_mw_per_mm
+}
+
+/// Compute the power of a topology from a scalar activity factor.
 ///
 /// `avg_link_utilization` is the mean fraction of cycles each link carries
 /// a flit (as reported by the simulator at the operating point of
 /// interest); `sim` supplies the NoI clock, which scales dynamic power.
+#[deprecated(
+    since = "0.1.0",
+    note = "feeds the model a single hand-picked activity scalar; use \
+            `power_report_from_activity` with the simulator's measured \
+            per-link `ActivityProfile` instead"
+)]
 pub fn power_report(
     topo: &Topology,
     config: &PowerConfig,
     sim: &SimConfig,
     avg_link_utilization: f64,
 ) -> PowerReport {
-    let n = topo.num_routers() as f64;
-    let wire_mm = topo.total_wire_length_mm();
-    let static_mw = n * config.router_leakage_mw + wire_mm * config.wire_leakage_mw_per_mm;
+    let static_mw = static_power_mw(topo, config);
     // Flits per second crossing the network: every directed link carries
     // `utilization` flits per cycle.
     let flits_per_ns = topo.num_directed_links() as f64 * avg_link_utilization * sim.clock_ghz;
@@ -82,12 +93,42 @@ pub fn power_report(
     let avg_link_mm = if topo.num_links() == 0 {
         0.0
     } else {
-        wire_mm / topo.num_links() as f64
+        topo.total_wire_length_mm() / topo.num_links() as f64
     };
     let energy_per_flit_pj =
         config.router_energy_pj_per_flit + config.wire_energy_pj_per_flit_mm * avg_link_mm;
     // pJ per ns == mW.
     let dynamic_mw = flits_per_ns * energy_per_flit_pj;
+    PowerReport {
+        static_mw,
+        dynamic_mw,
+    }
+}
+
+/// Compute the power of a topology from the simulator's measured per-link
+/// activity.
+///
+/// Unlike the deprecated scalar [`power_report`], every flit traversal is
+/// charged the wire energy of the *specific* link it crossed, so
+/// topologies that concentrate traffic on short links are no longer
+/// over-charged by the network-average wire length (and vice versa).
+pub fn power_report_from_activity(
+    topo: &Topology,
+    config: &PowerConfig,
+    sim: &SimConfig,
+    activity: &ActivityProfile,
+) -> PowerReport {
+    let static_mw = static_power_mw(topo, config);
+    let mut dynamic_mw = 0.0;
+    if activity.measured_cycles > 0 {
+        let layout = topo.layout();
+        for link in &activity.links {
+            let flits_per_ns = link.flits as f64 / activity.measured_cycles as f64 * sim.clock_ghz;
+            let energy_per_flit_pj = config.router_energy_pj_per_flit
+                + config.wire_energy_pj_per_flit_mm * layout.distance_mm(link.from, link.to);
+            dynamic_mw += flits_per_ns * energy_per_flit_pj;
+        }
+    }
     PowerReport {
         static_mw,
         dynamic_mw,
@@ -113,8 +154,12 @@ pub fn relative_to(value: f64, baseline: f64) -> f64 {
 }
 
 #[cfg(test)]
+// The scalar power_report is kept as a deprecated shim; its regression
+// tests intentionally keep exercising it.
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use netsmith_sim::LinkActivity;
     use netsmith_topo::expert;
     use netsmith_topo::{Layout, LinkClass};
 
@@ -149,6 +194,97 @@ mod tests {
         assert!(faster.dynamic_mw > low.dynamic_mw);
         // Static power does not depend on activity.
         assert!((high.static_mw - low.static_mw).abs() < 1e-9);
+    }
+
+    /// A uniform activity profile with every link busy `utilization` of the
+    /// window.
+    fn uniform_activity(topo: &Topology, utilization: f64) -> ActivityProfile {
+        let cycles = 1_000u64;
+        ActivityProfile {
+            measured_cycles: cycles,
+            links: topo
+                .links()
+                .map(|(from, to)| LinkActivity {
+                    from,
+                    to,
+                    flits: (utilization * cycles as f64) as u64,
+                    busy_cycles: (utilization * cycles as f64) as u64,
+                })
+                .collect(),
+            routers: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn measured_report_matches_scalar_shim_on_uniform_activity() {
+        // When every link carries the same load, the per-link accounting
+        // must agree with the scalar model up to the wire-length averaging
+        // (exact on the mesh, whose links all have equal length).
+        let layout = Layout::noi_4x5();
+        let cfg = PowerConfig::default();
+        let sim = SimConfig::default();
+        let mesh = expert::mesh(&layout);
+        let activity = uniform_activity(&mesh, 0.2);
+        let measured = power_report_from_activity(&mesh, &cfg, &sim, &activity);
+        let scalar = power_report(&mesh, &cfg, &sim, activity.avg_link_utilization());
+        assert!((measured.static_mw - scalar.static_mw).abs() < 1e-9);
+        assert!(
+            (measured.dynamic_mw - scalar.dynamic_mw).abs() < 1e-6 * scalar.dynamic_mw,
+            "measured {} vs scalar {}",
+            measured.dynamic_mw,
+            scalar.dynamic_mw
+        );
+    }
+
+    #[test]
+    fn measured_report_charges_the_link_actually_used() {
+        // Concentrating all traffic on the longest links must cost more
+        // dynamic power than the same flit count on the shortest links.
+        let layout = Layout::noi_4x5();
+        let cfg = PowerConfig::default();
+        let sim = SimConfig::default();
+        let torus = expert::folded_torus(&layout);
+        let mut links: Vec<(usize, usize)> = torus.links().collect();
+        links.sort_by(|a, b| {
+            layout
+                .distance_mm(a.0, a.1)
+                .partial_cmp(&layout.distance_mm(b.0, b.1))
+                .unwrap()
+        });
+        let activity_on = |subset: &[(usize, usize)]| ActivityProfile {
+            measured_cycles: 1_000,
+            links: subset
+                .iter()
+                .map(|&(from, to)| LinkActivity {
+                    from,
+                    to,
+                    flits: 500,
+                    busy_cycles: 500,
+                })
+                .collect(),
+            routers: Vec::new(),
+        };
+        let short = power_report_from_activity(&torus, &cfg, &sim, &activity_on(&links[..4]));
+        let long =
+            power_report_from_activity(&torus, &cfg, &sim, &activity_on(&links[links.len() - 4..]));
+        assert!(
+            long.dynamic_mw > short.dynamic_mw,
+            "long {} vs short {}",
+            long.dynamic_mw,
+            short.dynamic_mw
+        );
+        assert!((long.static_mw - short.static_mw).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_activity_has_zero_dynamic_power() {
+        let layout = Layout::noi_4x5();
+        let cfg = PowerConfig::default();
+        let sim = SimConfig::default();
+        let mesh = expert::mesh(&layout);
+        let report = power_report_from_activity(&mesh, &cfg, &sim, &ActivityProfile::empty());
+        assert_eq!(report.dynamic_mw, 0.0);
+        assert!(report.static_mw > 0.0);
     }
 
     #[test]

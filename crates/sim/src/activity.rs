@@ -1,0 +1,193 @@
+//! Per-link and per-router activity accounting.
+//!
+//! The paper's power analysis (Figure 9) feeds DSENT a single network-wide
+//! activity factor.  That scalar hides exactly the information an
+//! energy-proportional fabric needs: *which* links are idle enough to
+//! power-gate and *which* routers see sustained buffer pressure.  The
+//! simulator therefore records, over the measurement window, a full
+//! [`ActivityProfile`]: flit counts and busy cycles for every directed
+//! link, plus forwarded-flit counts, active cycles and average buffer
+//! occupancy for every router.  Energy policies (`netsmith-energy`) and
+//! the measured power model (`netsmith-power`) consume this profile
+//! instead of a hand-picked utilization guess.
+
+use netsmith_topo::RouterId;
+use serde::{Deserialize, Serialize};
+
+/// Measured activity of one directed link over the measurement window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkActivity {
+    /// Source router of the directed link.
+    pub from: RouterId,
+    /// Destination router of the directed link.
+    pub to: RouterId,
+    /// Flits that started traversing the link during the window.
+    pub flits: u64,
+    /// Cycles within the window the link spent serializing flits.
+    pub busy_cycles: u64,
+}
+
+impl LinkActivity {
+    /// Fraction of window cycles the link was busy (0 when the window is
+    /// empty).
+    pub fn utilization(&self, measured_cycles: u64) -> f64 {
+        if measured_cycles == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / measured_cycles as f64
+        }
+    }
+}
+
+/// Measured activity of one router over the measurement window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouterActivity {
+    /// Router id.
+    pub router: RouterId,
+    /// Flits this router forwarded onto any outgoing link (ejection
+    /// included) during the window.
+    pub flits_forwarded: u64,
+    /// Cycles within the window in which the router forwarded at least one
+    /// packet (crossbar active).
+    pub active_cycles: u64,
+    /// Sum over window cycles of flits resident in this router's input
+    /// buffers (flit-cycles); divide by the window length for the average
+    /// occupancy.
+    pub buffer_flit_cycles: u64,
+}
+
+impl RouterActivity {
+    /// Mean buffered flits per cycle over the window.
+    pub fn avg_buffered_flits(&self, measured_cycles: u64) -> f64 {
+        if measured_cycles == 0 {
+            0.0
+        } else {
+            self.buffer_flit_cycles as f64 / measured_cycles as f64
+        }
+    }
+}
+
+/// Complete per-link / per-router activity record of one simulation run,
+/// measured over the measurement window only (warm-up and drain excluded).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActivityProfile {
+    /// Length of the measurement window in cycles.
+    pub measured_cycles: u64,
+    /// One entry per directed link of the simulated topology, in
+    /// `Topology::links()` iteration order.
+    pub links: Vec<LinkActivity>,
+    /// One entry per router, indexed by router id.
+    pub routers: Vec<RouterActivity>,
+}
+
+impl ActivityProfile {
+    /// Empty profile for a network with no links or routers.
+    pub fn empty() -> Self {
+        ActivityProfile {
+            measured_cycles: 0,
+            links: Vec::new(),
+            routers: Vec::new(),
+        }
+    }
+
+    /// Mean link utilization across all directed links — the measured
+    /// replacement for the scalar activity factor of the static power
+    /// model.
+    pub fn avg_link_utilization(&self) -> f64 {
+        if self.links.is_empty() || self.measured_cycles == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self.links.iter().map(|l| l.busy_cycles).sum();
+        busy as f64 / (self.links.len() as f64 * self.measured_cycles as f64)
+    }
+
+    /// Utilization of a specific directed link, when present.
+    pub fn link_utilization(&self, from: RouterId, to: RouterId) -> Option<f64> {
+        self.links
+            .iter()
+            .find(|l| l.from == from && l.to == to)
+            .map(|l| l.utilization(self.measured_cycles))
+    }
+
+    /// Total flit-traversals across all links during the window.
+    pub fn total_link_flits(&self) -> u64 {
+        self.links.iter().map(|l| l.flits).sum()
+    }
+
+    /// Network-wide flit-traversals per cycle (all links summed).
+    pub fn flits_per_cycle(&self) -> f64 {
+        if self.measured_cycles == 0 {
+            0.0
+        } else {
+            self.total_link_flits() as f64 / self.measured_cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> ActivityProfile {
+        ActivityProfile {
+            measured_cycles: 100,
+            links: vec![
+                LinkActivity {
+                    from: 0,
+                    to: 1,
+                    flits: 50,
+                    busy_cycles: 50,
+                },
+                LinkActivity {
+                    from: 1,
+                    to: 0,
+                    flits: 10,
+                    busy_cycles: 10,
+                },
+            ],
+            routers: vec![
+                RouterActivity {
+                    router: 0,
+                    flits_forwarded: 50,
+                    active_cycles: 40,
+                    buffer_flit_cycles: 200,
+                },
+                RouterActivity {
+                    router: 1,
+                    flits_forwarded: 10,
+                    active_cycles: 10,
+                    buffer_flit_cycles: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn utilization_is_busy_over_window() {
+        let p = profile();
+        assert!((p.avg_link_utilization() - 0.3).abs() < 1e-12);
+        assert_eq!(p.link_utilization(0, 1), Some(0.5));
+        assert_eq!(p.link_utilization(1, 0), Some(0.1));
+        assert_eq!(p.link_utilization(0, 5), None);
+    }
+
+    #[test]
+    fn totals_aggregate_links() {
+        let p = profile();
+        assert_eq!(p.total_link_flits(), 60);
+        assert!((p.flits_per_cycle() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn router_occupancy_averages_over_window() {
+        let p = profile();
+        assert!((p.routers[0].avg_buffered_flits(p.measured_cycles) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_profile_is_all_zero() {
+        let p = ActivityProfile::empty();
+        assert_eq!(p.avg_link_utilization(), 0.0);
+        assert_eq!(p.flits_per_cycle(), 0.0);
+    }
+}

@@ -31,11 +31,13 @@
 //! same switching model, the comparisons the paper makes — who saturates
 //! first, by roughly what factor — are preserved.
 
+pub mod activity;
 pub mod config;
 pub mod network;
 pub mod stats;
 pub mod sweep;
 
+pub use activity::{ActivityProfile, LinkActivity, RouterActivity};
 pub use config::{PacketClass, SimConfig};
 pub use network::{NetworkSim, SimReport};
 pub use stats::LatencyStats;

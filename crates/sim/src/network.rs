@@ -1,5 +1,6 @@
 //! The cycle-driven network simulator core.
 
+use crate::activity::{ActivityProfile, LinkActivity, RouterActivity};
 use crate::config::{PacketClass, SimConfig};
 use crate::stats::LatencyStats;
 use netsmith_route::Flow;
@@ -56,6 +57,9 @@ pub struct SimReport {
     /// Average link utilization (flit-cycles used / link-cycles available)
     /// over the measurement window.
     pub avg_link_utilization: f64,
+    /// Per-directed-link and per-router activity measured over the window;
+    /// the input to measured power reports and energy policies.
+    pub activity: ActivityProfile,
 }
 
 impl SimReport {
@@ -124,7 +128,14 @@ impl<'a> NetworkSim<'a> {
 
         let links: Vec<(RouterId, RouterId)> = self.topo.links().collect();
         let mut link_free_at: Vec<u64> = vec![0; links.len()];
+        // Windowed activity accounting (measurement cycles only).
+        let mut link_flits: Vec<u64> = vec![0; links.len()];
         let mut link_busy_cycles: Vec<u64> = vec![0; links.len()];
+        let mut router_flits: Vec<u64> = vec![0; n];
+        let mut router_active_cycles: Vec<u64> = vec![0; n];
+        let mut router_last_active: Vec<u64> = vec![u64::MAX; n];
+        let mut router_buffered_flits: Vec<u64> = vec![0; n];
+        let mut router_buffer_flit_cycles: Vec<u64> = vec![0; n];
 
         // Per-incoming-channel, per-VC buffer occupancy in flits.  Buffers
         // are per channel (not per router) so the Dally & Seitz argument —
@@ -147,6 +158,13 @@ impl<'a> NetworkSim<'a> {
         let mut measured_outstanding: u64 = 0;
 
         for cycle in 0..total_cycles {
+            let in_window = cycle >= measure_start && cycle < measure_end;
+            // 0. Buffer-occupancy sampling for the router activity profile.
+            if in_window {
+                for (r, &buffered) in router_buffered_flits.iter().enumerate() {
+                    router_buffer_flit_cycles[r] += buffered;
+                }
+            }
             // 1. Traffic generation (stops after the measurement window so
             //    the drain phase can empty the network).
             if cycle < measure_end {
@@ -236,10 +254,20 @@ impl<'a> NetworkSim<'a> {
                     let freed = residents[from].swap_remove(ri);
                     vc_occupancy[freed.in_link][packet.vc] =
                         vc_occupancy[freed.in_link][packet.vc].saturating_sub(packet.flits);
+                    router_buffered_flits[from] =
+                        router_buffered_flits[from].saturating_sub(packet.flits as u64);
                 }
                 let serialization = packet.flits as u64;
                 link_free_at[idx] = cycle + serialization;
-                link_busy_cycles[idx] += serialization.min(total_cycles - cycle);
+                if in_window {
+                    link_flits[idx] += serialization;
+                    link_busy_cycles[idx] += serialization.min(measure_end - cycle);
+                    router_flits[from] += serialization;
+                    if router_last_active[from] != cycle {
+                        router_last_active[from] = cycle;
+                        router_active_cycles[from] += 1;
+                    }
+                }
                 let arrival = cycle + cfg.link_latency + serialization + cfg.router_latency;
                 if ejecting {
                     // Ejected at the destination.
@@ -255,6 +283,7 @@ impl<'a> NetworkSim<'a> {
                     }
                 } else {
                     vc_occupancy[idx][packet.vc] += packet.flits;
+                    router_buffered_flits[to] += packet.flits as u64;
                     residents[to].push(Resident {
                         packet,
                         ready_at: arrival,
@@ -266,10 +295,26 @@ impl<'a> NetworkSim<'a> {
 
         let measure_cycles = cfg.measure_cycles as f64;
         let accepted = flits_ejected_in_window as f64 / (n as f64 * measure_cycles);
-        let utilization = if links.is_empty() {
-            0.0
-        } else {
-            link_busy_cycles.iter().sum::<u64>() as f64 / (links.len() as f64 * total_cycles as f64)
+        let activity = ActivityProfile {
+            measured_cycles: cfg.measure_cycles,
+            links: links
+                .iter()
+                .enumerate()
+                .map(|(idx, &(from, to))| LinkActivity {
+                    from,
+                    to,
+                    flits: link_flits[idx],
+                    busy_cycles: link_busy_cycles[idx],
+                })
+                .collect(),
+            routers: (0..n)
+                .map(|r| RouterActivity {
+                    router: r,
+                    flits_forwarded: router_flits[r],
+                    active_cycles: router_active_cycles[r],
+                    buffer_flit_cycles: router_buffer_flit_cycles[r],
+                })
+                .collect(),
         };
         let avg_latency_cycles = stats.mean();
         SimReport {
@@ -281,7 +326,8 @@ impl<'a> NetworkSim<'a> {
             packets_injected,
             packets_ejected,
             packets_unfinished: measured_outstanding,
-            avg_link_utilization: utilization,
+            avg_link_utilization: activity.avg_link_utilization(),
+            activity,
         }
     }
 }
@@ -405,6 +451,40 @@ mod tests {
         let a = sim.run(0.2);
         let b = sim.run(0.2);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn activity_profile_is_consistent_with_the_report() {
+        let mesh = expert::mesh(&Layout::noi_4x5());
+        let (table, alloc) = setup(&mesh);
+        let sim = NetworkSim::new(
+            &mesh,
+            &table,
+            Some(&alloc),
+            TrafficPattern::UniformRandom,
+            SimConfig::quick(),
+        );
+        let report = sim.run(0.2);
+        let activity = &report.activity;
+        // One entry per directed link and per router.
+        assert_eq!(activity.links.len(), mesh.num_directed_links());
+        assert_eq!(activity.routers.len(), mesh.num_routers());
+        // The scalar utilization is exactly the profile's average.
+        assert!((report.avg_link_utilization - activity.avg_link_utilization()).abs() < 1e-12);
+        assert!(activity.avg_link_utilization() > 0.0);
+        // Busy cycles never exceed the window, flits move somewhere.
+        for l in &activity.links {
+            assert!(l.busy_cycles <= activity.measured_cycles);
+            assert!(mesh.has_link(l.from, l.to));
+        }
+        assert!(activity.total_link_flits() > 0);
+        // Every forwarded flit is attributed to the router driving the link.
+        let link_total: u64 = activity.links.iter().map(|l| l.flits).sum();
+        let router_total: u64 = activity.routers.iter().map(|r| r.flits_forwarded).sum();
+        assert_eq!(link_total, router_total);
+        // Under uniform traffic at a moderate load some router buffers
+        // must have been occupied during the window.
+        assert!(activity.routers.iter().any(|r| r.buffer_flit_cycles > 0));
     }
 
     #[test]

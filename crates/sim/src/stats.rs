@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Aggregated latency statistics over measured packets.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LatencyStats {
     count: u64,
     total: f64,
@@ -13,12 +13,26 @@ pub struct LatencyStats {
     histogram: Vec<u64>,
 }
 
+/// `Default` must produce the same ready-to-record state as [`new`]: the
+/// derived implementation used to yield an *empty* histogram, so
+/// `LatencyStats::default().record(x)` underflowed on
+/// `self.histogram.len() - 1`.
+///
+/// [`new`]: LatencyStats::new
+impl Default for LatencyStats {
+    fn default() -> Self {
+        LatencyStats::new()
+    }
+}
+
 impl LatencyStats {
     /// Empty statistics.
     pub fn new() -> Self {
         LatencyStats {
+            count: 0,
+            total: 0.0,
+            max: 0.0,
             histogram: vec![0; 1025],
-            ..Default::default()
         }
     }
 
@@ -124,5 +138,19 @@ mod tests {
         let s = LatencyStats::new();
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.percentile(0.99), 0.0);
+    }
+
+    #[test]
+    fn default_can_record_without_panicking() {
+        // Regression: the derived Default produced an empty histogram and
+        // `record` underflowed on `histogram.len() - 1`.
+        let mut s = LatencyStats::default();
+        s.record(12.0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s, {
+            let mut n = LatencyStats::new();
+            n.record(12.0);
+            n
+        });
     }
 }

@@ -9,6 +9,8 @@
 //! (Bienia et al., PACT 2008) so the left-to-right trend of Figure 8 is
 //! reproduced.
 
+use netsmith_topo::traffic::TrafficPattern;
+use netsmith_topo::Layout;
 use serde::{Deserialize, Serialize};
 
 /// Network-relevant profile of one benchmark.
@@ -32,6 +34,19 @@ impl WorkloadProfile {
     /// Misses per instruction.
     pub fn misses_per_instruction(&self) -> f64 {
         self.l2_mpki / 1000.0
+    }
+
+    /// The synthetic NoI traffic pattern this workload induces: the
+    /// coherence fraction of misses is served cache-to-cache (uniform
+    /// router-to-router traffic), the remainder targets the memory
+    /// controllers — a hotspot mixture over the layout's memory routers.
+    /// Used by the energy harness to replay PARSEC-derived traffic through
+    /// the simulator's activity accounting.
+    pub fn traffic_pattern(&self, layout: &Layout) -> TrafficPattern {
+        TrafficPattern::Hotspot {
+            targets: layout.memory_routers(),
+            fraction: 1.0 - self.coherence_fraction,
+        }
     }
 }
 
@@ -146,6 +161,19 @@ mod tests {
             assert!((0.0..=1.0).contains(&w.overlap));
             assert!(w.base_cpi > 0.0 && w.base_cpi < 5.0);
             assert!(w.misses_per_instruction() < 0.01);
+        }
+    }
+
+    #[test]
+    fn traffic_pattern_targets_the_memory_routers() {
+        let layout = Layout::noi_4x5();
+        for w in parsec_suite() {
+            let TrafficPattern::Hotspot { targets, fraction } = w.traffic_pattern(&layout) else {
+                panic!("{} should induce a hotspot mixture", w.name);
+            };
+            assert_eq!(targets, layout.memory_routers());
+            assert!((0.0..=1.0).contains(&fraction));
+            assert!((fraction - (1.0 - w.coherence_fraction)).abs() < 1e-12);
         }
     }
 

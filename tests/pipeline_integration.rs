@@ -85,21 +85,63 @@ fn full_system_model_prefers_lower_latency_networks() {
 }
 
 #[test]
-fn power_model_reports_mesh_normalized_values() {
-    use netsmith::power::{area_report, power_report, relative_to, PowerConfig};
+fn power_model_reports_mesh_normalized_values_from_measured_activity() {
+    use netsmith::power::{area_report, relative_to, PowerConfig};
     let layout = Layout::noi_4x5();
     let cfg = PowerConfig::default();
-    let mesh = expert::mesh(&layout);
-    let kite = expert::kite_large(&layout);
-    let mesh_sim = SimConfig::for_class(LinkClass::Small);
-    let kite_sim = SimConfig::for_class(LinkClass::Large);
-    let mesh_power = power_report(&mesh, &cfg, &mesh_sim, 0.2);
-    let kite_power = power_report(&kite, &cfg, &kite_sim, 0.2);
+    let mesh =
+        EvaluatedNetwork::prepare(&expert::mesh(&layout), RoutingScheme::Ndbt, 6, 5).unwrap();
+    let kite =
+        EvaluatedNetwork::prepare(&expert::kite_large(&layout), RoutingScheme::Ndbt, 6, 5).unwrap();
+    let sim_cfg = SimConfig::quick();
+    let mesh_report = mesh.measure(TrafficPattern::UniformRandom, &sim_cfg, 0.2);
+    let kite_report = kite.measure(TrafficPattern::UniformRandom, &sim_cfg, 0.2);
+    let mesh_power =
+        power_report_from_activity(&mesh.topology, &cfg, &sim_cfg, &mesh_report.activity);
+    let kite_power =
+        power_report_from_activity(&kite.topology, &cfg, &sim_cfg, &kite_report.activity);
     let rel = relative_to(kite_power.total_mw(), mesh_power.total_mw());
     assert!(rel > 0.5 && rel < 2.5, "relative power {rel}");
-    let mesh_area = area_report(&mesh, &cfg);
-    let kite_area = area_report(&kite, &cfg);
+    let mesh_area = area_report(&mesh.topology, &cfg);
+    let kite_area = area_report(&kite.topology, &cfg);
     assert!(kite_area.total_mm2() > mesh_area.total_mm2());
+}
+
+#[test]
+fn energy_subsystem_flows_through_the_whole_pipeline() {
+    // Discover an energy-optimal topology, route it, measure activity and
+    // compare all three standard policies end to end.
+    let result = quick_discover(
+        LinkClass::Medium,
+        Objective::EnergyOp { edp_weight: 25.0 },
+        21,
+    );
+    assert!(result.topology.name().starts_with("NS-EnergyOp"));
+    let network = EvaluatedNetwork::prepare(&result.topology, RoutingScheme::Mclb, 6, 21)
+        .expect("energy-optimal topology must be routable within 6 VCs");
+    let sim_cfg = SimConfig::quick();
+    let energy_cfg = EnergyConfig::default();
+    let report = network.measure(TrafficPattern::UniformRandom, &sim_cfg, 0.05);
+    let always = network.energy_report(&AlwaysOn, &sim_cfg, &report, &energy_cfg);
+    let sleep = network.energy_report(
+        &LinkSleep {
+            idle_threshold: 0.15,
+            wake_penalty_cycles: 8,
+        },
+        &sim_cfg,
+        &report,
+        &energy_cfg,
+    );
+    let dvfs = network.energy_report(&Dvfs::default(), &sim_cfg, &report, &energy_cfg);
+    for e in [&always, &sleep, &dvfs] {
+        assert!(e.routable, "{} not routable", e.policy);
+        assert!(e.total_mw() > 0.0);
+        assert!(e.energy_per_flit_pj > 0.0);
+        assert!(e.edp_pj_ns > 0.0);
+    }
+    // Both managed policies beat the baseline at 5% load.
+    assert!(sleep.total_mw() < always.total_mw());
+    assert!(dvfs.total_mw() < always.total_mw());
 }
 
 #[test]

@@ -212,8 +212,8 @@ impl_strategy_for_tuple! {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Element-count specification accepted by [`vec`]: a fixed length or a
-    /// half-open range of lengths.
+    /// Element-count specification accepted by [`vec()`]: a fixed length or
+    /// a half-open range of lengths.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
