@@ -134,6 +134,17 @@ impl NetSmith {
                 latency_weight * bounds::latop_lower_bound(&self.problem)
                     - bandwidth_weight * bounds::scop_upper_bound(&self.problem) * 1.0e7
             }
+            Objective::FaultOp {
+                spare_capacity_weight,
+                ..
+            } => {
+                // The critical-link penalty is >= 0 and the spare-capacity
+                // proxy (minimum directional degree) can never exceed the
+                // radix, so total-hops-bound minus the maximal reward
+                // under-estimates every achievable score.
+                bounds::latop_lower_bound(&self.problem)
+                    - spare_capacity_weight * self.problem.layout.radix() as f64
+            }
             Objective::EnergyOp { edp_weight } => {
                 // Router leakage is unavoidable; wire terms are >= 0 and
                 // the EDP term is increasing in hops, so evaluating it at
@@ -260,6 +271,23 @@ mod tests {
         assert_eq!(result.topology.name(), "NS-EnergyOp-medium");
         assert!(result.topology.is_valid());
         assert!(result.objective.connected);
+        assert!(
+            result.bound <= result.objective.score + 1e-6,
+            "bound {} exceeds incumbent {}",
+            result.bound,
+            result.objective.score
+        );
+    }
+
+    #[test]
+    fn faultop_discovery_has_no_critical_links() {
+        let result = quick(LinkClass::Medium, Objective::fault_op_default()).discover();
+        assert_eq!(result.topology.name(), "NS-FaultOp-medium");
+        assert!(result.topology.is_valid());
+        assert!(
+            netsmith_topo::resilience::critical_link_pairs(&result.topology).is_empty(),
+            "synthesized topology kept an articulation link"
+        );
         assert!(
             result.bound <= result.objective.score + 1e-6,
             "bound {} exceeds incumbent {}",

@@ -10,6 +10,7 @@
 
 use netsmith_topo::cuts;
 use netsmith_topo::metrics;
+use netsmith_topo::resilience;
 use netsmith_topo::traffic::DemandMatrix;
 use netsmith_topo::Topology;
 use serde::{Deserialize, Serialize};
@@ -74,9 +75,42 @@ pub enum Objective {
     /// topologies for the `netsmith-energy` subsystem; the proxy's
     /// technology constants mirror `netsmith-power`'s defaults.
     EnergyOp { edp_weight: f64 },
+    /// Fault-tolerant latency optimization for the `netsmith-fault`
+    /// subsystem: total hop count (the LatOp term) plus
+    /// `articulation_penalty` per *critical* full-duplex link (a link
+    /// whose failure breaks strong connectivity — see
+    /// [`netsmith_topo::resilience::critical_link_pairs`]), minus
+    /// `spare_capacity_weight` times the spare min-cut capacity proxy
+    /// [`netsmith_topo::resilience::min_directional_degree`] (every
+    /// router's in/out degree is an isolating cut, so the weakest router's
+    /// directional degree bounds how many link faults the fabric can
+    /// absorb around it).  With the default weights the annealer drives
+    /// the critical-link count to zero — any single link failure
+    /// re-routes — while still competing with LatOp on hops.
+    FaultOp {
+        /// Score penalty per critical (articulation) duplex link.  The
+        /// default of `1e5` dominates any achievable hop-count difference,
+        /// making "no single points of failure" a soft constraint the
+        /// annealer satisfies before trading hops.
+        articulation_penalty: f64,
+        /// Reward per unit of spare min-cut capacity (the minimum
+        /// directional degree over routers), in total-hop units.
+        spare_capacity_weight: f64,
+    },
 }
 
 impl Objective {
+    /// The `FaultOp` weighting used by the `fig13_resilience` harness:
+    /// articulation links are effectively forbidden and each unit of spare
+    /// min-cut capacity is worth 40 total hops (about 0.1 average hops on
+    /// the 20-router layout).
+    pub fn fault_op_default() -> Self {
+        Objective::FaultOp {
+            articulation_penalty: 1.0e5,
+            spare_capacity_weight: 40.0,
+        }
+    }
+
     /// Short name used in generated topology names ("LatOp", "SCOp", …).
     pub fn short_name(&self) -> &'static str {
         match self {
@@ -85,6 +119,7 @@ impl Objective {
             Objective::PatternLatOp(_) => "ShufOpt",
             Objective::Combined { .. } => "Combined",
             Objective::EnergyOp { .. } => "EnergyOp",
+            Objective::FaultOp { .. } => "FaultOp",
         }
     }
 
@@ -138,6 +173,14 @@ impl Objective {
                     wire_mm / topo.num_links() as f64
                 };
                 static_mw + edp_weight * energy_proxy::edp_term(average_hops, avg_link_mm)
+            }
+            Objective::FaultOp {
+                articulation_penalty,
+                spare_capacity_weight,
+            } => {
+                let critical = resilience::critical_link_pairs(topo).len() as f64;
+                let spare = resilience::min_directional_degree(topo) as f64;
+                total_hops as f64 + articulation_penalty * critical - spare_capacity_weight * spare
             }
         };
         ObjectiveValue {
@@ -308,6 +351,53 @@ mod tests {
             Objective::EnergyOp { edp_weight: 1.0 }.short_name(),
             "EnergyOp"
         );
+        assert_eq!(Objective::fault_op_default().short_name(), "FaultOp");
+    }
+
+    #[test]
+    fn faultop_penalizes_critical_links() {
+        // Removing the (0, 1) pair from the mesh leaves corner router 0
+        // hanging off the single (0, 5) pair, which becomes critical.
+        let layout = Layout::noi_4x5();
+        let mesh = expert::mesh(&layout);
+        let mut bridged = mesh.clone();
+        bridged.remove_link(0, 1);
+        bridged.remove_link(1, 0);
+        assert!(netsmith_topo::resilience::critical_link_pairs(&mesh).is_empty());
+        assert!(!netsmith_topo::resilience::critical_link_pairs(&bridged).is_empty());
+        let o = Objective::fault_op_default();
+        let healthy = o.evaluate(&mesh);
+        let fragile = o.evaluate(&bridged);
+        // The articulation penalty dwarfs any hop-count difference.
+        assert!(fragile.score > healthy.score + 1e4);
+    }
+
+    #[test]
+    fn faultop_rewards_spare_min_cut_capacity() {
+        // With the articulation penalty off, the spare-capacity reward must
+        // separate the full mesh (weakest router keeps 2 links) from the
+        // degraded one (weakest router down to 1 link) by more than their
+        // hop-count difference.
+        let layout = Layout::noi_4x5();
+        let mesh = expert::mesh(&layout);
+        let mut degraded = mesh.clone();
+        degraded.remove_link(0, 1);
+        degraded.remove_link(1, 0);
+        let o = Objective::FaultOp {
+            articulation_penalty: 0.0,
+            spare_capacity_weight: 1.0e4,
+        };
+        assert!(o.evaluate(&mesh).score < o.evaluate(&degraded).score);
+    }
+
+    #[test]
+    fn faultop_penalizes_disconnection() {
+        let layout = Layout::noi_4x5();
+        let empty = netsmith_topo::Topology::empty("none", layout.clone(), LinkClass::Small);
+        let o = Objective::fault_op_default();
+        let bad = o.evaluate(&empty);
+        assert!(!bad.connected);
+        assert!(bad.score > o.evaluate(&expert::mesh(&layout)).score.abs() * 1e3);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! | [`system`] | PARSEC-style full-system speedup model |
 //! | [`power`] | DSENT-style area/power model |
 //! | [`energy`] | measured-activity energy policies (link sleep, DVFS) |
+//! | [`fault`] | resilience: fault injection, deadlock-free repair, robustness reports |
 //!
 //! The [`pipeline`] module strings these together the way the paper's
 //! evaluation does: discover (or pick) a topology → route it with MCLB (or
@@ -49,6 +50,7 @@
 //! ```
 
 pub use netsmith_energy as energy;
+pub use netsmith_fault as fault;
 pub use netsmith_gen as gen;
 pub use netsmith_lp as lp;
 pub use netsmith_power as power;
@@ -66,6 +68,11 @@ pub mod prelude {
     pub use crate::pipeline::{EvaluatedNetwork, RoutingScheme};
     pub use netsmith_energy::{
         AlwaysOn, Dvfs, EnergyConfig, EnergyPolicy, EnergyReport, LinkSleep,
+    };
+    pub use netsmith_fault::{
+        assess_resilience, single_link_scenarios, single_router_scenarios, Fault, FaultModel,
+        FaultScenario, RepairConfig, RepairPolicy, RerouteRepair, ResilienceConfig,
+        ResilienceReport,
     };
     pub use netsmith_gen::{DiscoveryResult, NetSmith, Objective};
     #[allow(deprecated)] // the scalar power_report stays exported as a shim

@@ -1,6 +1,10 @@
 //! The discover → route → allocate → evaluate pipeline.
 
 use netsmith_energy::{EnergyConfig, EnergyContext, EnergyPolicy, EnergyReport};
+use netsmith_fault::{
+    assess_resilience, DegradedTopology, FaultScenario, RepairPolicy, RepairedNetwork,
+    ResilienceConfig, ResilienceReport,
+};
 use netsmith_route::paths::all_shortest_paths;
 use netsmith_route::{
     allocate_vcs, mclb_route, ndbt_route, MclbConfig, RoutingTable, VcAllocation,
@@ -142,6 +146,46 @@ impl EvaluatedNetwork {
             config: energy_config,
         })
     }
+
+    /// Apply a fault scenario to this network's topology, yielding the
+    /// surviving sub-topology and alive mask.
+    pub fn degrade(&self, scenario: &FaultScenario) -> DegradedTopology {
+        scenario.apply(&self.topology)
+    }
+
+    /// Repair a fault scenario with a [`RepairPolicy`]: re-route and
+    /// re-allocate escape VCs on the surviving sub-topology.  `None` when
+    /// the degraded fabric cannot serve every surviving pair deadlock-free
+    /// within the policy's budget.
+    pub fn repair(
+        &self,
+        scenario: &FaultScenario,
+        policy: &dyn RepairPolicy,
+        config: &netsmith_fault::RepairConfig,
+    ) -> Option<RepairedNetwork> {
+        policy.repair(&self.degrade(scenario), config)
+    }
+
+    /// Assess resilience against a scenario set: repair every scenario
+    /// with `policy` and (unless `config.simulate` is off) re-measure the
+    /// degraded latency/throughput against this network's healthy
+    /// baseline.  See [`netsmith_fault::assess_resilience`].
+    pub fn resilience_report(
+        &self,
+        scenarios: &[FaultScenario],
+        policy: &dyn RepairPolicy,
+        config: &ResilienceConfig,
+    ) -> ResilienceReport {
+        assess_resilience(
+            self.label(),
+            &self.topology,
+            &self.routing,
+            &self.vcs,
+            scenarios,
+            policy,
+            config,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -206,6 +250,36 @@ mod tests {
             sleep.total_mw(),
             always.total_mw()
         );
+    }
+
+    #[test]
+    fn resilience_report_through_the_pipeline() {
+        use netsmith_fault::{single_link_scenarios, RerouteRepair, ResilienceConfig};
+        let layout = Layout::noi_4x5();
+        let topo = expert::folded_torus(&layout);
+        let network = EvaluatedNetwork::prepare(&topo, RoutingScheme::Mclb, 6, 3).unwrap();
+        let scenarios = single_link_scenarios(&network.topology);
+        let report = network.resilience_report(
+            &scenarios,
+            &RerouteRepair,
+            &ResilienceConfig {
+                simulate: false,
+                ..Default::default()
+            },
+        );
+        // The folded torus tolerates any single link failure.
+        assert!((report.coverage() - 1.0).abs() < 1e-12);
+        assert_eq!(report.total_unreachable_pairs(), 0);
+        assert_eq!(report.outcomes.len(), scenarios.len());
+        // The repair facade agrees scenario by scenario.
+        let repaired = network
+            .repair(
+                &scenarios[0],
+                &RerouteRepair,
+                &netsmith_fault::RepairConfig::default(),
+            )
+            .expect("single link failure repairs");
+        assert!(repaired.verify());
     }
 
     #[test]

@@ -41,4 +41,7 @@ pub use activity::{ActivityProfile, LinkActivity, RouterActivity};
 pub use config::{PacketClass, SimConfig};
 pub use network::{NetworkSim, SimReport};
 pub use stats::LatencyStats;
-pub use sweep::{saturation_throughput, sweep_injection_rates, LatencyCurve, SweepPoint};
+pub use sweep::{
+    saturation_throughput, sweep_injection_rates, sweep_injection_rates_with, sweep_sim,
+    LatencyCurve, SweepOptions, SweepPoint,
+};

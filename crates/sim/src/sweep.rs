@@ -64,9 +64,11 @@ impl LatencyCurve {
         config.flit_rate_to_packets_per_ns(self.saturation_flits_per_node_cycle())
     }
 
-    /// Low-load average latency in nanoseconds (first point of the curve).
-    pub fn low_load_latency_ns(&self) -> f64 {
-        self.points.first().map(|p| p.latency_ns).unwrap_or(0.0)
+    /// Low-load average latency in nanoseconds (first point of the curve),
+    /// or `None` for an empty curve.  (This used to return `0.0` for empty
+    /// curves, which silently read as "infinitely fast" in comparisons.)
+    pub fn low_load_latency_ns(&self) -> Option<f64> {
+        self.points.first().map(|p| p.latency_ns)
     }
 
     /// CSV rows `offered,accepted,accepted_pkts_per_ns,latency_cycles,latency_ns,saturated`.
@@ -89,8 +91,49 @@ impl LatencyCurve {
     }
 }
 
+/// Options controlling how an injection-rate sweep executes.  The points
+/// of a sweep are independent simulations (each `NetworkSim::run` builds
+/// its own state), so they parallelize trivially.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepOptions {
+    /// Number of load points simulated concurrently (scoped threads).
+    /// `1` reproduces the old sequential behaviour exactly; either way the
+    /// per-point results are deterministic, because every run seeds its
+    /// RNG from the offered load.
+    pub max_threads: usize,
+    /// Stop the sweep after this many *consecutive* saturated points —
+    /// everything beyond them only re-measures the saturation plateau.
+    /// `None` simulates every requested load.
+    pub early_exit_saturated: Option<usize>,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            max_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            early_exit_saturated: None,
+        }
+    }
+}
+
+impl SweepOptions {
+    /// Parallel sweep that stops after two consecutive saturated points —
+    /// the configuration the figure harnesses and fault sweeps use when
+    /// only the pre-saturation shape of the curve matters.
+    pub fn early_exit() -> Self {
+        SweepOptions {
+            early_exit_saturated: Some(2),
+            ..Default::default()
+        }
+    }
+}
+
 /// Sweep the offered injection rate over `loads` (flits/node/cycle) and
-/// collect the latency curve.
+/// collect the latency curve.  Load points run in parallel (see
+/// [`SweepOptions::max_threads`]); use [`sweep_injection_rates_with`] to
+/// control threading or enable early exit.
 pub fn sweep_injection_rates(
     label: impl Into<String>,
     topo: &Topology,
@@ -100,20 +143,81 @@ pub fn sweep_injection_rates(
     config: &SimConfig,
     loads: &[f64],
 ) -> LatencyCurve {
+    sweep_injection_rates_with(
+        label,
+        topo,
+        table,
+        vcs,
+        pattern,
+        config,
+        loads,
+        &SweepOptions::default(),
+    )
+}
+
+/// [`sweep_injection_rates`] with explicit [`SweepOptions`].
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_injection_rates_with(
+    label: impl Into<String>,
+    topo: &Topology,
+    table: &RoutingTable,
+    vcs: Option<&VcAllocation>,
+    pattern: TrafficPattern,
+    config: &SimConfig,
+    loads: &[f64],
+    options: &SweepOptions,
+) -> LatencyCurve {
     let sim = NetworkSim::new(topo, table, vcs, pattern, config.clone());
+    sweep_sim(label, &sim, loads, options)
+}
+
+/// Sweep a pre-built simulator (which may carry failed routers — see
+/// [`NetworkSim::with_failed_routers`]) over `loads`.  Points within a
+/// batch of [`SweepOptions::max_threads`] run on scoped threads; each
+/// `run` call owns its state, so results are identical to a sequential
+/// sweep and the returned points stay in load order.
+pub fn sweep_sim(
+    label: impl Into<String>,
+    sim: &NetworkSim<'_>,
+    loads: &[f64],
+    options: &SweepOptions,
+) -> LatencyCurve {
+    let config = sim.config().clone();
     let zero = sim.zero_load_latency_cycles();
+    let threads = options.max_threads.max(1);
     let mut points = Vec::with_capacity(loads.len());
-    for &load in loads {
-        let report: SimReport = sim.run(load);
-        points.push(SweepPoint {
-            offered: load,
-            accepted: report.accepted_flits_per_node_cycle,
-            accepted_packets_per_ns: config
-                .flit_rate_to_packets_per_ns(report.accepted_flits_per_node_cycle),
-            latency_cycles: report.avg_latency_cycles,
-            latency_ns: report.avg_latency_ns,
-            saturated: report.is_saturated(zero),
-        });
+    'sweep: for batch in loads.chunks(threads) {
+        let reports: Vec<SimReport> = if batch.len() == 1 || threads == 1 {
+            batch.iter().map(|&load| sim.run(load)).collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = batch
+                    .iter()
+                    .map(|&load| scope.spawn(move || sim.run(load)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("sweep worker panicked"))
+                    .collect()
+            })
+        };
+        for (report, &load) in reports.iter().zip(batch) {
+            points.push(SweepPoint {
+                offered: load,
+                accepted: report.accepted_flits_per_node_cycle,
+                accepted_packets_per_ns: config
+                    .flit_rate_to_packets_per_ns(report.accepted_flits_per_node_cycle),
+                latency_cycles: report.avg_latency_cycles,
+                latency_ns: report.avg_latency_ns,
+                saturated: report.is_saturated(zero),
+            });
+            if let Some(limit) = options.early_exit_saturated {
+                let trailing = points.iter().rev().take_while(|p| p.saturated).count();
+                if trailing >= limit.max(1) {
+                    break 'sweep;
+                }
+            }
+        }
     }
     LatencyCurve {
         label: label.into(),
@@ -250,6 +354,157 @@ mod tests {
             torus_sat > lpbt_sat,
             "torus {torus_sat} should beat LPBT-Power {lpbt_sat}"
         );
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential_point_for_point() {
+        let mesh = expert::mesh(&Layout::noi_4x5());
+        let ps = all_shortest_paths(&mesh);
+        let table = mclb_route(&ps, &MclbConfig::default());
+        let alloc = allocate_vcs(&table, 6, 9).unwrap();
+        let config = SimConfig::quick();
+        let loads = [0.05, 0.2, 0.4, 0.6];
+        let run = |threads: usize| {
+            sweep_injection_rates_with(
+                "mesh",
+                &mesh,
+                &table,
+                Some(&alloc),
+                TrafficPattern::UniformRandom,
+                &config,
+                &loads,
+                &SweepOptions {
+                    max_threads: threads,
+                    early_exit_saturated: None,
+                },
+            )
+        };
+        let sequential = run(1);
+        let parallel = run(4);
+        assert_eq!(sequential, parallel);
+        assert_eq!(parallel.points.len(), loads.len());
+    }
+
+    #[test]
+    fn early_exit_stops_after_consecutive_saturated_points() {
+        let mesh = expert::mesh(&Layout::noi_4x5());
+        let ps = all_shortest_paths(&mesh);
+        let table = mclb_route(&ps, &MclbConfig::default());
+        let alloc = allocate_vcs(&table, 6, 9).unwrap();
+        let config = SimConfig::quick();
+        // The mesh saturates well below 0.8: the tail of this grid must be
+        // skipped once two consecutive points report saturation.
+        let loads = [0.05, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 1.2];
+        let full = sweep_injection_rates_with(
+            "mesh",
+            &mesh,
+            &table,
+            Some(&alloc),
+            TrafficPattern::UniformRandom,
+            &config,
+            &loads,
+            &SweepOptions {
+                max_threads: 1,
+                early_exit_saturated: None,
+            },
+        );
+        let early = sweep_injection_rates_with(
+            "mesh",
+            &mesh,
+            &table,
+            Some(&alloc),
+            TrafficPattern::UniformRandom,
+            &config,
+            &loads,
+            &SweepOptions {
+                max_threads: 1,
+                early_exit_saturated: Some(2),
+            },
+        );
+        assert!(early.points.len() < full.points.len());
+        // The tail it did measure ends with exactly the trigger: two
+        // consecutive saturated points.
+        let tail: Vec<bool> = early.points.iter().map(|p| p.saturated).collect();
+        assert!(tail.ends_with(&[true, true]));
+        // Identical prefix: early exit never changes measured values.
+        assert_eq!(full.points[..early.points.len()], early.points[..]);
+        // The saturation extraction is unaffected.
+        assert!(
+            (full.saturation_flits_per_node_cycle() - early.saturation_flits_per_node_cycle())
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn saturation_falls_back_to_best_accepted_when_every_point_saturated() {
+        let curve = LatencyCurve {
+            label: "all-saturated".into(),
+            points: vec![
+                SweepPoint {
+                    offered: 0.8,
+                    accepted: 0.35,
+                    accepted_packets_per_ns: 0.2,
+                    latency_cycles: 300.0,
+                    latency_ns: 100.0,
+                    saturated: true,
+                },
+                SweepPoint {
+                    offered: 1.0,
+                    accepted: 0.32,
+                    accepted_packets_per_ns: 0.19,
+                    latency_cycles: 400.0,
+                    latency_ns: 130.0,
+                    saturated: true,
+                },
+            ],
+            zero_load_latency_cycles: 12.0,
+        };
+        // No unsaturated point exists: fall back to the largest accepted
+        // throughput overall.
+        assert!((curve.saturation_flits_per_node_cycle() - 0.35).abs() < 1e-12);
+        assert_eq!(curve.low_load_latency_ns(), Some(100.0));
+    }
+
+    #[test]
+    fn empty_curve_has_no_low_load_latency() {
+        let curve = LatencyCurve {
+            label: "empty".into(),
+            points: Vec::new(),
+            zero_load_latency_cycles: 0.0,
+        };
+        assert_eq!(curve.low_load_latency_ns(), None);
+        assert_eq!(curve.saturation_flits_per_node_cycle(), 0.0);
+    }
+
+    #[test]
+    fn csv_round_trip_preserves_the_curve_shape() {
+        let mesh = expert::mesh(&Layout::noi_4x5());
+        let (curve, _) = curve_for(&mesh, &[0.05, 0.3, 0.8]);
+        let csv = curve.to_csv();
+        let mut lines = csv.lines();
+        let header: Vec<&str> = lines.next().unwrap().split(',').collect();
+        assert_eq!(
+            header,
+            [
+                "offered",
+                "accepted",
+                "accepted_pkts_per_ns",
+                "latency_cycles",
+                "latency_ns",
+                "saturated"
+            ]
+        );
+        let rows: Vec<Vec<&str>> = lines.map(|l| l.split(',').collect()).collect();
+        assert_eq!(rows.len(), curve.points.len());
+        for (row, point) in rows.iter().zip(&curve.points) {
+            assert_eq!(row.len(), header.len());
+            // Each field parses back to (the rounded form of) its source.
+            assert!((row[0].parse::<f64>().unwrap() - point.offered).abs() < 5e-5);
+            assert!((row[1].parse::<f64>().unwrap() - point.accepted).abs() < 5e-5);
+            assert!((row[3].parse::<f64>().unwrap() - point.latency_cycles).abs() < 5e-3);
+            assert_eq!(row[5].parse::<bool>().unwrap(), point.saturated);
+        }
     }
 
     #[test]

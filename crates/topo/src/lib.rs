@@ -21,6 +21,9 @@
 //!   with radix/length/connectivity validation.
 //! * [`metrics`], [`cuts`], [`bounds`] — the analytical evaluation used by
 //!   the paper's Figure 1 and Table II.
+//! * [`resilience`] — critical-link detection and masked-connectivity
+//!   helpers backing the `netsmith-fault` subsystem and the FaultOp
+//!   synthesis objective.
 //! * [`expert`] — reconstructions of the expert-designed baselines.
 //! * [`traffic`] — traffic patterns (uniform random, shuffle, …) expressed
 //!   as demand matrices so objectives can be traffic-weighted.
@@ -31,6 +34,7 @@ pub mod expert;
 pub mod layout;
 pub mod linkclass;
 pub mod metrics;
+pub mod resilience;
 pub mod serialize;
 pub mod topology;
 pub mod traffic;
@@ -41,6 +45,10 @@ pub use cuts::{bisection_bandwidth, sparsest_cut, CutReport};
 pub use layout::{Layout, NodeKind, RouterId};
 pub use linkclass::{LinkClass, LinkSpan};
 pub use metrics::{all_pairs_hops, average_hops, diameter, is_strongly_connected, TopologyMetrics};
+pub use resilience::{
+    critical_link_pairs, duplex_pairs, is_strongly_connected_among, min_directional_degree,
+    unreachable_pairs_among,
+};
 pub use topology::{Topology, TopologyError};
 pub use traffic::{DemandMatrix, TrafficPattern};
 

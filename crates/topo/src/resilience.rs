@@ -1,0 +1,228 @@
+//! Structural robustness metrics: critical (articulation) links, spare
+//! port capacity, and connectivity under router failures.
+//!
+//! Datacenter-scale interposer fabrics run under sustained traffic for
+//! years, so permanent link and router failures are the common case rather
+//! than the exception.  The helpers in this module answer the two questions
+//! a fault-tolerant synthesis flow keeps asking about a candidate topology:
+//!
+//! * which full-duplex links are *critical* — single points of failure
+//!   whose loss breaks strong connectivity — and
+//! * how much spare routing capacity remains around the weakest router
+//!   (every router's in/out degree is an isolating cut, so the minimum
+//!   directional degree upper-bounds the directed edge connectivity).
+//!
+//! They are deliberately cheap (a handful of BFS traversals) because the
+//! `netsmith-gen` annealer evaluates them on every candidate move; the full
+//! fault-injection machinery lives in `netsmith-fault` and uses the masked
+//! connectivity helpers here to reason about degraded sub-topologies.
+
+use crate::layout::RouterId;
+use crate::topology::Topology;
+
+/// All full-duplex router pairs that are connected in at least one
+/// direction, in canonical `(lo, hi)` order.  These are the physical wires
+/// a single link fault takes out (both directions share the wire run).
+pub fn duplex_pairs(topo: &Topology) -> Vec<(RouterId, RouterId)> {
+    let n = topo.num_routers();
+    let mut pairs = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if topo.has_link(i, j) || topo.has_link(j, i) {
+                pairs.push((i, j));
+            }
+        }
+    }
+    pairs
+}
+
+/// BFS reachability from `root` over the directed adjacency, restricted to
+/// routers with `alive[r]` set and optionally skipping the duplex pair
+/// `skip` (both directions).  `reverse` walks incoming links instead of
+/// outgoing ones.
+fn reach(
+    topo: &Topology,
+    root: RouterId,
+    alive: &[bool],
+    skip: Option<(RouterId, RouterId)>,
+    reverse: bool,
+) -> Vec<bool> {
+    let n = topo.num_routers();
+    let mut seen = vec![false; n];
+    if !alive[root] {
+        return seen;
+    }
+    let skipped = |a: RouterId, b: RouterId| {
+        skip.is_some_and(|(i, j)| (a == i && b == j) || (a == j && b == i))
+    };
+    let mut queue = std::collections::VecDeque::with_capacity(n);
+    seen[root] = true;
+    queue.push_back(root);
+    while let Some(u) = queue.pop_front() {
+        for v in 0..n {
+            if seen[v] || !alive[v] || skipped(u, v) {
+                continue;
+            }
+            let linked = if reverse {
+                topo.has_link(v, u)
+            } else {
+                topo.has_link(u, v)
+            };
+            if linked {
+                seen[v] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    seen
+}
+
+/// True when every router in `alive` can reach every other alive router
+/// through alive routers only.  Uses one forward and one backward BFS from
+/// an arbitrary alive root (a directed graph is strongly connected iff some
+/// vertex reaches and is reached by every other), so the check is `O(n²)`
+/// on the dense adjacency rather than `O(n³)` for all-pairs distances.
+pub fn is_strongly_connected_among(topo: &Topology, alive: &[bool]) -> bool {
+    assert_eq!(alive.len(), topo.num_routers(), "alive mask size mismatch");
+    let Some(root) = alive.iter().position(|&a| a) else {
+        return true; // no alive routers: vacuously connected
+    };
+    let fwd = reach(topo, root, alive, None, false);
+    let bwd = reach(topo, root, alive, None, true);
+    alive
+        .iter()
+        .enumerate()
+        .all(|(r, &a)| !a || (fwd[r] && bwd[r]))
+}
+
+/// Number of ordered alive `(s, d)` pairs (s != d) with no directed path
+/// through alive routers.  The degraded-topology analogue of
+/// [`crate::metrics::unreachable_pairs`].
+pub fn unreachable_pairs_among(topo: &Topology, alive: &[bool]) -> usize {
+    assert_eq!(alive.len(), topo.num_routers(), "alive mask size mismatch");
+    let n = topo.num_routers();
+    let mut count = 0usize;
+    for s in 0..n {
+        if !alive[s] {
+            continue;
+        }
+        let seen = reach(topo, s, alive, None, false);
+        for d in 0..n {
+            if d != s && alive[d] && !seen[d] {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// True when the topology stays strongly connected after removing both
+/// directions of the duplex pair `(i, j)`.
+pub fn survives_pair_removal(topo: &Topology, i: RouterId, j: RouterId) -> bool {
+    let n = topo.num_routers();
+    let alive = vec![true; n];
+    let fwd = reach(topo, 0, &alive, Some((i, j)), false);
+    let bwd = reach(topo, 0, &alive, Some((i, j)), true);
+    (0..n).all(|r| fwd[r] && bwd[r])
+}
+
+/// The *critical* duplex pairs of a topology: physical links whose failure
+/// (removal of both directions) leaves some ordered router pair without a
+/// directed path.  A topology with no critical pairs re-routes around any
+/// single link failure; the `netsmith-gen` FaultOp objective drives this
+/// count to zero during synthesis.
+pub fn critical_link_pairs(topo: &Topology) -> Vec<(RouterId, RouterId)> {
+    duplex_pairs(topo)
+        .into_iter()
+        .filter(|&(i, j)| !survives_pair_removal(topo, i, j))
+        .collect()
+}
+
+/// Minimum over all routers of `min(out_degree, in_degree)` — the capacity
+/// of the weakest isolating cut.  The directed edge connectivity of the
+/// topology can never exceed this, so it acts as the cheap spare-min-cut
+/// proxy the FaultOp objective rewards: a fabric whose weakest router keeps
+/// several independent links can absorb that many link faults around it.
+pub fn min_directional_degree(topo: &Topology) -> usize {
+    (0..topo.num_routers())
+        .map(|r| topo.out_degree(r).min(topo.in_degree(r)))
+        .min()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expert;
+    use crate::layout::Layout;
+    use crate::linkclass::{LinkClass, LinkSpan};
+
+    fn chain() -> Topology {
+        // Bidirectional snake path 0-1-2-5-4-3 over a 2x3 grid: every link
+        // is critical.  The Custom class bypasses length validation.
+        let layout = Layout::interposer_grid(2, 3, 4);
+        Topology::from_bidirectional_links(
+            "chain",
+            layout,
+            LinkClass::Custom(LinkSpan::new(8, 8)),
+            &[(0, 1), (1, 2), (2, 5), (5, 4), (4, 3)],
+        )
+    }
+
+    #[test]
+    fn every_chain_link_is_critical() {
+        let t = chain();
+        let critical = critical_link_pairs(&t);
+        assert_eq!(critical.len(), 5);
+        assert_eq!(min_directional_degree(&t), 1);
+    }
+
+    #[test]
+    fn mesh_has_no_critical_links() {
+        let mesh = expert::mesh(&Layout::noi_4x5());
+        assert!(critical_link_pairs(&mesh).is_empty());
+        // Mesh corners have degree 2 in each direction.
+        assert_eq!(min_directional_degree(&mesh), 2);
+    }
+
+    #[test]
+    fn duplex_pairs_count_matches_num_links_for_symmetric_topologies() {
+        let torus = expert::folded_torus(&Layout::noi_4x5());
+        assert_eq!(duplex_pairs(&torus).len(), torus.num_links());
+    }
+
+    #[test]
+    fn masked_connectivity_ignores_dead_routers() {
+        let t = chain();
+        let mut alive = vec![true; t.num_routers()];
+        // Killing the chain's tail router leaves the rest connected...
+        alive[3] = false;
+        assert!(is_strongly_connected_among(&t, &alive));
+        assert_eq!(unreachable_pairs_among(&t, &alive), 0);
+        // ...but killing a middle router splits it.
+        alive[3] = true;
+        alive[2] = false;
+        assert!(!is_strongly_connected_among(&t, &alive));
+        // {0,1} and {5,4,3} are mutually unreachable: 2*3 ordered pairs
+        // each way.
+        assert_eq!(unreachable_pairs_among(&t, &alive), 12);
+    }
+
+    #[test]
+    fn survives_pair_removal_matches_critical_set() {
+        let mesh = expert::mesh(&Layout::noi_4x5());
+        for (i, j) in duplex_pairs(&mesh) {
+            assert!(survives_pair_removal(&mesh, i, j));
+        }
+        let t = chain();
+        assert!(!survives_pair_removal(&t, 0, 1));
+    }
+
+    #[test]
+    fn empty_alive_mask_is_vacuously_connected() {
+        let mesh = expert::mesh(&Layout::noi_4x5());
+        let alive = vec![false; mesh.num_routers()];
+        assert!(is_strongly_connected_among(&mesh, &alive));
+        assert_eq!(unreachable_pairs_among(&mesh, &alive), 0);
+    }
+}
