@@ -6,8 +6,10 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use netsmith::gen::anneal::{anneal, AnnealConfig};
+use netsmith::gen::terms::CutEval;
 use netsmith::gen::{GenerationProblem, Objective};
 use netsmith::prelude::*;
+use netsmith::topo::analysis::TopoAnalysis;
 use netsmith_lp::{Cmp, LinExpr, MilpSolver, Model, Sense};
 use netsmith_route::paths::all_shortest_paths;
 use netsmith_route::{allocate_vcs, mclb_route, MclbConfig};
@@ -101,6 +103,56 @@ fn bench_routing(c: &mut Criterion) {
     group.finish();
 }
 
+/// Objective-evaluation throughput: the from-scratch path (fresh all-pairs
+/// BFS per candidate, what every annealer move cost before the cached
+/// framework) vs the delta path (incremental analysis update for a
+/// rewire-shaped move, what the annealer pays now).  Evaluations/sec =
+/// 1 / reported time.
+fn bench_objective_eval(c: &mut Criterion) {
+    let layout = Layout::noi_4x5();
+    let kite = expert::kite_large(&layout);
+    // A representative rewire: remove one existing link, add one valid
+    // missing link (fixed endpoints keep the benchmark deterministic).
+    let (ra, rb) = kite.links().next().unwrap();
+    let (aa, ab) = (0usize, 6usize); // (1,1) span, absent from Kite-Large
+    assert!(!kite.has_link(aa, ab));
+    let mut moved = kite.clone();
+    moved.remove_link(ra, rb);
+    moved.add_link(aa, ab);
+    let removed = [(ra, rb)];
+    let added = [(aa, ab)];
+
+    let objectives: [(&str, Objective); 3] = [
+        ("latop", Objective::LatOp),
+        ("faultop", Objective::fault_op_default()),
+        (
+            "composite3",
+            Objective::composite([
+                (1.0, netsmith::gen::Term::Hops),
+                (1.0, netsmith::gen::Term::EnergyProxy { edp_weight: 5.0 }),
+                (40.0, netsmith::gen::Term::SpareCapacity),
+            ]),
+        ),
+    ];
+    let mut group = c.benchmark_group("objective_eval");
+    group.sample_size(40);
+    for (label, objective) in &objectives {
+        group.bench_function(&format!("{label}_scratch"), |b| {
+            b.iter(|| objective.evaluate(&moved).score)
+        });
+        let base = TopoAnalysis::new(&kite);
+        group.bench_function(&format!("{label}_delta"), |b| {
+            b.iter(|| {
+                let analysis = base.after_move(&moved, &removed, &added);
+                objective
+                    .evaluate_analysis(&moved, &analysis, CutEval::Exact)
+                    .score
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("generation");
     group.sample_size(10);
@@ -153,6 +205,7 @@ criterion_group!(
     bench_lp,
     bench_metrics,
     bench_routing,
+    bench_objective_eval,
     bench_generation,
     bench_simulator
 );

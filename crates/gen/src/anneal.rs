@@ -10,7 +10,11 @@
 //!
 //! * moves rewire, add, remove or endpoint-swap links, always staying
 //!   within the valid-link set and the radix budget;
-//! * the LatOp objective is evaluated exactly (total hops by BFS);
+//! * every move is scored through the cached/delta path: the incumbent's
+//!   [`TopoAnalysis`] is updated incrementally for the move's add/remove
+//!   link set (no from-scratch all-pairs BFS per candidate — see
+//!   [`netsmith_topo::analysis`]), and all objective terms share that one
+//!   analysis;
 //! * the SCOp objective uses a cutting-plane-style pool of candidate cuts
 //!   that is periodically refreshed with heuristic sparsest-cut searches,
 //!   and the final result is re-scored with the exact cut;
@@ -18,11 +22,12 @@
 //!   combinatorial bound, i.e. the objective-bounds gap of Figure 5) are
 //!   returned.
 
-use crate::objective::ObjectiveValue;
+use crate::objective::{evaluate_weighted, ObjectiveValue};
 use crate::problem::GenerationProblem;
 use crate::progress::SolverProgress;
+use crate::terms::{CutEval, WeightedTerm};
+use netsmith_topo::analysis::TopoAnalysis;
 use netsmith_topo::cuts;
-use netsmith_topo::metrics;
 use netsmith_topo::{RouterId, Topology};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -87,6 +92,22 @@ pub struct AnnealResult {
     pub evaluations: u64,
 }
 
+/// The directed links a proposed move removed and added, in application
+/// order.  Feeds [`TopoAnalysis::after_move`] so candidate evaluation can
+/// update the incumbent's cached analysis instead of re-deriving it.
+#[derive(Debug, Default)]
+struct MoveLog {
+    removed: Vec<(RouterId, RouterId)>,
+    added: Vec<(RouterId, RouterId)>,
+}
+
+impl MoveLog {
+    fn clear(&mut self) {
+        self.removed.clear();
+        self.added.clear();
+    }
+}
+
 /// Run one annealing search.  `bound` is the combinatorial bound used for
 /// gap reporting (see [`crate::bounds`]).
 pub fn anneal(problem: &GenerationProblem, config: &AnnealConfig, bound: f64) -> AnnealResult {
@@ -99,24 +120,26 @@ pub fn anneal(problem: &GenerationProblem, config: &AnnealConfig, bound: f64) ->
     );
 
     let mut current = initial_topology(problem, &mut rng);
+    let mut current_analysis = TopoAnalysis::new(&current);
     let mut cut_pool: Vec<Vec<bool>> = Vec::new();
     if problem.objective.needs_cut() {
         seed_cut_pool(&current, &mut cut_pool);
     }
     let mut progress = SolverProgress::new();
 
-    let score_of = |topo: &Topology, pool: &[Vec<bool>]| -> f64 {
-        let mut value = if problem.objective.needs_cut() {
-            problem.objective.evaluate_with_cut_pool(topo, pool)
-        } else {
-            problem.objective.evaluate(topo)
-        };
-        value.score += constraint_penalty(problem, topo, &value);
+    // Decompose the objective once; every candidate evaluation — exact or
+    // cut-pool surrogate — scores these weighted terms against a cached
+    // (delta-updated) analysis through the single shared code path.
+    let terms: Vec<WeightedTerm> = problem.objective.decomposition();
+    let score_of = |topo: &Topology, analysis: &TopoAnalysis, pool: &[Vec<bool>]| -> f64 {
+        let mut value = evaluate_weighted(&terms, topo, analysis, CutEval::Pool(pool));
+        value.score += constraint_penalty(problem, analysis, &value);
         value.score
     };
 
-    let mut current_score = score_of(&current, &cut_pool);
+    let mut current_score = score_of(&current, &current_analysis, &cut_pool);
     let mut best = current.clone();
+    let mut best_analysis = current_analysis.clone();
     let mut best_score = current_score;
     progress.record(start.elapsed(), best_score, bound, 0);
 
@@ -135,6 +158,7 @@ pub fn anneal(problem: &GenerationProblem, config: &AnnealConfig, bound: f64) ->
     // median magnitude as the unit.  LatOp deltas are fractions of a hop
     // while SCOp deltas are cut-scaled by 1e7, so a fixed absolute schedule
     // cannot serve both.
+    let mut log = MoveLog::default();
     let delta_scale = {
         let mut deltas: Vec<f64> = Vec::with_capacity(32);
         for _ in 0..calibration_budget {
@@ -143,10 +167,12 @@ pub fn anneal(problem: &GenerationProblem, config: &AnnealConfig, bound: f64) ->
             }
             evaluations += 1;
             let mut candidate = current.clone();
-            if !propose_move(problem, &mut candidate, &valid_links, &mut rng) {
+            log.clear();
+            if !propose_move(problem, &mut candidate, &valid_links, &mut rng, &mut log) {
                 continue;
             }
-            let d = (score_of(&candidate, &cut_pool) - current_score).abs();
+            let analysis = current_analysis.after_move(&candidate, &log.removed, &log.added);
+            let d = (score_of(&candidate, &analysis, &cut_pool) - current_score).abs();
             if d > 1e-12 {
                 deltas.push(d);
             }
@@ -173,7 +199,8 @@ pub fn anneal(problem: &GenerationProblem, config: &AnnealConfig, bound: f64) ->
         evaluations += 1;
         if evaluations - last_improvement > stall_window {
             current = best.clone();
-            current_score = score_of(&current, &cut_pool);
+            current_analysis = best_analysis.clone();
+            current_score = score_of(&current, &current_analysis, &cut_pool);
             schedule_anchor = evaluations;
             last_improvement = evaluations;
         }
@@ -184,14 +211,17 @@ pub fn anneal(problem: &GenerationProblem, config: &AnnealConfig, bound: f64) ->
                 (sa_end - schedule_anchor).max(1),
             );
         let mut candidate = current.clone();
-        if !propose_move(problem, &mut candidate, &valid_links, &mut rng) {
+        log.clear();
+        if !propose_move(problem, &mut candidate, &valid_links, &mut rng, &mut log) {
             continue;
         }
-        let candidate_score = score_of(&candidate, &cut_pool);
+        let candidate_analysis = current_analysis.after_move(&candidate, &log.removed, &log.added);
+        let candidate_score = score_of(&candidate, &candidate_analysis, &cut_pool);
         let delta = candidate_score - current_score;
         let accept = delta <= 0.0 || rng.gen_bool((-delta / temperature.max(1e-9)).exp().min(1.0));
         if accept {
             current = candidate;
+            current_analysis = candidate_analysis;
             current_score = candidate_score;
             accepted += 1;
             if problem.objective.needs_cut()
@@ -199,11 +229,12 @@ pub fn anneal(problem: &GenerationProblem, config: &AnnealConfig, bound: f64) ->
             {
                 refresh_cut_pool(&current, &mut cut_pool, &mut rng);
                 // Pool change can alter the score scale; re-evaluate.
-                current_score = score_of(&current, &cut_pool);
-                best_score = score_of(&best, &cut_pool);
+                current_score = score_of(&current, &current_analysis, &cut_pool);
+                best_score = score_of(&best, &best_analysis, &cut_pool);
             }
             if current_score < best_score && current.is_valid() {
                 best = current.clone();
+                best_analysis = current_analysis.clone();
                 best_score = current_score;
                 last_improvement = evaluations;
                 progress.record(start.elapsed(), best_score, bound, evaluations);
@@ -219,6 +250,7 @@ pub fn anneal(problem: &GenerationProblem, config: &AnnealConfig, bound: f64) ->
     // improvement, so the plateau walk can never lose ground.
     let sideways_eps = delta_scale * 1e-9;
     current = best.clone();
+    current_analysis = best_analysis.clone();
     current_score = best_score;
     while evaluations < config.max_evaluations {
         if start.elapsed() >= config.time_budget {
@@ -226,14 +258,19 @@ pub fn anneal(problem: &GenerationProblem, config: &AnnealConfig, bound: f64) ->
         }
         evaluations += 1;
         let mut candidate = current.clone();
-        if !propose_move(problem, &mut candidate, &valid_links, &mut rng) {
+        log.clear();
+        if !propose_move(problem, &mut candidate, &valid_links, &mut rng, &mut log) {
             continue;
         }
-        let candidate_score = score_of(&candidate, &cut_pool);
+        let candidate_analysis = current_analysis.after_move(&candidate, &log.removed, &log.added);
+        let candidate_score = score_of(&candidate, &candidate_analysis, &cut_pool);
         if candidate_score <= current_score + sideways_eps {
             current = candidate;
+            current_analysis = candidate_analysis;
             current_score = candidate_score;
             if current_score < best_score && current.is_valid() {
+                // The cut pool is frozen during the polish phase, so the
+                // incumbent analysis no longer needs to be carried along.
                 best = current.clone();
                 best_score = current_score;
                 progress.record(start.elapsed(), best_score, bound, evaluations);
@@ -262,10 +299,15 @@ fn temperature_at(config: &AnnealConfig, evaluation: u64, horizon: u64) -> f64 {
 }
 
 /// Penalty for violating the optional diameter / minimum-cut constraints.
-fn constraint_penalty(problem: &GenerationProblem, topo: &Topology, value: &ObjectiveValue) -> f64 {
+/// The diameter comes for free from the cached distance matrix.
+fn constraint_penalty(
+    problem: &GenerationProblem,
+    analysis: &TopoAnalysis,
+    value: &ObjectiveValue,
+) -> f64 {
     let mut penalty = 0.0;
     if let Some(max_diam) = problem.max_diameter {
-        if let Some(d) = metrics::diameter(topo) {
+        if let Some(d) = analysis.diameter() {
             if d > max_diam {
                 penalty += 1e6 * (d - max_diam) as f64;
             }
@@ -310,18 +352,22 @@ fn can_add(topo: &Topology, a: RouterId, b: RouterId) -> bool {
 }
 
 /// Propose a random move in place; returns false when the move could not be
-/// applied (caller simply retries with a new random draw).
+/// applied (caller simply retries with a new random draw).  On success the
+/// applied link changes are recorded in `log` (a failed proposal restores
+/// the topology and leaves whatever partial entries it logged — callers
+/// clear the log before each proposal and ignore it on failure).
 fn propose_move(
     problem: &GenerationProblem,
     topo: &mut Topology,
     valid_links: &[(RouterId, RouterId)],
     rng: &mut SmallRng,
+    log: &mut MoveLog,
 ) -> bool {
     let kind = rng.gen_range(0..100);
     if problem.symmetric_links {
-        propose_symmetric_move(topo, valid_links, rng, kind)
+        propose_symmetric_move(topo, valid_links, rng, kind, log)
     } else {
-        propose_asymmetric_move(topo, valid_links, rng, kind)
+        propose_asymmetric_move(topo, valid_links, rng, kind, log)
     }
 }
 
@@ -330,6 +376,7 @@ fn propose_asymmetric_move(
     valid_links: &[(RouterId, RouterId)],
     rng: &mut SmallRng,
     kind: u32,
+    log: &mut MoveLog,
 ) -> bool {
     let links: Vec<(RouterId, RouterId)> = topo.links().collect();
     if kind < 55 {
@@ -343,6 +390,8 @@ fn propose_asymmetric_move(
             let &(a, b) = &valid_links[rng.gen_range(0..valid_links.len())];
             if (a, b) != (ra, rb) && can_add(topo, a, b) {
                 topo.add_link(a, b);
+                log.removed.push((ra, rb));
+                log.added.push((a, b));
                 return true;
             }
         }
@@ -355,6 +404,7 @@ fn propose_asymmetric_move(
             let &(a, b) = &valid_links[rng.gen_range(0..valid_links.len())];
             if can_add(topo, a, b) {
                 topo.add_link(a, b);
+                log.added.push((a, b));
                 return true;
             }
         }
@@ -366,6 +416,7 @@ fn propose_asymmetric_move(
         }
         let &(a, b) = &links[rng.gen_range(0..links.len())];
         topo.remove_link(a, b);
+        log.removed.push((a, b));
         true
     } else {
         // Endpoint swap: (a->b, c->d) becomes (a->d, c->b); preserves
@@ -395,6 +446,10 @@ fn propose_asymmetric_move(
             topo.remove_link(c, d);
             topo.add_link(a, d);
             topo.add_link(c, b);
+            log.removed.push((a, b));
+            log.removed.push((c, d));
+            log.added.push((a, d));
+            log.added.push((c, b));
             return true;
         }
         false
@@ -406,6 +461,7 @@ fn propose_symmetric_move(
     valid_links: &[(RouterId, RouterId)],
     rng: &mut SmallRng,
     kind: u32,
+    log: &mut MoveLog,
 ) -> bool {
     // Collect undirected pairs.
     let n = topo.num_routers();
@@ -429,6 +485,14 @@ fn propose_symmetric_move(
             let &(a, b) = &valid_links[rng.gen_range(0..valid_links.len())];
             if can_add(topo, a, b) && can_add(topo, b, a) {
                 topo.add_bidirectional(a, b);
+                // The replacement may be the pair just removed; that is a
+                // no-op move and the analysis delta handles it exactly.
+                if (a, b) != (ra, rb) && (b, a) != (ra, rb) {
+                    log.removed.push((ra, rb));
+                    log.removed.push((rb, ra));
+                    log.added.push((a, b));
+                    log.added.push((b, a));
+                }
                 return true;
             }
         }
@@ -440,6 +504,8 @@ fn propose_symmetric_move(
             let &(a, b) = &valid_links[rng.gen_range(0..valid_links.len())];
             if can_add(topo, a, b) && can_add(topo, b, a) {
                 topo.add_bidirectional(a, b);
+                log.added.push((a, b));
+                log.added.push((b, a));
                 return true;
             }
         }
@@ -452,6 +518,8 @@ fn propose_symmetric_move(
         let &(a, b) = &pairs[rng.gen_range(0..pairs.len())];
         topo.remove_link(a, b);
         topo.remove_link(b, a);
+        log.removed.push((a, b));
+        log.removed.push((b, a));
         true
     }
 }

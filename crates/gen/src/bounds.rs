@@ -21,6 +21,7 @@
 //! than the true gap), exactly the property the paper relies on.
 
 use crate::problem::GenerationProblem;
+use netsmith_topo::traffic::DemandMatrix;
 use netsmith_topo::LinkSpan;
 
 /// Lower bound on the total hop count (sum over ordered pairs) achievable
@@ -99,7 +100,7 @@ pub fn latop_lower_bound(problem: &GenerationProblem) -> f64 {
 /// shrinks by at most `max.dx + max.dy` and the larger single-axis distance
 /// by at most `max.dx`.  Both counting arguments give valid lower bounds;
 /// their maximum is used.
-fn min_hops_for_span(dx: usize, dy: usize, max: LinkSpan) -> u32 {
+pub(crate) fn min_hops_for_span(dx: usize, dy: usize, max: LinkSpan) -> u32 {
     if dx == 0 && dy == 0 {
         return 0;
     }
@@ -108,6 +109,44 @@ fn min_hops_for_span(dx: usize, dy: usize, max: LinkSpan) -> u32 {
     let by_manhattan = (dx + dy).div_ceil(per_hop_manhattan) as u32;
     let by_axis = dx.max(dy).div_ceil(per_hop_axis) as u32;
     by_manhattan.max(by_axis).max(1)
+}
+
+/// Lower bound on the demand-weighted hop score (`weighted_average_hops *
+/// n * (n-1)`, the [`crate::terms::PatternHopsTerm`] scale) achievable
+/// under the link-length constraint: every pair's hop count is at least the
+/// physical minimum `min_hops_for_span` dictates, so the demand-weighted
+/// average is at least the demand-weighted physical minimum.
+///
+/// Unlike [`latop_lower_bound`] this makes no radix (Moore) argument — the
+/// per-level counting would need to be redone per source against the demand
+/// weights — so it stays admissible for arbitrarily skewed demand matrices
+/// where the uniform-traffic bound is not.
+pub fn pattern_latop_lower_bound(problem: &GenerationProblem, demand: &DemandMatrix) -> f64 {
+    let layout = &problem.layout;
+    let n = layout.num_routers();
+    assert_eq!(demand.num_nodes(), n, "demand matrix size mismatch");
+    let max_span = problem.class.max_span();
+    let mut weighted_min = 0.0;
+    let mut total_weight = 0.0;
+    for s in 0..n {
+        for d in 0..n {
+            if s == d {
+                continue;
+            }
+            let w = demand.demand(s, d);
+            if w <= 0.0 {
+                continue;
+            }
+            let (dx, dy) = layout.span(s, d);
+            weighted_min += w * min_hops_for_span(dx, dy, max_span) as f64;
+            total_weight += w;
+        }
+    }
+    if total_weight == 0.0 {
+        0.0
+    } else {
+        (weighted_min / total_weight) * (n as f64 * (n as f64 - 1.0))
+    }
 }
 
 /// Upper bound on the normalized sparsest-cut bandwidth achievable by any
@@ -187,6 +226,32 @@ mod tests {
         let bound = average_hops_lower_bound(&problem(LinkClass::Large));
         assert!(bound >= 1.7, "bound {bound}");
         assert!(bound <= 2.5);
+    }
+
+    #[test]
+    fn pattern_bound_is_below_realized_shuffle_scores() {
+        use netsmith_topo::traffic::TrafficPattern;
+        let layout = Layout::noi_4x5();
+        let shuffle = TrafficPattern::Shuffle.demand_matrix(&layout);
+        for class in LinkClass::STANDARD {
+            let p = GenerationProblem::new(
+                layout.clone(),
+                class,
+                Objective::PatternLatOp(shuffle.clone()),
+            );
+            let bound = pattern_latop_lower_bound(&p, &shuffle);
+            assert!(bound > 0.0);
+            for topo in expert::baselines_for_class(&layout, class) {
+                let score = Objective::PatternLatOp(shuffle.clone())
+                    .evaluate(&topo)
+                    .score;
+                assert!(
+                    bound <= score + 1e-9,
+                    "{}: pattern bound {bound} exceeds realized {score}",
+                    topo.name()
+                );
+            }
+        }
     }
 
     #[test]

@@ -2,7 +2,6 @@
 //! merging and bound-based gap reporting.
 
 use crate::anneal::{anneal, AnnealConfig, AnnealResult};
-use crate::bounds;
 use crate::objective::{Objective, ObjectiveValue};
 use crate::problem::GenerationProblem;
 use crate::progress::SolverProgress;
@@ -73,6 +72,16 @@ impl NetSmith {
         self
     }
 
+    /// Set a composite objective from `(weight, term)` pairs — shorthand
+    /// for `objective(Objective::composite(terms))`.  Panics on negative
+    /// or non-finite weights.
+    pub fn composite_objective(
+        self,
+        terms: impl IntoIterator<Item = (f64, crate::terms::Term)>,
+    ) -> Self {
+        self.objective(Objective::composite(terms))
+    }
+
     /// Force symmetric (paired) links — constraint C9.
     pub fn symmetric_links(mut self, symmetric: bool) -> Self {
         self.problem.symmetric_links = symmetric;
@@ -115,47 +124,10 @@ impl NetSmith {
     }
 
     /// Combinatorial bound for the configured objective, in the same units
-    /// as the objective score.
+    /// as the objective score: the weighted sum of the per-term admissible
+    /// bounds (see [`crate::terms::ObjectiveTerm::lower_bound`]).
     pub fn bound(&self) -> f64 {
-        match &self.problem.objective {
-            Objective::LatOp | Objective::PatternLatOp(_) => {
-                bounds::latop_lower_bound(&self.problem)
-            }
-            Objective::SCOp => {
-                // The SCOp score is -cut * scale + hops; its lower bound
-                // combines the cut upper bound with the hop lower bound.
-                -bounds::scop_upper_bound(&self.problem) * 1.0e7
-                    + bounds::latop_lower_bound(&self.problem)
-            }
-            Objective::Combined {
-                latency_weight,
-                bandwidth_weight,
-            } => {
-                latency_weight * bounds::latop_lower_bound(&self.problem)
-                    - bandwidth_weight * bounds::scop_upper_bound(&self.problem) * 1.0e7
-            }
-            Objective::FaultOp {
-                spare_capacity_weight,
-                ..
-            } => {
-                // The critical-link penalty is >= 0 and the spare-capacity
-                // proxy (minimum directional degree) can never exceed the
-                // radix, so total-hops-bound minus the maximal reward
-                // under-estimates every achievable score.
-                bounds::latop_lower_bound(&self.problem)
-                    - spare_capacity_weight * self.problem.layout.radix() as f64
-            }
-            Objective::EnergyOp { edp_weight } => {
-                // Router leakage is unavoidable; wire terms are >= 0 and
-                // the EDP term is increasing in hops, so evaluating it at
-                // the hop lower bound with zero wire length under-estimates
-                // every achievable score.
-                let n = self.problem.num_routers() as f64;
-                let avg_hops_lb = bounds::average_hops_lower_bound(&self.problem);
-                n * crate::objective::energy_proxy::ROUTER_LEAKAGE_MW
-                    + edp_weight * crate::objective::energy_proxy::edp_term(avg_hops_lb, 0.0)
-            }
-        }
+        self.problem.objective.lower_bound(&self.problem)
     }
 
     /// Run the discovery: `workers` independent annealing searches in
@@ -306,6 +278,39 @@ mod tests {
             .samples()
             .iter()
             .all(|s| s.bound <= s.incumbent + 1e-6));
+    }
+
+    #[test]
+    fn composite_discovery_matches_its_legacy_equivalent() {
+        // A composite that decomposes identically to FaultOp must follow
+        // the same annealing trajectory: same seed, same scores, same
+        // discovered adjacency.
+        let legacy = quick(LinkClass::Medium, Objective::fault_op_default()).discover();
+        let composite = quick(
+            LinkClass::Medium,
+            Objective::Composite(Objective::fault_op_default().decomposition()),
+        )
+        .discover();
+        assert_eq!(legacy.objective.score, composite.objective.score);
+        assert_eq!(
+            legacy.topology.adjacency(),
+            composite.topology.adjacency(),
+            "composite trajectory diverged from the legacy variant"
+        );
+        assert_eq!(
+            composite.topology.name(),
+            "NS-Mix[1xHops+100000xCrit+40xSpare]-medium"
+        );
+        assert!((legacy.bound - composite.bound).abs() < 1e-9);
+    }
+
+    #[test]
+    fn composite_builder_shorthand_applies() {
+        use crate::terms::Term;
+        let ns = NetSmith::new(Layout::noi_4x5(), LinkClass::Medium)
+            .composite_objective([(1.0, Term::Hops), (0.5, Term::SpareCapacity)]);
+        assert_eq!(ns.problem().objective.short_name(), "Mix[1xHops+0.5xSpare]");
+        assert!(!ns.problem().objective.needs_cut());
     }
 
     #[test]

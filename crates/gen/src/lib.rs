@@ -15,10 +15,18 @@
 //!   the formulation and the search engines against ground truth.
 //! * [`anneal`] + [`generator`] — the production path: seeded, parallel
 //!   simulated annealing / hill climbing over connectivity maps with
-//!   incremental objective evaluation, combined with combinatorial lower
-//!   bounds ([`bounds`]) so that the solver can report the same "objective
-//!   bounds gap over time" trajectory the paper plots in Figure 5
-//!   ([`progress`]).
+//!   incremental objective evaluation (every move delta-updates a cached
+//!   [`netsmith_topo::analysis::TopoAnalysis`] instead of re-deriving the
+//!   distance matrix), combined with combinatorial lower bounds
+//!   ([`bounds`]) so that the solver can report the same "objective bounds
+//!   gap over time" trajectory the paper plots in Figure 5 ([`progress`]).
+//!
+//! Objectives are composable: every [`Objective`] decomposes into weighted
+//! [`terms::ObjectiveTerm`]s (hops, sparsest cut, energy proxy,
+//! articulation links, spare capacity), and [`Objective::Composite`] /
+//! [`NetSmith::composite_objective`] accept arbitrary non-negative
+//! weightings for multi-criteria synthesis (see the `fig14_pareto`
+//! harness).
 //!
 //! The public entry point is [`NetSmith`], which mirrors the way the paper
 //! uses the framework: pick a layout, a link class and an objective, give
@@ -32,6 +40,7 @@ pub mod milp;
 pub mod objective;
 pub mod problem;
 pub mod progress;
+pub mod terms;
 
 pub use anneal::{AnnealConfig, AnnealResult};
 pub use generator::{DiscoveryResult, NetSmith};
@@ -39,3 +48,4 @@ pub use milp::{build_latop_model, build_scop_model, solve_latop_milp, MilpGenCon
 pub use objective::{Objective, ObjectiveValue};
 pub use problem::GenerationProblem;
 pub use progress::{ProgressSample, SolverProgress};
+pub use terms::{CutEval, ObjectiveTerm, Term, TermContext, WeightedTerm};

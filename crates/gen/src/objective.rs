@@ -2,51 +2,28 @@
 //!
 //! The paper focuses on two objectives — latency (average/total hop count,
 //! "LatOp") and sparsest-cut bandwidth ("SCOp") — and notes that NetSmith
-//! readily accepts other traffic patterns as inputs (the shuffle-optimized
-//! topologies of Figure 10).  The search engines need a *scalar score to
-//! minimize*; this module defines how each objective maps a candidate
-//! topology to such a score, including the connectivity penalty that lets
-//! the annealer recover from transiently disconnected states.
+//! readily accepts other objectives.  The search engines need a *scalar
+//! score to minimize*; this module defines how each objective maps a
+//! candidate topology to such a score, including the connectivity penalty
+//! that lets the annealer recover from transiently disconnected states.
+//!
+//! Every objective — the legacy enum variants and arbitrary
+//! [`Objective::Composite`]s alike — decomposes into weighted
+//! [`ObjectiveTerm`]s ([`Objective::decomposition`]) scored over one shared
+//! [`TopoAnalysis`], so exact evaluation, the annealer's cut-pool
+//! surrogate, and the combinatorial lower bound all run through a single
+//! code path ([`Objective::evaluate_analysis`] / [`Objective::lower_bound`]).
 
-use netsmith_topo::cuts;
-use netsmith_topo::metrics;
-use netsmith_topo::resilience;
+use crate::problem::GenerationProblem;
+use crate::terms::{CutEval, ObjectiveTerm, Term, TermContext, WeightedTerm};
+use netsmith_topo::analysis::TopoAnalysis;
 use netsmith_topo::traffic::DemandMatrix;
 use netsmith_topo::Topology;
 use serde::{Deserialize, Serialize};
 
-/// Scale factor that keeps the bandwidth term dominant over the hop-count
-/// tiebreak in the SCOp score.
-const SCOP_BANDWIDTH_SCALE: f64 = 1.0e7;
-
 /// Penalty per unreachable ordered pair, large enough that any connected
 /// topology scores better than any disconnected one.
 const DISCONNECTION_PENALTY: f64 = 1.0e9;
-
-/// Technology constants of the analytic energy proxy used by
-/// [`Objective::EnergyOp`].  They mirror `netsmith_power::PowerConfig`'s
-/// defaults (kept as local constants so the search engine stays free of the
-/// simulator/power dependency chain); the proxy only needs the *relative*
-/// weighting of router vs. wire energy to rank candidate topologies.
-pub(crate) mod energy_proxy {
-    /// Router leakage per router in mW.
-    pub const ROUTER_LEAKAGE_MW: f64 = 4.0;
-    /// Wire leakage per millimetre in mW.
-    pub const WIRE_LEAKAGE_MW_PER_MM: f64 = 0.15;
-    /// Dynamic energy per flit per router traversal in pJ.
-    pub const ROUTER_ENERGY_PJ: f64 = 3.0;
-    /// Dynamic energy per flit per millimetre of wire in pJ.
-    pub const WIRE_ENERGY_PJ_PER_MM: f64 = 0.9;
-
-    /// Hop-count-dependent part of the proxy: energy per flit (router +
-    /// wire traversals along an average path) times the delay proxy
-    /// (average hops) — an analytic energy-delay product.
-    pub fn edp_term(average_hops: f64, avg_link_mm: f64) -> f64 {
-        let energy_per_flit_pj = (average_hops + 1.0) * ROUTER_ENERGY_PJ
-            + average_hops * avg_link_mm * WIRE_ENERGY_PJ_PER_MM;
-        energy_per_flit_pj * average_hops
-    }
-}
 
 /// Optimization objective.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -97,6 +74,13 @@ pub enum Objective {
         /// directional degree over routers), in total-hop units.
         spare_capacity_weight: f64,
     },
+    /// An arbitrary non-negative weighted sum of objective terms — the
+    /// general form every other variant is a special case of.  Build with
+    /// [`Objective::composite`], which rejects negative/non-finite weights;
+    /// constructing (or deserializing) the variant directly bypasses that
+    /// check, and a negative weight makes [`Objective::lower_bound`]
+    /// inadmissible.
+    Composite(Vec<WeightedTerm>),
 }
 
 impl Objective {
@@ -111,85 +95,107 @@ impl Objective {
         }
     }
 
-    /// Short name used in generated topology names ("LatOp", "SCOp", …).
-    pub fn short_name(&self) -> &'static str {
+    /// A composite objective from `(weight, term)` pairs.  Panics when a
+    /// weight is negative or non-finite (the composed lower bound would no
+    /// longer be admissible) or when no terms are given.
+    pub fn composite(terms: impl IntoIterator<Item = (f64, Term)>) -> Self {
+        let terms: Vec<WeightedTerm> = terms
+            .into_iter()
+            .map(|(weight, term)| WeightedTerm::new(weight, term))
+            .collect();
+        assert!(!terms.is_empty(), "composite objectives need >= 1 term");
+        Objective::Composite(terms)
+    }
+
+    /// The weighted-term decomposition every objective scores through.
+    /// Legacy variants map onto the canonical terms; `Composite` is its own
+    /// decomposition.
+    ///
+    /// Legacy variants are decomposed verbatim — their struct fields accept
+    /// any weight (as they always did), so only [`Objective::composite`]
+    /// enforces the non-negativity that keeps composed lower bounds
+    /// admissible.
+    pub fn decomposition(&self) -> Vec<WeightedTerm> {
+        let wt = |weight: f64, term: Term| WeightedTerm { weight, term };
         match self {
-            Objective::LatOp => "LatOp",
-            Objective::SCOp => "SCOp",
-            Objective::PatternLatOp(_) => "ShufOpt",
-            Objective::Combined { .. } => "Combined",
-            Objective::EnergyOp { .. } => "EnergyOp",
-            Objective::FaultOp { .. } => "FaultOp",
+            Objective::LatOp => vec![wt(1.0, Term::Hops)],
+            Objective::SCOp => vec![wt(1.0, Term::SparsestCut), wt(1.0, Term::Hops)],
+            Objective::PatternLatOp(demand) => {
+                vec![wt(1.0, Term::PatternHops(demand.clone()))]
+            }
+            Objective::Combined {
+                latency_weight,
+                bandwidth_weight,
+            } => vec![
+                wt(*latency_weight, Term::Hops),
+                wt(*bandwidth_weight, Term::SparsestCut),
+            ],
+            Objective::EnergyOp { edp_weight } => vec![wt(
+                1.0,
+                Term::EnergyProxy {
+                    edp_weight: *edp_weight,
+                },
+            )],
+            Objective::FaultOp {
+                articulation_penalty,
+                spare_capacity_weight,
+            } => vec![
+                wt(1.0, Term::Hops),
+                wt(*articulation_penalty, Term::CriticalLinks),
+                wt(*spare_capacity_weight, Term::SpareCapacity),
+            ],
+            Objective::Composite(terms) => terms.clone(),
+        }
+    }
+
+    /// Short name used in generated topology names ("LatOp", "SCOp", …).
+    /// Weighted objectives encode their weights so CSV rows from different
+    /// weight points stay distinguishable.
+    pub fn short_name(&self) -> String {
+        match self {
+            Objective::LatOp => "LatOp".into(),
+            Objective::SCOp => "SCOp".into(),
+            Objective::PatternLatOp(_) => "ShufOpt".into(),
+            Objective::Combined {
+                latency_weight,
+                bandwidth_weight,
+            } => format!(
+                "Combined[L{}+B{}]",
+                crate::terms::fmt_weight(*latency_weight),
+                crate::terms::fmt_weight(*bandwidth_weight)
+            ),
+            Objective::EnergyOp { .. } => "EnergyOp".into(),
+            Objective::FaultOp { .. } => "FaultOp".into(),
+            Objective::Composite(terms) => {
+                let labels: Vec<String> = terms.iter().map(WeightedTerm::label).collect();
+                format!("Mix[{}]", labels.join("+"))
+            }
         }
     }
 
     /// Does the objective need sparsest-cut evaluations?
     pub fn needs_cut(&self) -> bool {
-        matches!(self, Objective::SCOp | Objective::Combined { .. })
+        match self {
+            Objective::SCOp | Objective::Combined { .. } => true,
+            Objective::Composite(terms) => terms.iter().any(|wt| wt.term.needs_cut()),
+            _ => false,
+        }
     }
 
-    /// Evaluate a topology.  Lower scores are better for every objective.
+    /// Admissible lower bound on the objective score over every topology
+    /// satisfying `problem`'s radix and link-length constraints: the
+    /// weighted sum of the per-term bounds.
+    pub fn lower_bound(&self, problem: &GenerationProblem) -> f64 {
+        self.decomposition()
+            .iter()
+            .map(|wt| wt.weight * wt.term.lower_bound(problem))
+            .sum()
+    }
+
+    /// Evaluate a topology exactly.  Lower scores are better for every
+    /// objective.
     pub fn evaluate(&self, topo: &Topology) -> ObjectiveValue {
-        let unreachable = metrics::unreachable_pairs(topo);
-        if unreachable > 0 {
-            return ObjectiveValue {
-                score: DISCONNECTION_PENALTY * unreachable as f64,
-                total_hops: None,
-                average_hops: f64::INFINITY,
-                sparsest_cut: 0.0,
-                connected: false,
-            };
-        }
-        let total_hops = metrics::total_hops(topo).expect("connected");
-        let n = topo.num_routers() as f64;
-        let average_hops = total_hops as f64 / (n * (n - 1.0));
-        let sparsest_cut = if self.needs_cut() {
-            cuts::sparsest_cut(topo).normalized_bandwidth
-        } else {
-            0.0
-        };
-        let score = match self {
-            Objective::LatOp => total_hops as f64,
-            Objective::SCOp => -sparsest_cut * SCOP_BANDWIDTH_SCALE + total_hops as f64,
-            Objective::PatternLatOp(demand) => {
-                let weighted = metrics::weighted_average_hops(topo, demand);
-                // scale to the same magnitude as total hops for comparability
-                weighted * n * (n - 1.0)
-            }
-            Objective::Combined {
-                latency_weight,
-                bandwidth_weight,
-            } => {
-                latency_weight * total_hops as f64
-                    - bandwidth_weight * sparsest_cut * SCOP_BANDWIDTH_SCALE
-            }
-            Objective::EnergyOp { edp_weight } => {
-                let wire_mm = topo.total_wire_length_mm();
-                let static_mw = n * energy_proxy::ROUTER_LEAKAGE_MW
-                    + wire_mm * energy_proxy::WIRE_LEAKAGE_MW_PER_MM;
-                let avg_link_mm = if topo.num_links() == 0 {
-                    0.0
-                } else {
-                    wire_mm / topo.num_links() as f64
-                };
-                static_mw + edp_weight * energy_proxy::edp_term(average_hops, avg_link_mm)
-            }
-            Objective::FaultOp {
-                articulation_penalty,
-                spare_capacity_weight,
-            } => {
-                let critical = resilience::critical_link_pairs(topo).len() as f64;
-                let spare = resilience::min_directional_degree(topo) as f64;
-                total_hops as f64 + articulation_penalty * critical - spare_capacity_weight * spare
-            }
-        };
-        ObjectiveValue {
-            score,
-            total_hops: Some(total_hops),
-            average_hops,
-            sparsest_cut,
-            connected: true,
-        }
+        self.evaluate_analysis(topo, &TopoAnalysis::new(topo), CutEval::Exact)
     }
 
     /// Evaluate using a cheaper surrogate for the cut term: the minimum
@@ -202,51 +208,59 @@ impl Objective {
         topo: &Topology,
         cut_pool: &[Vec<bool>],
     ) -> ObjectiveValue {
-        if !self.needs_cut() || cut_pool.is_empty() {
-            return self.evaluate(topo);
-        }
-        let unreachable = metrics::unreachable_pairs(topo);
-        if unreachable > 0 {
-            return ObjectiveValue {
-                score: DISCONNECTION_PENALTY * unreachable as f64,
-                total_hops: None,
-                average_hops: f64::INFINITY,
-                sparsest_cut: 0.0,
-                connected: false,
-            };
-        }
-        let total_hops = metrics::total_hops(topo).expect("connected");
-        let n = topo.num_routers() as f64;
-        let average_hops = total_hops as f64 / (n * (n - 1.0));
-        let mut pool_cut = f64::INFINITY;
-        for membership in cut_pool {
-            let (f, b) = cuts::crossing_links(topo, membership);
-            let size_u = membership.iter().filter(|&&x| x).count();
-            let size_v = membership.len() - size_u;
-            if size_u == 0 || size_v == 0 {
-                continue;
-            }
-            let norm = f.min(b) as f64 / (size_u * size_v) as f64;
-            pool_cut = pool_cut.min(norm);
-        }
-        let score = match self {
-            Objective::SCOp => -pool_cut * SCOP_BANDWIDTH_SCALE + total_hops as f64,
-            Objective::Combined {
-                latency_weight,
-                bandwidth_weight,
-            } => {
-                latency_weight * total_hops as f64
-                    - bandwidth_weight * pool_cut * SCOP_BANDWIDTH_SCALE
-            }
-            _ => unreachable!("guarded by needs_cut"),
+        self.evaluate_analysis(topo, &TopoAnalysis::new(topo), CutEval::Pool(cut_pool))
+    }
+
+    /// Evaluate against a pre-computed (possibly delta-updated) analysis —
+    /// the single scoring path shared by [`Objective::evaluate`],
+    /// [`Objective::evaluate_with_cut_pool`] and the annealer's cached move
+    /// evaluation.  `analysis` must describe `topo`.
+    pub fn evaluate_analysis(
+        &self,
+        topo: &Topology,
+        analysis: &TopoAnalysis,
+        cut: CutEval<'_>,
+    ) -> ObjectiveValue {
+        evaluate_weighted(&self.decomposition(), topo, analysis, cut)
+    }
+}
+
+/// Score a weighted-term list against a cached analysis.  This is the one
+/// code path behind every evaluation mode; the annealer calls it directly
+/// with a decomposition computed once per run.
+pub fn evaluate_weighted(
+    terms: &[WeightedTerm],
+    topo: &Topology,
+    analysis: &TopoAnalysis,
+    cut: CutEval<'_>,
+) -> ObjectiveValue {
+    let unreachable = analysis.unreachable_pairs();
+    if unreachable > 0 {
+        return ObjectiveValue {
+            score: DISCONNECTION_PENALTY * unreachable as f64,
+            total_hops: None,
+            average_hops: f64::INFINITY,
+            sparsest_cut: 0.0,
+            connected: false,
         };
-        ObjectiveValue {
-            score,
-            total_hops: Some(total_hops),
-            average_hops,
-            sparsest_cut: pool_cut,
-            connected: true,
-        }
+    }
+    let needs_cut = terms.iter().any(|wt| wt.term.needs_cut());
+    let sparsest_cut = crate::terms::resolve_cut(topo, cut, needs_cut);
+    let ctx = TermContext {
+        topology: topo,
+        analysis,
+        sparsest_cut,
+    };
+    let mut score = 0.0;
+    for wt in terms {
+        score += wt.weight * wt.term.score(&ctx);
+    }
+    ObjectiveValue {
+        score,
+        total_hops: analysis.total_hops(),
+        average_hops: analysis.average_hops(),
+        sparsest_cut,
+        connected: true,
     }
 }
 
@@ -352,6 +366,96 @@ mod tests {
             "EnergyOp"
         );
         assert_eq!(Objective::fault_op_default().short_name(), "FaultOp");
+    }
+
+    #[test]
+    fn combined_short_name_encodes_weights() {
+        // Different weight points must produce distinguishable CSV rows.
+        let a = Objective::Combined {
+            latency_weight: 1.0,
+            bandwidth_weight: 0.5,
+        };
+        let b = Objective::Combined {
+            latency_weight: 2.0,
+            bandwidth_weight: 0.5,
+        };
+        assert_eq!(a.short_name(), "Combined[L1+B0.5]");
+        assert_eq!(b.short_name(), "Combined[L2+B0.5]");
+        assert_ne!(a.short_name(), b.short_name());
+        assert!(!a.short_name().contains(','), "names must stay CSV-safe");
+    }
+
+    #[test]
+    fn composite_short_name_lists_weighted_terms() {
+        let o = Objective::composite([
+            (1.0, Term::Hops),
+            (0.25, Term::EnergyProxy { edp_weight: 5.0 }),
+        ]);
+        assert_eq!(o.short_name(), "Mix[1xHops+0.25xEnergy]");
+        assert!(!o.short_name().contains(','));
+    }
+
+    #[test]
+    fn legacy_variants_match_their_decomposition() {
+        // Scoring a legacy variant and its explicit composite decomposition
+        // must agree exactly — they share the same code path.
+        let layout = Layout::noi_4x5();
+        let shuffle = TrafficPattern::Shuffle.demand_matrix(&layout);
+        let objectives = [
+            Objective::LatOp,
+            Objective::SCOp,
+            Objective::PatternLatOp(shuffle),
+            Objective::Combined {
+                latency_weight: 2.0,
+                bandwidth_weight: 0.5,
+            },
+            Objective::EnergyOp { edp_weight: 5.0 },
+            Objective::fault_op_default(),
+        ];
+        for topo in [expert::mesh(&layout), expert::kite_large(&layout)] {
+            for o in &objectives {
+                let direct = o.evaluate(&topo);
+                let composite = Objective::Composite(o.decomposition()).evaluate(&topo);
+                assert_eq!(direct.score, composite.score, "{}", o.short_name());
+                assert_eq!(direct.sparsest_cut, composite.sparsest_cut);
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_variants_accept_any_weight_sign() {
+        // The legacy struct variants never validated their weights; the
+        // composite constructor's non-negativity check must not leak into
+        // their evaluation path.
+        let layout = Layout::noi_4x5();
+        let mesh = expert::mesh(&layout);
+        let odd = Objective::Combined {
+            latency_weight: 1.0,
+            bandwidth_weight: -0.5,
+        };
+        let v = odd.evaluate(&mesh);
+        assert!(v.connected);
+        assert!(v.score.is_finite());
+        let odd_fault = Objective::FaultOp {
+            articulation_penalty: 1.0,
+            spare_capacity_weight: -40.0,
+        };
+        assert!(odd_fault.evaluate(&mesh).score.is_finite());
+    }
+
+    #[test]
+    fn composite_constructor_preserves_terms_and_order() {
+        let o = Objective::composite([
+            (1.0, Term::Hops),
+            (0.5, Term::SparsestCut),
+            (40.0, Term::SpareCapacity),
+        ]);
+        let decomposition = o.decomposition();
+        assert_eq!(decomposition.len(), 3);
+        assert_eq!(decomposition[0], WeightedTerm::new(1.0, Term::Hops));
+        assert_eq!(decomposition[2].weight, 40.0);
+        assert!(o.needs_cut(), "cut term must propagate needs_cut");
+        assert!(!Objective::composite([(1.0, Term::Hops)]).needs_cut());
     }
 
     #[test]

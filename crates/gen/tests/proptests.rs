@@ -1,0 +1,195 @@
+//! Property-based tests for the composable objective framework.
+//!
+//! Three invariants the synthesis path depends on:
+//!
+//! * a composite objective's score is the weighted sum of its terms'
+//!   individual scores (linearity — what makes Pareto weight sweeps
+//!   meaningful);
+//! * evaluating through a delta-updated [`TopoAnalysis`] is bit-exact with
+//!   evaluating from scratch (what makes the annealer's cached move path
+//!   safe);
+//! * every term's admissible lower bound never exceeds its realized score
+//!   on any topology satisfying the problem constraints (what keeps the
+//!   reported objective-bounds gap conservative).
+
+use netsmith_gen::terms::{CutEval, Term};
+use netsmith_gen::{GenerationProblem, Objective};
+use netsmith_topo::analysis::TopoAnalysis;
+use netsmith_topo::traffic::TrafficPattern;
+use netsmith_topo::{expert, Layout, LinkClass, Topology};
+use proptest::prelude::*;
+
+/// Strategy: a random *valid* topology for the 4x5 layout under a link
+/// class — Hamiltonian ring for guaranteed connectivity plus a random
+/// subset of the class's valid links under the radix budget, exactly how
+/// the annealer seeds its own search.
+fn random_valid_topology(class: LinkClass) -> impl Strategy<Value = Topology> {
+    let layout = Layout::noi_4x5();
+    let problem = GenerationProblem::new(layout.clone(), class, Objective::LatOp);
+    let candidates = problem.valid_links();
+    let len = candidates.len();
+    (proptest::collection::vec(any::<bool>(), len)).prop_map(move |mask| {
+        let mut t = Topology::empty("random", layout.clone(), class);
+        for (a, b) in expert::hamiltonian_ring(&layout) {
+            t.add_bidirectional(a, b);
+        }
+        for (keep, &(i, j)) in mask.iter().zip(candidates.iter()) {
+            if *keep
+                && i != j
+                && !t.has_link(i, j)
+                && t.free_out_ports(i) > 0
+                && t.free_in_ports(j) > 0
+            {
+                t.add_link(i, j);
+            }
+        }
+        t
+    })
+}
+
+fn class_for(idx: usize) -> LinkClass {
+    match idx {
+        0 => LinkClass::Small,
+        1 => LinkClass::Medium,
+        _ => LinkClass::Large,
+    }
+}
+
+fn all_terms(layout: &Layout) -> Vec<Term> {
+    vec![
+        Term::Hops,
+        Term::PatternHops(TrafficPattern::Shuffle.demand_matrix(layout)),
+        Term::SparsestCut,
+        Term::EnergyProxy { edp_weight: 5.0 },
+        Term::CriticalLinks,
+        Term::SpareCapacity,
+    ]
+}
+
+proptest! {
+    // The sparsest-cut term evaluates 2^19 bipartitions per scoring call,
+    // so the case count is kept modest to bound suite runtime.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn composite_score_is_the_weighted_sum_of_its_terms(
+        topo in random_valid_topology(LinkClass::Medium),
+        weights in proptest::collection::vec(0.0f64..10.0, 6),
+    ) {
+        let layout = Layout::noi_4x5();
+        let terms = all_terms(&layout);
+        let composite = Objective::composite(
+            weights.iter().copied().zip(terms.iter().cloned()),
+        );
+        let total = composite.evaluate(&topo).score;
+        let mut expected = 0.0;
+        for (w, term) in weights.iter().zip(terms.iter()) {
+            let single = Objective::composite([(1.0, term.clone())]).evaluate(&topo).score;
+            expected += w * single;
+        }
+        // Linearity up to float re-association across the sum.
+        let tolerance = 1e-9 * expected.abs().max(1.0);
+        prop_assert!(
+            (total - expected).abs() <= tolerance,
+            "composite {} vs weighted sum {}", total, expected
+        );
+    }
+
+    #[test]
+    fn delta_evaluation_matches_scratch_for_every_objective(
+        topo in random_valid_topology(LinkClass::Medium),
+        remove_idx in 0usize..4096,
+        add_pick in 0usize..4096,
+    ) {
+        // Apply one rewire-shaped move (remove an existing link, add a
+        // valid missing one), evaluate through after_move, and require the
+        // exact ObjectiveValue a from-scratch analysis produces.
+        let layout = Layout::noi_4x5();
+        let problem = GenerationProblem::new(layout.clone(), LinkClass::Medium, Objective::LatOp);
+        let links: Vec<(usize, usize)> = topo.links().collect();
+        if links.is_empty() {
+            continue;
+        }
+        let (ra, rb) = links[remove_idx % links.len()];
+        let candidates = problem.valid_links();
+        let mut moved = topo.clone();
+        moved.remove_link(ra, rb);
+        let addable: Vec<(usize, usize)> = candidates
+            .iter()
+            .copied()
+            .filter(|&(a, b)| {
+                (a, b) != (ra, rb)
+                    && !moved.has_link(a, b)
+                    && moved.free_out_ports(a) > 0
+                    && moved.free_in_ports(b) > 0
+            })
+            .collect();
+        let removed = vec![(ra, rb)];
+        let mut added = Vec::new();
+        // When no legal addition exists the move degenerates to a pure
+        // removal, which is still a valid delta to verify.
+        if !addable.is_empty() {
+            let (aa, ab) = addable[add_pick % addable.len()];
+            moved.add_link(aa, ab);
+            added.push((aa, ab));
+        }
+        let base = TopoAnalysis::new(&topo);
+        let delta = base.after_move(&moved, &removed, &added);
+        let objectives = [
+            Objective::LatOp,
+            Objective::SCOp,
+            Objective::PatternLatOp(TrafficPattern::Shuffle.demand_matrix(&layout)),
+            Objective::EnergyOp { edp_weight: 5.0 },
+            Objective::fault_op_default(),
+        ];
+        for o in &objectives {
+            let from_delta = o.evaluate_analysis(&moved, &delta, CutEval::Exact);
+            let scratch = o.evaluate(&moved);
+            prop_assert_eq!(
+                from_delta.score.to_bits(),
+                scratch.score.to_bits(),
+                "{}: delta {} vs scratch {}", o.short_name(), from_delta.score, scratch.score
+            );
+            prop_assert_eq!(from_delta.total_hops, scratch.total_hops);
+            prop_assert_eq!(from_delta.connected, scratch.connected);
+        }
+    }
+
+    #[test]
+    fn per_term_bounds_never_exceed_realized_scores(
+        class_idx in 0usize..3,
+        topo_mask in proptest::collection::vec(any::<bool>(), 200),
+    ) {
+        let class = class_for(class_idx);
+        let layout = Layout::noi_4x5();
+        let problem = GenerationProblem::new(layout.clone(), class, Objective::LatOp);
+        // Build the random valid topology inline from the mask so the class
+        // can vary with the same strategy.
+        let candidates = problem.valid_links();
+        let mut topo = Topology::empty("random", layout.clone(), class);
+        for (a, b) in expert::hamiltonian_ring(&layout) {
+            topo.add_bidirectional(a, b);
+        }
+        for (keep, &(i, j)) in topo_mask.iter().zip(candidates.iter()) {
+            if *keep
+                && !topo.has_link(i, j)
+                && topo.free_out_ports(i) > 0
+                && topo.free_in_ports(j) > 0
+            {
+                topo.add_link(i, j);
+            }
+        }
+        if !topo.is_valid() {
+            continue;
+        }
+        for term in all_terms(&layout) {
+            let single = Objective::composite([(1.0, term.clone())]);
+            let bound = single.lower_bound(&problem);
+            let realized = single.evaluate(&topo).score;
+            prop_assert!(
+                bound <= realized + 1e-9,
+                "term bound {} exceeds realized score {}", bound, realized
+            );
+        }
+    }
+}

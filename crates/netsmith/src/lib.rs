@@ -74,9 +74,7 @@ pub mod prelude {
         FaultScenario, RepairConfig, RepairPolicy, RerouteRepair, ResilienceConfig,
         ResilienceReport,
     };
-    pub use netsmith_gen::{DiscoveryResult, NetSmith, Objective};
-    #[allow(deprecated)] // the scalar power_report stays exported as a shim
-    pub use netsmith_power::power_report;
+    pub use netsmith_gen::{DiscoveryResult, NetSmith, Objective, Term, WeightedTerm};
     pub use netsmith_power::{area_report, power_report_from_activity, PowerConfig};
     pub use netsmith_route::{allocate_vcs, mclb_route, ndbt_route, MclbConfig, RoutingTable};
     pub use netsmith_sim::{sweep_injection_rates, LatencyCurve, SimConfig};

@@ -19,8 +19,6 @@
 
 pub mod model;
 
-#[allow(deprecated)] // the scalar power_report stays exported as a shim
-pub use model::power_report;
 pub use model::{
     area_report, power_report_from_activity, relative_to, static_power_mw, AreaReport, PowerConfig,
     PowerReport,

@@ -68,50 +68,14 @@ pub fn static_power_mw(topo: &Topology, config: &PowerConfig) -> f64 {
         + topo.total_wire_length_mm() * config.wire_leakage_mw_per_mm
 }
 
-/// Compute the power of a topology from a scalar activity factor.
-///
-/// `avg_link_utilization` is the mean fraction of cycles each link carries
-/// a flit (as reported by the simulator at the operating point of
-/// interest); `sim` supplies the NoI clock, which scales dynamic power.
-#[deprecated(
-    since = "0.1.0",
-    note = "feeds the model a single hand-picked activity scalar; use \
-            `power_report_from_activity` with the simulator's measured \
-            per-link `ActivityProfile` instead"
-)]
-pub fn power_report(
-    topo: &Topology,
-    config: &PowerConfig,
-    sim: &SimConfig,
-    avg_link_utilization: f64,
-) -> PowerReport {
-    let static_mw = static_power_mw(topo, config);
-    // Flits per second crossing the network: every directed link carries
-    // `utilization` flits per cycle.
-    let flits_per_ns = topo.num_directed_links() as f64 * avg_link_utilization * sim.clock_ghz;
-    // Average wire length per traversal.
-    let avg_link_mm = if topo.num_links() == 0 {
-        0.0
-    } else {
-        topo.total_wire_length_mm() / topo.num_links() as f64
-    };
-    let energy_per_flit_pj =
-        config.router_energy_pj_per_flit + config.wire_energy_pj_per_flit_mm * avg_link_mm;
-    // pJ per ns == mW.
-    let dynamic_mw = flits_per_ns * energy_per_flit_pj;
-    PowerReport {
-        static_mw,
-        dynamic_mw,
-    }
-}
-
 /// Compute the power of a topology from the simulator's measured per-link
 /// activity.
 ///
-/// Unlike the deprecated scalar [`power_report`], every flit traversal is
-/// charged the wire energy of the *specific* link it crossed, so
-/// topologies that concentrate traffic on short links are no longer
-/// over-charged by the network-average wire length (and vice versa).
+/// Every flit traversal is charged the wire energy of the *specific* link
+/// it crossed, so topologies that concentrate traffic on short links are
+/// not over-charged by the network-average wire length (and vice versa) —
+/// unlike the retired scalar-utilization model, which fed the whole
+/// network one hand-picked activity factor.
 pub fn power_report_from_activity(
     topo: &Topology,
     config: &PowerConfig,
@@ -154,47 +118,11 @@ pub fn relative_to(value: f64, baseline: f64) -> f64 {
 }
 
 #[cfg(test)]
-// The scalar power_report is kept as a deprecated shim; its regression
-// tests intentionally keep exercising it.
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use netsmith_sim::LinkActivity;
     use netsmith_topo::expert;
     use netsmith_topo::{Layout, LinkClass};
-
-    #[test]
-    fn leakage_is_similar_across_equal_router_topologies() {
-        let layout = Layout::noi_4x5();
-        let cfg = PowerConfig::default();
-        let sim = SimConfig::default();
-        let mesh = power_report(&expert::mesh(&layout), &cfg, &sim, 0.2);
-        let kite = power_report(&expert::kite_large(&layout), &cfg, &sim, 0.2);
-        let ratio = kite.static_mw / mesh.static_mw;
-        assert!(ratio > 0.9 && ratio < 1.4, "leakage ratio {ratio}");
-    }
-
-    #[test]
-    fn dynamic_power_scales_with_utilization_and_clock() {
-        let layout = Layout::noi_4x5();
-        let cfg = PowerConfig::default();
-        let topo = expert::folded_torus(&layout);
-        let slow = SimConfig {
-            clock_ghz: 2.7,
-            ..SimConfig::default()
-        };
-        let fast = SimConfig {
-            clock_ghz: 3.6,
-            ..SimConfig::default()
-        };
-        let low = power_report(&topo, &cfg, &slow, 0.1);
-        let high = power_report(&topo, &cfg, &slow, 0.3);
-        assert!(high.dynamic_mw > low.dynamic_mw);
-        let faster = power_report(&topo, &cfg, &fast, 0.1);
-        assert!(faster.dynamic_mw > low.dynamic_mw);
-        // Static power does not depend on activity.
-        assert!((high.static_mw - low.static_mw).abs() < 1e-9);
-    }
 
     /// A uniform activity profile with every link busy `utilization` of the
     /// window.
@@ -216,23 +144,66 @@ mod tests {
     }
 
     #[test]
-    fn measured_report_matches_scalar_shim_on_uniform_activity() {
+    fn leakage_is_similar_across_equal_router_topologies() {
+        let layout = Layout::noi_4x5();
+        let cfg = PowerConfig::default();
+        let sim = SimConfig::default();
+        let mesh_topo = expert::mesh(&layout);
+        let kite_topo = expert::kite_large(&layout);
+        let mesh =
+            power_report_from_activity(&mesh_topo, &cfg, &sim, &uniform_activity(&mesh_topo, 0.2));
+        let kite =
+            power_report_from_activity(&kite_topo, &cfg, &sim, &uniform_activity(&kite_topo, 0.2));
+        let ratio = kite.static_mw / mesh.static_mw;
+        assert!(ratio > 0.9 && ratio < 1.4, "leakage ratio {ratio}");
+    }
+
+    #[test]
+    fn dynamic_power_scales_with_utilization_and_clock() {
+        let layout = Layout::noi_4x5();
+        let cfg = PowerConfig::default();
+        let topo = expert::folded_torus(&layout);
+        let slow = SimConfig {
+            clock_ghz: 2.7,
+            ..SimConfig::default()
+        };
+        let fast = SimConfig {
+            clock_ghz: 3.6,
+            ..SimConfig::default()
+        };
+        let low = power_report_from_activity(&topo, &cfg, &slow, &uniform_activity(&topo, 0.1));
+        let high = power_report_from_activity(&topo, &cfg, &slow, &uniform_activity(&topo, 0.3));
+        assert!(high.dynamic_mw > low.dynamic_mw);
+        let faster = power_report_from_activity(&topo, &cfg, &fast, &uniform_activity(&topo, 0.1));
+        assert!(faster.dynamic_mw > low.dynamic_mw);
+        // Static power does not depend on activity.
+        assert!((high.static_mw - low.static_mw).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measured_report_matches_analytic_expectation_on_uniform_activity() {
         // When every link carries the same load, the per-link accounting
-        // must agree with the scalar model up to the wire-length averaging
-        // (exact on the mesh, whose links all have equal length).
+        // must agree with the closed-form expectation: flit rate per link
+        // times (router energy + wire energy for that link's length),
+        // summed over links.  On the mesh every link has the same length,
+        // so the sum collapses to one product.
         let layout = Layout::noi_4x5();
         let cfg = PowerConfig::default();
         let sim = SimConfig::default();
         let mesh = expert::mesh(&layout);
-        let activity = uniform_activity(&mesh, 0.2);
+        let utilization = 0.2;
+        let activity = uniform_activity(&mesh, utilization);
         let measured = power_report_from_activity(&mesh, &cfg, &sim, &activity);
-        let scalar = power_report(&mesh, &cfg, &sim, activity.avg_link_utilization());
-        assert!((measured.static_mw - scalar.static_mw).abs() < 1e-9);
+        let link_mm = mesh.total_wire_length_mm() / mesh.num_links() as f64;
+        let flits_per_ns = mesh.num_directed_links() as f64 * utilization * sim.clock_ghz;
+        let expected_dynamic = flits_per_ns
+            * (cfg.router_energy_pj_per_flit + cfg.wire_energy_pj_per_flit_mm * link_mm);
+        assert!((measured.static_mw - static_power_mw(&mesh, &cfg)).abs() < 1e-9);
         assert!(
-            (measured.dynamic_mw - scalar.dynamic_mw).abs() < 1e-6 * scalar.dynamic_mw,
-            "measured {} vs scalar {}",
+            (measured.dynamic_mw - expected_dynamic).abs() < 1e-6 * expected_dynamic,
+            "measured {} vs expected {}",
             measured.dynamic_mw,
-            scalar.dynamic_mw
+            expected_dynamic
         );
     }
 
@@ -336,7 +307,7 @@ mod tests {
         let cfg = PowerConfig::default();
         let sim = SimConfig::default();
         let t = netsmith_topo::Topology::empty("none", layout, LinkClass::Small);
-        let p = power_report(&t, &cfg, &sim, 0.5);
+        let p = power_report_from_activity(&t, &cfg, &sim, &uniform_activity(&t, 0.5));
         assert_eq!(p.dynamic_mw, 0.0);
         assert!(p.static_mw > 0.0);
     }

@@ -1,0 +1,476 @@
+//! Shared, cached topology analysis with delta evaluation.
+//!
+//! Every objective the NetSmith search engines optimize is a function of a
+//! small set of structural quantities: the all-pairs hop-distance matrix
+//! (total/average/demand-weighted hops, diameter), the per-router degrees
+//! (spare min-cut capacity), the wire inventory (static power) and the
+//! critical-link set (single points of failure).  Before this module each
+//! objective recomputed its inputs from scratch on every candidate — a full
+//! all-pairs BFS per annealer move, ~10⁵ times per synthesis run.
+//!
+//! [`TopoAnalysis`] computes the bundle once per candidate and shares it
+//! across all objective terms; the expensive optional pieces (wire length,
+//! critical links) are filled lazily so objectives that never ask for them
+//! never pay for them.  For the annealer's single-link add/remove moves,
+//! [`TopoAnalysis::after_move`] updates the distance matrix *incrementally*:
+//!
+//! * **additions** can only shorten distances, so each source row is
+//!   repaired with a decrease-only relaxation seeded at the new link —
+//!   untouched rows cost one comparison per added link;
+//! * **removals** can only lengthen distances, and only for sources whose
+//!   shortest-path DAG used the removed link (`dist(s,a) + 1 == dist(s,b)`);
+//!   exactly those rows are re-derived by a fresh BFS on the new topology;
+//! * when a removal dirties more than half the rows the update falls back
+//!   to a full recomputation, so the delta path is never slower than the
+//!   from-scratch one by more than a constant factor.
+//!
+//! The incremental distances are exact (integer hop counts, no floating
+//! point drift), which the property tests assert by replaying random move
+//! sequences against from-scratch analyses.
+
+use crate::layout::RouterId;
+use crate::metrics::{self, UNREACHABLE};
+use crate::resilience;
+use crate::topology::Topology;
+use crate::traffic::DemandMatrix;
+use std::cell::OnceCell;
+use std::collections::VecDeque;
+
+/// Fraction (numerator/denominator) of rows that may be dirtied by link
+/// removals before [`TopoAnalysis::after_move`] abandons the incremental
+/// update and recomputes from scratch.
+const FULL_RECOMPUTE_NUM: usize = 1;
+const FULL_RECOMPUTE_DEN: usize = 2;
+
+/// Wire inventory shared by the energy terms: total length and the physical
+/// link count (a duplex pair counts once, matching
+/// [`Topology::total_wire_length_mm`] / [`Topology::num_links`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireStats {
+    /// Total wire length in millimetres.
+    pub total_mm: f64,
+    /// Number of physical links.
+    pub num_links: usize,
+}
+
+/// Cached structural analysis of one candidate topology.
+///
+/// Create with [`TopoAnalysis::new`]; derive the analysis of a neighbouring
+/// candidate (one move away) with [`TopoAnalysis::after_move`].  The lazily
+/// cached members ([`TopoAnalysis::critical_links`],
+/// [`TopoAnalysis::wire_stats`]) take the topology as an argument: callers
+/// must pass the same topology the analysis was built from.
+#[derive(Debug, Clone)]
+pub struct TopoAnalysis {
+    n: usize,
+    /// Row-major `n x n` hop distances ([`UNREACHABLE`] when no path).
+    dist: Vec<u32>,
+    /// Per-source sum of finite distances.
+    row_sum: Vec<u64>,
+    /// Per-source count of unreachable destinations.
+    row_unreachable: Vec<u32>,
+    out_deg: Vec<u32>,
+    in_deg: Vec<u32>,
+    wire: OnceCell<WireStats>,
+    critical: OnceCell<Vec<(RouterId, RouterId)>>,
+}
+
+impl TopoAnalysis {
+    /// Analyse a topology from scratch (one BFS per source).
+    pub fn new(topo: &Topology) -> Self {
+        let n = topo.num_routers();
+        let dist = metrics::all_pairs_hops(topo);
+        let mut analysis = TopoAnalysis {
+            n,
+            dist,
+            row_sum: vec![0; n],
+            row_unreachable: vec![0; n],
+            out_deg: (0..n).map(|r| topo.out_degree(r) as u32).collect(),
+            in_deg: (0..n).map(|r| topo.in_degree(r) as u32).collect(),
+            wire: OnceCell::new(),
+            critical: OnceCell::new(),
+        };
+        for s in 0..n {
+            analysis.refresh_row_aggregate(s);
+        }
+        analysis
+    }
+
+    /// The analysis of `topo`, a topology derived from this analysis's
+    /// topology by removing the directed links in `removed` and then adding
+    /// the directed links in `added` (each directed pair at most once).
+    ///
+    /// Distances are updated incrementally where profitable and recomputed
+    /// from scratch otherwise; either way the result is identical to
+    /// `TopoAnalysis::new(topo)`.
+    pub fn after_move(
+        &self,
+        topo: &Topology,
+        removed: &[(RouterId, RouterId)],
+        added: &[(RouterId, RouterId)],
+    ) -> Self {
+        let n = self.n;
+        debug_assert_eq!(topo.num_routers(), n, "analysis/topology size mismatch");
+
+        // A source row is invalidated by a removal only when the removed
+        // link was *tight* from that source (on some shortest path).
+        let mut dirty = vec![false; n];
+        let mut dirty_count = 0usize;
+        for (s, flag) in dirty.iter_mut().enumerate() {
+            for &(a, b) in removed {
+                let da = self.dist[s * n + a];
+                if da != UNREACHABLE && da + 1 == self.dist[s * n + b] {
+                    *flag = true;
+                    dirty_count += 1;
+                    break;
+                }
+            }
+        }
+        if dirty_count * FULL_RECOMPUTE_DEN > n * FULL_RECOMPUTE_NUM {
+            return TopoAnalysis::new(topo);
+        }
+
+        let mut out_deg = self.out_deg.clone();
+        let mut in_deg = self.in_deg.clone();
+        for &(a, b) in removed {
+            debug_assert!(!topo.has_link(a, b) || added.contains(&(a, b)));
+            out_deg[a] -= 1;
+            in_deg[b] -= 1;
+        }
+        for &(a, b) in added {
+            debug_assert!(topo.has_link(a, b));
+            out_deg[a] += 1;
+            in_deg[b] += 1;
+        }
+
+        let mut analysis = TopoAnalysis {
+            n,
+            dist: self.dist.clone(),
+            row_sum: self.row_sum.clone(),
+            row_unreachable: self.row_unreachable.clone(),
+            out_deg,
+            in_deg,
+            wire: OnceCell::new(),
+            critical: OnceCell::new(),
+        };
+
+        for (s, &row_dirty) in dirty.iter().enumerate() {
+            let row = &mut analysis.dist[s * n..(s + 1) * n];
+            if row_dirty {
+                // Rows whose shortest-path DAG lost a link: re-derive on the
+                // new topology (additions included, so the row is final).
+                bfs_row(topo, s, row);
+            } else if !added.is_empty() {
+                // Clean rows are still valid for the link-removed graph;
+                // additions can only shorten, so a decrease-only relaxation
+                // seeded at the new links repairs the row exactly.
+                relax_row_with_additions(topo, row, added);
+            } else {
+                continue;
+            }
+            analysis.refresh_row_aggregate(s);
+        }
+        analysis
+    }
+
+    fn refresh_row_aggregate(&mut self, s: usize) {
+        let row = &self.dist[s * self.n..(s + 1) * self.n];
+        let mut sum = 0u64;
+        let mut unreachable = 0u32;
+        for (d, &h) in row.iter().enumerate() {
+            if d == s {
+                continue;
+            }
+            if h == UNREACHABLE {
+                unreachable += 1;
+            } else {
+                sum += h as u64;
+            }
+        }
+        self.row_sum[s] = sum;
+        self.row_unreachable[s] = unreachable;
+    }
+
+    /// Number of routers.
+    pub fn num_routers(&self) -> usize {
+        self.n
+    }
+
+    /// Shortest-path hop distance, `None` when unreachable.
+    pub fn hop_distance(&self, s: RouterId, d: RouterId) -> Option<u32> {
+        let h = self.dist[s * self.n + d];
+        (h != UNREACHABLE).then_some(h)
+    }
+
+    /// Number of ordered `(s, d)` pairs (s != d) with no directed path.
+    pub fn unreachable_pairs(&self) -> usize {
+        self.row_unreachable.iter().map(|&u| u as usize).sum()
+    }
+
+    /// True when every router reaches every other router.
+    pub fn is_connected(&self) -> bool {
+        self.row_unreachable.iter().all(|&u| u == 0)
+    }
+
+    /// Total hop count over ordered pairs, `None` when disconnected.
+    pub fn total_hops(&self) -> Option<u64> {
+        self.is_connected().then(|| self.row_sum.iter().sum())
+    }
+
+    /// Average hop count (`f64::INFINITY` when disconnected).
+    pub fn average_hops(&self) -> f64 {
+        match self.total_hops() {
+            Some(total) => total as f64 / (self.n as f64 * (self.n as f64 - 1.0)),
+            None => f64::INFINITY,
+        }
+    }
+
+    /// Network diameter, `None` when disconnected.
+    pub fn diameter(&self) -> Option<u32> {
+        if !self.is_connected() {
+            return None;
+        }
+        self.dist
+            .iter()
+            .filter(|&&h| h != UNREACHABLE)
+            .max()
+            .copied()
+    }
+
+    /// Demand-weighted average hop count (`f64::INFINITY` when some pair
+    /// with positive demand is unreachable), mirroring
+    /// [`metrics::weighted_average_hops`] but reusing the cached distances.
+    pub fn demand_weighted_hops(&self, demand: &DemandMatrix) -> f64 {
+        let n = self.n;
+        assert_eq!(demand.num_nodes(), n, "demand matrix size mismatch");
+        let mut total = 0.0;
+        let mut weight = 0.0;
+        for s in 0..n {
+            for d in 0..n {
+                if s == d {
+                    continue;
+                }
+                let w = demand.demand(s, d);
+                if w <= 0.0 {
+                    continue;
+                }
+                let h = self.dist[s * n + d];
+                if h == UNREACHABLE {
+                    return f64::INFINITY;
+                }
+                total += w * h as f64;
+                weight += w;
+            }
+        }
+        if weight == 0.0 {
+            0.0
+        } else {
+            total / weight
+        }
+    }
+
+    /// Out-degree of a router.
+    pub fn out_degree(&self, r: RouterId) -> usize {
+        self.out_deg[r] as usize
+    }
+
+    /// In-degree of a router.
+    pub fn in_degree(&self, r: RouterId) -> usize {
+        self.in_deg[r] as usize
+    }
+
+    /// Minimum over routers of `min(out_degree, in_degree)` — the spare
+    /// min-cut capacity proxy of [`resilience::min_directional_degree`].
+    pub fn min_directional_degree(&self) -> usize {
+        (0..self.n)
+            .map(|r| self.out_deg[r].min(self.in_deg[r]) as usize)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// The critical (articulation) duplex pairs of the topology, computed
+    /// on first use and cached.  `topo` must be the topology this analysis
+    /// was built from.
+    pub fn critical_links(&self, topo: &Topology) -> &[(RouterId, RouterId)] {
+        debug_assert_eq!(topo.num_routers(), self.n);
+        self.critical
+            .get_or_init(|| resilience::critical_link_pairs(topo))
+    }
+
+    /// Total wire length and physical link count, computed on first use and
+    /// cached.  `topo` must be the topology this analysis was built from.
+    pub fn wire_stats(&self, topo: &Topology) -> WireStats {
+        debug_assert_eq!(topo.num_routers(), self.n);
+        *self.wire.get_or_init(|| WireStats {
+            total_mm: topo.total_wire_length_mm(),
+            num_links: topo.num_links(),
+        })
+    }
+}
+
+/// One BFS row over the directed adjacency of `topo`.
+fn bfs_row(topo: &Topology, s: usize, row: &mut [u32]) {
+    let n = row.len();
+    row.fill(UNREACHABLE);
+    row[s] = 0;
+    let mut queue = VecDeque::with_capacity(n);
+    queue.push_back(s);
+    while let Some(u) = queue.pop_front() {
+        let du = row[u];
+        for (v, d) in row.iter_mut().enumerate() {
+            if *d == UNREACHABLE && topo.has_link(u, v) {
+                *d = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+}
+
+/// Decrease-only repair of one source row after link additions: seed a
+/// relaxation queue at every added link that shortens a path, then
+/// propagate improvements along outgoing links of the *new* topology.
+fn relax_row_with_additions(topo: &Topology, row: &mut [u32], added: &[(RouterId, RouterId)]) {
+    let mut queue = VecDeque::new();
+    for &(a, b) in added {
+        let da = row[a];
+        if da != UNREACHABLE && da + 1 < row[b] {
+            row[b] = da + 1;
+            queue.push_back(b);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let du = row[u];
+        for (v, d) in row.iter_mut().enumerate() {
+            if du + 1 < *d && topo.has_link(u, v) {
+                *d = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expert;
+    use crate::layout::Layout;
+    use crate::linkclass::LinkClass;
+
+    fn assert_matches_scratch(analysis: &TopoAnalysis, topo: &Topology) {
+        let scratch = TopoAnalysis::new(topo);
+        let n = topo.num_routers();
+        for s in 0..n {
+            for d in 0..n {
+                assert_eq!(
+                    analysis.hop_distance(s, d),
+                    scratch.hop_distance(s, d),
+                    "dist({s},{d}) mismatch"
+                );
+            }
+            assert_eq!(analysis.out_degree(s), scratch.out_degree(s));
+            assert_eq!(analysis.in_degree(s), scratch.in_degree(s));
+        }
+        assert_eq!(analysis.total_hops(), scratch.total_hops());
+        assert_eq!(analysis.unreachable_pairs(), scratch.unreachable_pairs());
+    }
+
+    #[test]
+    fn fresh_analysis_matches_metrics() {
+        let mesh = expert::mesh(&Layout::noi_4x5());
+        let analysis = TopoAnalysis::new(&mesh);
+        assert_eq!(analysis.total_hops(), metrics::total_hops(&mesh));
+        assert_eq!(analysis.diameter(), metrics::diameter(&mesh));
+        assert!((analysis.average_hops() - metrics::average_hops(&mesh)).abs() < 1e-12);
+        assert_eq!(
+            analysis.min_directional_degree(),
+            resilience::min_directional_degree(&mesh)
+        );
+        let stats = analysis.wire_stats(&mesh);
+        assert_eq!(stats.total_mm, mesh.total_wire_length_mm());
+        assert_eq!(stats.num_links, mesh.num_links());
+        assert_eq!(
+            analysis.critical_links(&mesh),
+            resilience::critical_link_pairs(&mesh).as_slice()
+        );
+    }
+
+    #[test]
+    fn addition_delta_matches_scratch() {
+        let layout = Layout::noi_4x5();
+        let mut topo = expert::mesh(&layout);
+        let analysis = TopoAnalysis::new(&topo);
+        // Add a diagonal link (mesh is Small class; force via Custom not
+        // needed — (0,6) spans (1,1) which Small allows).
+        topo.add_link(0, 6);
+        let moved = analysis.after_move(&topo, &[], &[(0, 6)]);
+        assert_matches_scratch(&moved, &topo);
+    }
+
+    #[test]
+    fn removal_delta_matches_scratch() {
+        let layout = Layout::noi_4x5();
+        let mut topo = expert::folded_torus(&layout);
+        let analysis = TopoAnalysis::new(&topo);
+        let (a, b) = topo.links().next().unwrap();
+        topo.remove_link(a, b);
+        let moved = analysis.after_move(&topo, &[(a, b)], &[]);
+        assert_matches_scratch(&moved, &topo);
+    }
+
+    #[test]
+    fn rewire_delta_matches_scratch() {
+        let layout = Layout::noi_4x5();
+        let mut topo = expert::mesh(&layout);
+        let analysis = TopoAnalysis::new(&topo);
+        // Swap (0,1) for (0,6): a remove+add compound move.
+        topo.remove_link(0, 1);
+        topo.add_link(0, 6);
+        let moved = analysis.after_move(&topo, &[(0, 1)], &[(0, 6)]);
+        assert_matches_scratch(&moved, &topo);
+    }
+
+    #[test]
+    fn disconnecting_removal_delta_matches_scratch() {
+        // A chain: removing a middle pair splits the network; the delta
+        // path must agree on the unreachable accounting.
+        let layout = Layout::interposer_grid(2, 3, 4);
+        let mut topo = Topology::from_bidirectional_links(
+            "chain",
+            layout,
+            LinkClass::Custom(crate::linkclass::LinkSpan::new(8, 8)),
+            &[(0, 1), (1, 2), (2, 5), (5, 4), (4, 3)],
+        );
+        let analysis = TopoAnalysis::new(&topo);
+        topo.remove_link(1, 2);
+        topo.remove_link(2, 1);
+        let moved = analysis.after_move(&topo, &[(1, 2), (2, 1)], &[]);
+        assert_matches_scratch(&moved, &topo);
+        assert!(!moved.is_connected());
+        assert_eq!(moved.total_hops(), None);
+        assert_eq!(moved.average_hops(), f64::INFINITY);
+    }
+
+    #[test]
+    fn reconnecting_addition_delta_matches_scratch() {
+        let layout = Layout::interposer_grid(2, 3, 4);
+        let class = LinkClass::Custom(crate::linkclass::LinkSpan::new(8, 8));
+        let mut topo =
+            Topology::from_bidirectional_links("split", layout, class, &[(0, 1), (4, 3)]);
+        let analysis = TopoAnalysis::new(&topo);
+        assert!(!analysis.is_connected());
+        topo.add_link(1, 4);
+        let moved = analysis.after_move(&topo, &[], &[(1, 4)]);
+        assert_matches_scratch(&moved, &topo);
+    }
+
+    #[test]
+    fn demand_weighted_hops_matches_metrics() {
+        let layout = Layout::noi_4x5();
+        let topo = expert::kite_medium(&layout);
+        let demand = crate::traffic::TrafficPattern::Shuffle.demand_matrix(&layout);
+        let analysis = TopoAnalysis::new(&topo);
+        let cached = analysis.demand_weighted_hops(&demand);
+        let scratch = metrics::weighted_average_hops(&topo, &demand);
+        assert!((cached - scratch).abs() < 1e-12);
+    }
+}

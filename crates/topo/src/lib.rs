@@ -21,6 +21,9 @@
 //!   with radix/length/connectivity validation.
 //! * [`metrics`], [`cuts`], [`bounds`] — the analytical evaluation used by
 //!   the paper's Figure 1 and Table II.
+//! * [`analysis`] — the cached [`TopoAnalysis`] bundle shared by all
+//!   synthesis objective terms, with exact delta evaluation for the
+//!   annealer's single-link add/remove moves.
 //! * [`resilience`] — critical-link detection and masked-connectivity
 //!   helpers backing the `netsmith-fault` subsystem and the FaultOp
 //!   synthesis objective.
@@ -28,6 +31,7 @@
 //! * [`traffic`] — traffic patterns (uniform random, shuffle, …) expressed
 //!   as demand matrices so objectives can be traffic-weighted.
 
+pub mod analysis;
 pub mod bounds;
 pub mod cuts;
 pub mod expert;
@@ -40,6 +44,7 @@ pub mod topology;
 pub mod traffic;
 pub mod viz;
 
+pub use analysis::TopoAnalysis;
 pub use bounds::{cut_throughput_bound, occupancy_throughput_bound, ThroughputBounds};
 pub use cuts::{bisection_bandwidth, sparsest_cut, CutReport};
 pub use layout::{Layout, NodeKind, RouterId};

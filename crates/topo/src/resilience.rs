@@ -126,16 +126,66 @@ pub fn survives_pair_removal(topo: &Topology, i: RouterId, j: RouterId) -> bool 
     (0..n).all(|r| fwd[r] && bwd[r])
 }
 
+/// Early-exit BFS: can `from` reach `to` over alive routers while skipping
+/// both directions of the duplex pair `skip`?
+fn reaches_with_skip(
+    topo: &Topology,
+    from: RouterId,
+    to: RouterId,
+    skip: (RouterId, RouterId),
+) -> bool {
+    let n = topo.num_routers();
+    let skipped =
+        |a: RouterId, b: RouterId| (a == skip.0 && b == skip.1) || (a == skip.1 && b == skip.0);
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::with_capacity(n);
+    seen[from] = true;
+    queue.push_back(from);
+    while let Some(u) = queue.pop_front() {
+        let mut found = false;
+        for (v, s) in seen.iter_mut().enumerate() {
+            if !*s && !skipped(u, v) && topo.has_link(u, v) {
+                if v == to {
+                    found = true;
+                    break;
+                }
+                *s = true;
+                queue.push_back(v);
+            }
+        }
+        if found {
+            return true;
+        }
+    }
+    false
+}
+
 /// The *critical* duplex pairs of a topology: physical links whose failure
 /// (removal of both directions) leaves some ordered router pair without a
 /// directed path.  A topology with no critical pairs re-routes around any
 /// single link failure; the `netsmith-gen` FaultOp objective drives this
-/// count to zero during synthesis.
+/// count to zero during synthesis (so this runs on every annealer move and
+/// is kept as cheap as possible).
 pub fn critical_link_pairs(topo: &Topology) -> Vec<(RouterId, RouterId)> {
-    duplex_pairs(topo)
-        .into_iter()
-        .filter(|&(i, j)| !survives_pair_removal(topo, i, j))
-        .collect()
+    let alive = vec![true; topo.num_routers()];
+    if is_strongly_connected_among(topo, &alive) {
+        // On a strongly connected digraph, removing the duplex pair (i, j)
+        // preserves strong connectivity iff i and j still reach each other:
+        // any other path that used a removed direction can splice in the
+        // surviving i→j / j→i detour.  Two early-exit BFS per pair instead
+        // of two full sweeps.
+        duplex_pairs(topo)
+            .into_iter()
+            .filter(|&(i, j)| {
+                !(reaches_with_skip(topo, i, j, (i, j)) && reaches_with_skip(topo, j, i, (i, j)))
+            })
+            .collect()
+    } else {
+        duplex_pairs(topo)
+            .into_iter()
+            .filter(|&(i, j)| !survives_pair_removal(topo, i, j))
+            .collect()
+    }
 }
 
 /// Minimum over all routers of `min(out_degree, in_degree)` — the capacity

@@ -1,5 +1,6 @@
 //! Property-based tests for the topology substrate.
 
+use netsmith_topo::analysis::TopoAnalysis;
 use netsmith_topo::cuts::{crossing_links, sparsest_cut_exhaustive, sparsest_cut_heuristic};
 use netsmith_topo::expert;
 use netsmith_topo::layout::Layout;
@@ -129,6 +130,66 @@ proptest! {
         let weighted = netsmith_topo::metrics::weighted_average_hops(&topo, &DemandMatrix::uniform(n));
         if plain.is_finite() {
             prop_assert!((plain - weighted).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn delta_analysis_exactly_matches_scratch_over_move_sequences(
+        topo in random_connected_topology(),
+        moves in proptest::collection::vec((0usize..9, 0usize..9, any::<bool>()), 1..24),
+        compound in any::<bool>(),
+    ) {
+        // Replay a random sequence of link add/remove moves, updating the
+        // analysis incrementally, and require bit-exact agreement with a
+        // from-scratch analysis after every step.  `compound` batches two
+        // ops per `after_move` call, exercising the annealer's rewire and
+        // endpoint-swap shapes (remove + add in one delta).
+        let mut topo = topo;
+        let mut analysis = TopoAnalysis::new(&topo);
+        let mut pending_removed: Vec<(usize, usize)> = Vec::new();
+        let mut pending_added: Vec<(usize, usize)> = Vec::new();
+        let mut pending = 0usize;
+        let batch = if compound { 2 } else { 1 };
+        for (i_raw, j_raw, add) in moves {
+            let (i, j) = if i_raw == j_raw { (i_raw, (j_raw + 1) % 9) } else { (i_raw, j_raw) };
+            // Skip ops already queued for this directed pair (the
+            // incremental contract is "each pair at most once per move").
+            if pending_removed.contains(&(i, j)) || pending_added.contains(&(i, j)) {
+                continue;
+            }
+            if add && !topo.has_link(i, j) {
+                topo.add_link(i, j);
+                pending_added.push((i, j));
+            } else if !add && topo.has_link(i, j) {
+                topo.remove_link(i, j);
+                pending_removed.push((i, j));
+            } else {
+                continue;
+            }
+            pending += 1;
+            if pending < batch {
+                continue;
+            }
+            analysis = analysis.after_move(&topo, &pending_removed, &pending_added);
+            pending_removed.clear();
+            pending_added.clear();
+            pending = 0;
+            let scratch = TopoAnalysis::new(&topo);
+            let n = topo.num_routers();
+            for s in 0..n {
+                for d in 0..n {
+                    prop_assert_eq!(
+                        analysis.hop_distance(s, d),
+                        scratch.hop_distance(s, d),
+                        "dist({},{}) diverged", s, d
+                    );
+                }
+                prop_assert_eq!(analysis.out_degree(s), scratch.out_degree(s));
+                prop_assert_eq!(analysis.in_degree(s), scratch.in_degree(s));
+            }
+            prop_assert_eq!(analysis.total_hops(), scratch.total_hops());
+            prop_assert_eq!(analysis.unreachable_pairs(), scratch.unreachable_pairs());
+            prop_assert_eq!(analysis.min_directional_degree(), scratch.min_directional_degree());
         }
     }
 
