@@ -1,46 +1,7 @@
-//! Ablation (paper Section III-B and III-A(c)): asymmetric vs symmetric
-//! links.  The paper reports that forcing symmetric links loses under 3%
-//! average hops and nothing in bandwidth, while asymmetric links buy ~3%
-//! throughput; this binary regenerates both variants for every class and
-//! prints the comparison.
-
-use netsmith::gen::Objective;
-use netsmith::prelude::*;
-use netsmith_bench::{evals_budget, workers, HARNESS_SEED};
-use netsmith_topo::cuts;
+//! Thin wrapper: runs the `ablation_symmetry` experiment spec (see
+//! `netsmith_bench::figures::ablation_symmetry`) with the uniform
+//! `--quick` / `--json` / `--seed` CLI.
 
 fn main() {
-    let layout = Layout::noi_4x5();
-    println!("class,objective,links,avg_hops_asymmetric,avg_hops_symmetric,hops_penalty_pct,cut_asymmetric,cut_symmetric");
-    for class in LinkClass::STANDARD {
-        for objective in [Objective::LatOp, Objective::SCOp] {
-            let base = NetSmith::new(layout.clone(), class)
-                .objective(objective.clone())
-                .evaluations(evals_budget())
-                .workers(workers())
-                .seed(HARNESS_SEED ^ 0xA5)
-                .discover();
-            let sym = NetSmith::new(layout.clone(), class)
-                .objective(objective.clone())
-                .symmetric_links(true)
-                .evaluations(evals_budget())
-                .workers(workers())
-                .seed(HARNESS_SEED ^ 0xA5)
-                .discover();
-            let cut_a = cuts::sparsest_cut(&base.topology).normalized_bandwidth;
-            let cut_s = cuts::sparsest_cut(&sym.topology).normalized_bandwidth;
-            println!(
-                "{},{},{},{:.3},{:.3},{:.2},{:.4},{:.4}",
-                class.name(),
-                objective.short_name(),
-                base.topology.num_links(),
-                base.objective.average_hops,
-                sym.objective.average_hops,
-                (sym.objective.average_hops / base.objective.average_hops - 1.0) * 100.0,
-                cut_a,
-                cut_s
-            );
-        }
-    }
-    eprintln!("# the symmetric-link penalty should stay in the low single digits (paper: < 3%).");
+    netsmith_exp::cli::run_figure(netsmith_bench::figures::ablation_symmetry::figure);
 }

@@ -1,40 +1,7 @@
-//! Figure 1: analytical latency vs expected saturation-throughput scatter
-//! of every NoI topology (expert, LPBT-style and NetSmith) on the 20-router
-//! 4x5 interposer.
-//!
-//! Output columns: topology, class, routing, average hops (latency proxy,
-//! Y axis), expected saturation throughput in flits/node/cycle (X axis,
-//! the tighter of the cut and occupancy bounds combined with the routed
-//! maximum channel load).
-
-use netsmith::prelude::*;
-use netsmith_bench::{class_lineup, prepare};
-use netsmith_topo::bounds::ThroughputBounds;
+//! Thin wrapper: runs the `fig01_scatter` experiment spec (see
+//! `netsmith_bench::figures::fig01_scatter`) with the uniform
+//! `--quick` / `--json` / `--seed` CLI.
 
 fn main() {
-    let layout = Layout::noi_4x5();
-    println!("topology,class,routing,avg_hops,expected_saturation_flits_per_node_cycle,cut_bound,occupancy_bound");
-    for class in LinkClass::STANDARD {
-        for (topo, scheme) in class_lineup(&layout, class) {
-            let network = prepare(&topo, scheme);
-            let bounds = ThroughputBounds::compute(&topo);
-            let routed_bound = network
-                .routing
-                .uniform_channel_loads()
-                .saturation_injection_rate()
-                * netsmith_sim::SimConfig::default().average_flits();
-            let expected = bounds.limiting().min(routed_bound);
-            println!(
-                "{},{},{},{:.3},{:.4},{:.4},{:.4}",
-                topo.name(),
-                class.name(),
-                scheme.label(),
-                network.metrics.average_hops,
-                expected,
-                bounds.cut_bound,
-                bounds.occupancy_bound
-            );
-        }
-    }
-    eprintln!("# Figure 1: lower-right (low latency, high throughput) is better; NS-* points should dominate.");
+    netsmith_exp::cli::run_figure(netsmith_bench::figures::fig01_scatter::figure);
 }

@@ -1,34 +1,7 @@
-//! Figure 4: an example latency-optimized NetSmith medium topology, printed
-//! as Graphviz DOT with the sparsest-cut partition coloured (red vs blue)
-//! and bidirectional/unidirectional links drawn solid/dashed, plus the
-//! adjacency listing and link-span histogram.
-
-use netsmith::gen::Objective;
-use netsmith::prelude::*;
-use netsmith_bench::discover;
-use netsmith_topo::{cuts, viz};
+//! Thin wrapper: runs the `fig04_topology` experiment spec (see
+//! `netsmith_bench::figures::fig04_topology`) with the uniform
+//! `--quick` / `--json` / `--seed` CLI.
 
 fn main() {
-    let layout = Layout::noi_4x5();
-    let ns = discover(&layout, LinkClass::Medium, Objective::LatOp);
-    let cut = cuts::sparsest_cut(&ns.topology);
-    println!("{}", viz::to_dot(&ns.topology, Some(&cut)));
-    eprintln!(
-        "# adjacency listing:\n{}",
-        viz::adjacency_listing(&ns.topology)
-    );
-    eprintln!(
-        "# link span histogram: {:?}",
-        ns.topology.link_span_histogram()
-    );
-    eprintln!(
-        "# sparsest cut: {} fwd / {} bwd crossing links over partition {:?} (bisection: {})",
-        cut.crossing_forward, cut.crossing_backward, cut.partition, cut.is_bisection
-    );
-    eprintln!(
-        "# avg hops {:.3}, links {}, symmetric: {}",
-        ns.objective.average_hops,
-        ns.topology.num_links(),
-        ns.topology.is_symmetric()
-    );
+    netsmith_exp::cli::run_figure(netsmith_bench::figures::fig04_topology::figure);
 }

@@ -1,46 +1,7 @@
-//! Figure 5: solver progress — the objective-bounds gap narrowing over
-//! time — for the latency-optimized (LatOp) search on the 20-router (a),
-//! 30-router (b) and 48-router (c) layouts, for each link-length class.
-//!
-//! The paper runs Gurobi for minutes (20 routers) to days (48 routers); the
-//! reproduction's annealing engine runs for seconds to minutes, but the
-//! qualitative shape is the same: small classes converge to (near-)zero gap
-//! quickly, large classes plateau at a residual gap yet still beat every
-//! expert design.
-
-use netsmith::gen::Objective;
-use netsmith::prelude::*;
-use netsmith_bench::discover;
+//! Thin wrapper: runs the `fig05_solver_progress` experiment spec (see
+//! `netsmith_bench::figures::fig05_solver_progress`) with the uniform
+//! `--quick` / `--json` / `--seed` CLI.
 
 fn main() {
-    println!("layout,class,elapsed_ms,incumbent_avg_hops,bound_avg_hops,gap");
-    for (label, layout) in [
-        ("4x5", Layout::noi_4x5()),
-        ("6x5", Layout::noi_6x5()),
-        ("8x6", Layout::noi_8x6()),
-    ] {
-        let n = layout.num_routers() as f64;
-        let pairs = n * (n - 1.0);
-        for class in LinkClass::STANDARD {
-            let result = discover(&layout, class, Objective::LatOp);
-            for s in result.progress.samples() {
-                println!(
-                    "{},{},{:.1},{:.4},{:.4},{:.4}",
-                    label,
-                    class.name(),
-                    s.elapsed.as_secs_f64() * 1e3,
-                    s.incumbent / pairs,
-                    s.bound / pairs,
-                    s.gap
-                );
-            }
-            eprintln!(
-                "# {label} {}: final gap {:.1}% (avg hops {:.3}, bound {:.3})",
-                class.name(),
-                result.gap * 100.0,
-                result.objective.average_hops,
-                result.bound / pairs
-            );
-        }
-    }
+    netsmith_exp::cli::run_figure(netsmith_bench::figures::fig05_solver_progress::figure);
 }

@@ -1,45 +1,7 @@
-//! Figure 6: synthetic-traffic latency/throughput curves for the 20-router
-//! (4x5) NoIs — (a) coherence traffic (uniform random, 50/50 control/data
-//! packets) and (b) memory traffic (requests to the memory-controller
-//! routers).  Expert topologies use NDBT routing, NetSmith topologies use
-//! MCLB, every NoI is clocked per its link-length class.
-
-use netsmith::prelude::*;
-use netsmith_bench::{class_lineup, load_grid, prepare};
+//! Thin wrapper: runs the `fig06_synthetic` experiment spec (see
+//! `netsmith_bench::figures::fig06_synthetic`) with the uniform
+//! `--quick` / `--json` / `--seed` CLI.
 
 fn main() {
-    let layout = Layout::noi_4x5();
-    let loads = load_grid();
-    println!("traffic,class,topology,routing,offered,accepted_pkts_per_ns,latency_ns,saturated");
-    for (traffic_label, pattern) in [
-        ("coherence", TrafficPattern::UniformRandom),
-        ("memory", TrafficPattern::Memory),
-    ] {
-        for class in LinkClass::STANDARD {
-            for (topo, scheme) in class_lineup(&layout, class) {
-                let network = prepare(&topo, scheme);
-                let config = network.sim_config();
-                let curve = network.sweep(pattern.clone(), &config, &loads);
-                for p in &curve.points {
-                    println!(
-                        "{},{},{},{},{:.3},{:.4},{:.2},{}",
-                        traffic_label,
-                        class.name(),
-                        topo.name(),
-                        scheme.label(),
-                        p.offered,
-                        p.accepted_packets_per_ns,
-                        p.latency_ns,
-                        p.saturated
-                    );
-                }
-                eprintln!(
-                    "# {traffic_label}/{}/{}: saturation {:.3} packets/node/ns",
-                    class.name(),
-                    network.label(),
-                    curve.saturation_packets_per_ns(&config)
-                );
-            }
-        }
-    }
+    netsmith_exp::cli::run_figure(netsmith_bench::figures::fig06_synthetic::figure);
 }

@@ -1,42 +1,7 @@
-//! Figure 7: isolating NetSmith's topology benefit from its routing
-//! benefit.  Every *large-class* topology is simulated under both NDBT and
-//! MCLB routing; the analytical cut-based and occupancy-based bounds are
-//! printed alongside the measured saturation throughput.
-
-use netsmith::prelude::*;
-use netsmith_bench::{class_lineup, load_grid, prepare};
-use netsmith_topo::bounds::ThroughputBounds;
+//! Thin wrapper: runs the `fig07_routing_isolation` experiment spec (see
+//! `netsmith_bench::figures::fig07_routing_isolation`) with the uniform
+//! `--quick` / `--json` / `--seed` CLI.
 
 fn main() {
-    let layout = Layout::noi_4x5();
-    let loads = load_grid();
-    println!("topology,routing,measured_saturation_flits,expected_saturation_flits,cut_bound_flits,occupancy_bound_flits");
-    for (topo, _) in class_lineup(&layout, LinkClass::Large) {
-        let bounds = ThroughputBounds::compute(&topo);
-        for scheme in [RoutingScheme::Ndbt, RoutingScheme::Mclb] {
-            let network = prepare(&topo, scheme);
-            let config = network.sim_config();
-            let curve = network.sweep(TrafficPattern::UniformRandom, &config, &loads);
-            let expected = network
-                .routing
-                .uniform_channel_loads()
-                .saturation_injection_rate()
-                * config.average_flits();
-            println!(
-                "{},{},{:.4},{:.4},{:.4},{:.4}",
-                topo.name(),
-                scheme.label(),
-                curve.saturation_flits_per_node_cycle(),
-                expected.min(bounds.limiting()),
-                bounds.cut_bound,
-                bounds.occupancy_bound
-            );
-        }
-    }
-    eprintln!(
-        "# MCLB should raise every topology's measured saturation towards its analytical bound;"
-    );
-    eprintln!(
-        "# NetSmith topologies should remain ahead even when the expert designs also use MCLB."
-    );
+    netsmith_exp::cli::run_figure(netsmith_bench::figures::fig07_routing_isolation::figure);
 }

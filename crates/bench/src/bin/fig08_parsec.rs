@@ -1,83 +1,7 @@
-//! Figure 8: PARSEC execution-time speedup (bars) and packet-latency
-//! reduction (markers) relative to the mesh baseline, for the small, medium
-//! and large topology classes.  Benchmarks are ordered by L2 MPKI exactly
-//! like the paper's X axis.
-
-use netsmith::gen::Objective;
-use netsmith::prelude::*;
-use netsmith_bench::{discover, prepare};
+//! Thin wrapper: runs the `fig08_parsec` experiment spec (see
+//! `netsmith_bench::figures::fig08_parsec`) with the uniform
+//! `--quick` / `--json` / `--seed` CLI.
 
 fn main() {
-    let layout = Layout::noi_4x5();
-    let config = FullSystemConfig::default();
-    let mesh = prepare(&expert::mesh(&layout), RoutingScheme::Ndbt);
-
-    // One expert and two NetSmith topologies per class, as in the figure.
-    let mut networks = Vec::new();
-    for class in LinkClass::STANDARD {
-        for topo in expert::baselines_for_class(&layout, class) {
-            networks.push((class, prepare(&topo, RoutingScheme::Ndbt)));
-        }
-        for objective in [Objective::LatOp, Objective::SCOp] {
-            let ns = discover(&layout, class, objective);
-            networks.push((class, prepare(&ns.topology, RoutingScheme::Mclb)));
-        }
-    }
-
-    println!("benchmark,class,topology,speedup_vs_mesh,packet_latency_reduction_vs_mesh");
-    for profile in parsec_suite() {
-        let base = evaluate_topology(
-            &profile,
-            &mesh.topology,
-            &mesh.routing,
-            Some(&mesh.vcs),
-            &config,
-        );
-        for (class, network) in &networks {
-            let r = evaluate_topology(
-                &profile,
-                &network.topology,
-                &network.routing,
-                Some(&network.vcs),
-                &config,
-            );
-            println!(
-                "{},{},{},{:.4},{:.4}",
-                profile.name,
-                class.name(),
-                network.topology.name(),
-                r.speedup_over(&base),
-                r.latency_reduction_over(&base)
-            );
-        }
-    }
-    eprintln!("# geometric-mean speedups by topology:");
-    for (class, network) in &networks {
-        let mut product = 1.0f64;
-        let mut count = 0;
-        for profile in parsec_suite() {
-            let base = evaluate_topology(
-                &profile,
-                &mesh.topology,
-                &mesh.routing,
-                Some(&mesh.vcs),
-                &config,
-            );
-            let r = evaluate_topology(
-                &profile,
-                &network.topology,
-                &network.routing,
-                Some(&network.vcs),
-                &config,
-            );
-            product *= r.speedup_over(&base);
-            count += 1;
-        }
-        eprintln!(
-            "#   {} ({}): {:.3}x",
-            network.topology.name(),
-            class.name(),
-            product.powf(1.0 / count as f64)
-        );
-    }
+    netsmith_exp::cli::run_figure(netsmith_bench::figures::fig08_parsec::figure);
 }

@@ -1,49 +1,7 @@
-//! Figure 9: NoI power (static + dynamic) and area (routers + wires)
-//! relative to the mesh baseline, using the DSENT-style model fed with the
-//! simulator's measured per-link activity at a moderate operating point
-//! (the hand-picked scalar utilization of the original harness is gone —
-//! every flit is charged the wire it actually crossed).
-
-use netsmith::power::{area_report, power_report_from_activity, relative_to, PowerConfig};
-use netsmith::prelude::*;
-use netsmith_bench::{class_lineup, prepare};
+//! Thin wrapper: runs the `fig09_power_area` experiment spec (see
+//! `netsmith_bench::figures::fig09_power_area`) with the uniform
+//! `--quick` / `--json` / `--seed` CLI.
 
 fn main() {
-    let layout = Layout::noi_4x5();
-    let power_cfg = PowerConfig::default();
-    let operating_load = 0.3; // flits/node/cycle, below saturation for all topologies
-
-    // Mesh baseline (small class clock).
-    let mesh = prepare(&expert::mesh(&layout), RoutingScheme::Ndbt);
-    let mesh_cfg = mesh.sim_config();
-    let mesh_report = mesh.measure(TrafficPattern::UniformRandom, &mesh_cfg, operating_load);
-    let mesh_power =
-        power_report_from_activity(&mesh.topology, &power_cfg, &mesh_cfg, &mesh_report.activity);
-    let mesh_area = area_report(&mesh.topology, &power_cfg);
-
-    println!("topology,class,avg_link_utilization,static_power_rel_mesh,dynamic_power_rel_mesh,total_power_rel_mesh,router_area_rel_mesh,wire_area_rel_mesh,total_area_rel_mesh");
-    for class in LinkClass::STANDARD {
-        for (topo, scheme) in class_lineup(&layout, class) {
-            let network = prepare(&topo, scheme);
-            let cfg = network.sim_config();
-            let report = network.measure(TrafficPattern::UniformRandom, &cfg, operating_load);
-            let power =
-                power_report_from_activity(&network.topology, &power_cfg, &cfg, &report.activity);
-            let area = area_report(&topo, &power_cfg);
-            println!(
-                "{},{},{:.4},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}",
-                topo.name(),
-                class.name(),
-                report.activity.avg_link_utilization(),
-                relative_to(power.static_mw, mesh_power.static_mw),
-                relative_to(power.dynamic_mw, mesh_power.dynamic_mw),
-                relative_to(power.total_mw(), mesh_power.total_mw()),
-                relative_to(area.router_mm2, mesh_area.router_mm2),
-                relative_to(area.wire_mm2, mesh_area.wire_mm2),
-                relative_to(area.total_mm2(), mesh_area.total_mm2()),
-            );
-        }
-    }
-    eprintln!("# leakage should stay flat across topologies; dynamic power and wire area grow with link length;");
-    eprintln!("# large-class topologies trade lower clocks (lower dynamic power) for more wire.");
+    netsmith_exp::cli::run_figure(netsmith_bench::figures::fig09_power_area::figure);
 }

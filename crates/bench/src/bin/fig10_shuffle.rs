@@ -1,53 +1,7 @@
-//! Figure 10: latency/throughput under the gem5 "shuffle" permutation for
-//! the 20-router NoIs, including the shuffle-optimized NetSmith topology
-//! ("NS ShufOpt") generated with the pattern-weighted objective.
-
-use netsmith::gen::Objective;
-use netsmith::prelude::*;
-use netsmith_bench::{
-    class_lineup, discover, evals_budget, load_grid, prepare, workers, HARNESS_SEED,
-};
+//! Thin wrapper: runs the `fig10_shuffle` experiment spec (see
+//! `netsmith_bench::figures::fig10_shuffle`) with the uniform
+//! `--quick` / `--json` / `--seed` CLI.
 
 fn main() {
-    let layout = Layout::noi_4x5();
-    let loads = load_grid();
-    let shuffle_demand = TrafficPattern::Shuffle.demand_matrix(&layout);
-
-    println!("class,topology,routing,offered,accepted_pkts_per_ns,latency_ns,saturated");
-    for class in LinkClass::STANDARD {
-        let mut lineup = class_lineup(&layout, class);
-        // Shuffle-optimized NetSmith topology for this class.
-        let shufopt = NetSmith::new(layout.clone(), class)
-            .objective(Objective::PatternLatOp(shuffle_demand.clone()))
-            .evaluations(evals_budget())
-            .workers(workers())
-            .seed(HARNESS_SEED ^ 0x5875)
-            .discover();
-        lineup.push((shufopt.topology, RoutingScheme::Mclb));
-
-        for (topo, scheme) in lineup {
-            let network = prepare(&topo, scheme);
-            let config = network.sim_config();
-            let curve = network.sweep(TrafficPattern::Shuffle, &config, &loads);
-            for p in &curve.points {
-                println!(
-                    "{},{},{},{:.3},{:.4},{:.2},{}",
-                    class.name(),
-                    topo.name(),
-                    scheme.label(),
-                    p.offered,
-                    p.accepted_packets_per_ns,
-                    p.latency_ns,
-                    p.saturated
-                );
-            }
-            eprintln!(
-                "# {}/{}: shuffle saturation {:.3} packets/node/ns",
-                class.name(),
-                network.label(),
-                curve.saturation_packets_per_ns(&config)
-            );
-        }
-    }
-    let _ = discover; // the helper is re-exported for consistency with other figures
+    netsmith_exp::cli::run_figure(netsmith_bench::figures::fig10_shuffle::figure);
 }

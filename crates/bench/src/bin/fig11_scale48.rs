@@ -1,62 +1,7 @@
-//! Figure 11: synthetic uniform-random traffic on the 48-router (8x6)
-//! interposer — the scalability study.  Expert topologies that have a
-//! published scaling rule are extended to 8x6; NetSmith topologies are
-//! regenerated for the larger layout.
-
-use netsmith::gen::Objective;
-use netsmith::prelude::*;
-use netsmith_bench::{discover, load_grid, prepare};
+//! Thin wrapper: runs the `fig11_scale48` experiment spec (see
+//! `netsmith_bench::figures::fig11_scale48`) with the uniform
+//! `--quick` / `--json` / `--seed` CLI.
 
 fn main() {
-    let layout = Layout::noi_8x6();
-    let loads = load_grid();
-
-    println!("class,topology,routing,offered,accepted_pkts_per_ns,latency_ns,saturated");
-    for class in LinkClass::STANDARD {
-        // Scalable expert baselines (Kite-Large does not scale to even
-        // column counts, LPBT fails to produce connected graphs — the paper
-        // makes the same exclusions).
-        let mut lineup: Vec<(netsmith_topo::Topology, RoutingScheme)> = Vec::new();
-        match class {
-            LinkClass::Small => {
-                lineup.push((expert::mesh(&layout), RoutingScheme::Ndbt));
-                lineup.push((expert::kite_small(&layout), RoutingScheme::Ndbt));
-            }
-            LinkClass::Medium => {
-                lineup.push((expert::folded_torus(&layout), RoutingScheme::Ndbt));
-                lineup.push((expert::kite_medium(&layout), RoutingScheme::Ndbt));
-            }
-            LinkClass::Large => {
-                lineup.push((expert::butter_donut(&layout), RoutingScheme::Ndbt));
-                lineup.push((expert::double_butterfly(&layout), RoutingScheme::Ndbt));
-            }
-            LinkClass::Custom(_) => {}
-        }
-        let ns = discover(&layout, class, Objective::LatOp);
-        lineup.push((ns.topology, RoutingScheme::Mclb));
-
-        for (topo, scheme) in lineup {
-            let network = prepare(&topo, scheme);
-            let config = network.sim_config();
-            let curve = network.sweep(TrafficPattern::UniformRandom, &config, &loads);
-            for p in &curve.points {
-                println!(
-                    "{},{},{},{:.3},{:.4},{:.2},{}",
-                    class.name(),
-                    topo.name(),
-                    scheme.label(),
-                    p.offered,
-                    p.accepted_packets_per_ns,
-                    p.latency_ns,
-                    p.saturated
-                );
-            }
-            eprintln!(
-                "# 48-router {}/{}: saturation {:.3} packets/node/ns",
-                class.name(),
-                network.label(),
-                curve.saturation_packets_per_ns(&config)
-            );
-        }
-    }
+    netsmith_exp::cli::run_figure(netsmith_bench::figures::fig11_scale48::figure);
 }

@@ -1,164 +1,7 @@
-//! Figure 12 (beyond the paper): energy-policy comparison across expert
-//! and machine-discovered topologies under measured traffic.
-//!
-//! For every topology × traffic pattern × operating load, the harness
-//! measures per-link activity with the cycle-driven simulator and then
-//! evaluates three energy-management policies on that measurement:
-//! always-on (baseline), link sleep (power-gate under-utilized links,
-//! verified to keep the gated sub-topology connected and deadlock-free)
-//! and DVFS (clock/voltage scaling to the measured load).  The NetSmith
-//! line-up gains an `NS-EnergyOp` topology synthesized with the energy
-//! objective.
-//!
-//! `--quick` restricts the sweep to the medium-class line-up with reduced
-//! simulation windows and a small discovery budget (the CI smoke
-//! configuration); the full run sweeps all three classes.
-//!
-//! The binary asserts the headline property before exiting: at the lowest
-//! load, link sleep burns strictly less total power than always-on on
-//! every configuration, and every gated configuration remains routable.
-
-use netsmith::energy::{standard_policies, EnergyConfig};
-use netsmith::gen::Objective;
-use netsmith::prelude::*;
-use netsmith_bench::{evals_budget, prepare, workers, HARNESS_SEED};
-use netsmith_system::parsec_suite;
-use netsmith_topo::Topology;
-
-/// The idle threshold used by the link-sleep policy: links busy less than
-/// this fraction of the measurement window are gating candidates.
-const IDLE_THRESHOLD: f64 = 0.12;
-
-fn discover_energyop(layout: &Layout, class: LinkClass, quick: bool) -> Topology {
-    NetSmith::new(layout.clone(), class)
-        .objective(Objective::EnergyOp { edp_weight: 25.0 })
-        .evaluations(if quick { 1_500 } else { evals_budget() })
-        .workers(if quick { 2 } else { workers() })
-        .seed(HARNESS_SEED ^ 0xE7E9)
-        .discover()
-        .topology
-}
-
-fn lineup_for_class(
-    layout: &Layout,
-    class: LinkClass,
-    quick: bool,
-) -> Vec<(Topology, RoutingScheme)> {
-    let mut lineup: Vec<(Topology, RoutingScheme)> = expert::baselines_for_class(layout, class)
-        .into_iter()
-        .map(|t| (t, RoutingScheme::Ndbt))
-        .collect();
-    lineup.push((discover_energyop(layout, class, quick), RoutingScheme::Mclb));
-    lineup
-}
+//! Thin wrapper: runs the `fig12_energy` experiment spec (see
+//! `netsmith_bench::figures::fig12_energy`) with the uniform
+//! `--quick` / `--json` / `--seed` CLI.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let layout = Layout::noi_4x5();
-    let energy_cfg = EnergyConfig::default();
-    // The low point must be genuinely idle (sparse topologies keep their
-    // few links busy even at 5% load); the high point sits below
-    // saturation for every topology in the line-up.
-    let loads = [0.02, 0.3];
-
-    let classes: &[LinkClass] = if quick {
-        &[LinkClass::Medium]
-    } else {
-        &LinkClass::STANDARD
-    };
-
-    // Traffic: uniform and shuffle everywhere, plus PARSEC-derived hotspot
-    // mixtures (the least and most network-bound benchmarks) in the full run.
-    let mut patterns: Vec<(String, TrafficPattern)> = vec![
-        ("uniform_random".into(), TrafficPattern::UniformRandom),
-        ("shuffle".into(), TrafficPattern::Shuffle),
-    ];
-    if !quick {
-        for w in parsec_suite() {
-            if w.name == "swaptions" || w.name == "canneal" {
-                patterns.push((format!("parsec_{}", w.name), w.traffic_pattern(&layout)));
-            }
-        }
-    }
-
-    println!(
-        "class,topology,routing,pattern,load,{}",
-        EnergyReport::csv_header()
-    );
-    // (label, load, policy, total_mw, routable) rows of the lowest load,
-    // kept for the exit assertion.
-    let mut low_load_rows: Vec<(String, String, f64, bool)> = Vec::new();
-
-    for &class in classes {
-        for (topo, scheme) in lineup_for_class(&layout, class, quick) {
-            let network = prepare(&topo, scheme);
-            let mut sim_cfg = network.sim_config();
-            if quick {
-                sim_cfg.warmup_cycles = 500;
-                sim_cfg.measure_cycles = 3_000;
-                sim_cfg.drain_cycles = 1_500;
-            }
-            for (pattern_name, pattern) in &patterns {
-                for &load in &loads {
-                    let report = network.measure(pattern.clone(), &sim_cfg, load);
-                    for policy in standard_policies(IDLE_THRESHOLD) {
-                        let energy =
-                            network.energy_report(policy.as_ref(), &sim_cfg, &report, &energy_cfg);
-                        println!(
-                            "{},{},{},{},{:.2},{}",
-                            class.name(),
-                            topo.name(),
-                            scheme.label(),
-                            pattern_name,
-                            load,
-                            energy.to_csv_row()
-                        );
-                        if load == loads[0] {
-                            low_load_rows.push((
-                                format!("{}/{}/{pattern_name}", class.name(), topo.name()),
-                                energy.policy.clone(),
-                                energy.total_mw(),
-                                energy.routable,
-                            ));
-                        }
-                    }
-                }
-                eprintln!(
-                    "# {}/{} under {pattern_name}: measured activity drives the policies",
-                    class.name(),
-                    network.label()
-                );
-            }
-        }
-    }
-
-    // Headline assertion: at the lowest load, link sleep strictly beats
-    // always-on on every configuration and every gated configuration is
-    // routable + deadlock-free.
-    let mut checked = 0usize;
-    for (label, policy, sleep_total, routable) in low_load_rows
-        .iter()
-        .filter(|(_, p, _, _)| p.starts_with("link_sleep"))
-        .map(|(l, p, t, r)| (l, p, *t, *r))
-    {
-        let always_total = low_load_rows
-            .iter()
-            .find(|(l, p, _, _)| l == label && p == "always_on")
-            .map(|(_, _, t, _)| *t)
-            .unwrap_or_else(|| panic!("{label}: missing always-on baseline"));
-        assert!(
-            routable,
-            "{label}: gated configuration is not routable ({policy})"
-        );
-        assert!(
-            sleep_total < always_total,
-            "{label}: link sleep {sleep_total:.3} mW is not below always-on {always_total:.3} mW"
-        );
-        checked += 1;
-    }
-    eprintln!(
-        "# verified on {checked} configurations: link sleep < always-on at {} flits/node/cycle, \
-         all gated sub-topologies routable and deadlock-free",
-        loads[0]
-    );
+    netsmith_exp::cli::run_figure(netsmith_bench::figures::fig12_energy::figure);
 }

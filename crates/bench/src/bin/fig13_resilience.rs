@@ -1,268 +1,7 @@
-//! Figure 13 (beyond the paper): resilience under permanent faults across
-//! expert and machine-discovered topologies.
-//!
-//! For every topology the harness builds the fault-scenario sets of the
-//! study — every single link failure (exhaustive), sampled double link
-//! failures, and single router failures — repairs each scenario with the
-//! default re-route policy (fresh shortest paths + MCLB + escape VCs on
-//! the surviving sub-topology, deadlock freedom verified), and reports
-//! routability coverage plus unreachable-pair counts.  On a sampled
-//! subset it also re-simulates the workload on the repaired fabric
-//! (failed routers masked out of traffic generation) and reports degraded
-//! saturation throughput and latency inflation against the healthy
-//! baseline.  The NetSmith line-up gains an `NS-FaultOp` topology
-//! synthesized with the fault-tolerance objective (no articulation links,
-//! spare min-cut capacity) next to the latency-only `NS-LatOp` baseline.
-//!
-//! `--quick` restricts the sweep to the medium class with a reduced
-//! line-up, smaller scenario samples and a small discovery budget (the CI
-//! smoke configuration); the full run sweeps all three classes and both
-//! traffic patterns.
-//!
-//! The binary asserts the headline properties before exiting: every
-//! single-link-failure scenario on every `NS-FaultOp` topology re-routes
-//! deadlock-free via the repair policy (100% coverage), and NS-FaultOp
-//! degrades at least as gracefully as the latency-only baseline (mean
-//! coverage over the link/router fault sets, never lower).
-
-use netsmith::fault::{
-    single_link_scenarios, single_router_scenarios, FaultModel, FaultScenario, RerouteRepair,
-    ResilienceConfig, ResilienceReport,
-};
-use netsmith::gen::Objective;
-use netsmith::prelude::*;
-use netsmith_bench::{evals_budget, prepare, workers, HARNESS_SEED};
-use netsmith_topo::resilience::critical_link_pairs;
-use netsmith_topo::Topology;
-
-fn discover(layout: &Layout, class: LinkClass, objective: Objective, quick: bool) -> Topology {
-    NetSmith::new(layout.clone(), class)
-        .objective(objective)
-        .evaluations(if quick { 1_500 } else { evals_budget() })
-        .workers(if quick { 2 } else { workers() })
-        .seed(HARNESS_SEED ^ 0xFA17)
-        .discover()
-        .topology
-}
-
-fn lineup_for_class(
-    layout: &Layout,
-    class: LinkClass,
-    quick: bool,
-) -> Vec<(Topology, RoutingScheme)> {
-    let mut lineup: Vec<(Topology, RoutingScheme)> = if quick {
-        vec![(expert::mesh(layout), RoutingScheme::Ndbt)]
-    } else {
-        expert::baselines_for_class(layout, class)
-            .into_iter()
-            .map(|t| (t, RoutingScheme::Ndbt))
-            .collect()
-    };
-    lineup.push((
-        discover(layout, class, Objective::LatOp, quick),
-        RoutingScheme::Mclb,
-    ));
-    lineup.push((
-        discover(layout, class, Objective::fault_op_default(), quick),
-        RoutingScheme::Mclb,
-    ));
-    lineup
-}
-
-/// The per-topology fault sets of the study, exhaustive where the space is
-/// small and seeded samples elsewhere.
-fn fault_sets(topo: &Topology, quick: bool) -> Vec<(&'static str, Vec<FaultScenario>)> {
-    vec![
-        ("1link", single_link_scenarios(topo)),
-        (
-            "2link",
-            FaultModel::links(2, HARNESS_SEED).sample_scenarios(topo, if quick { 3 } else { 10 }),
-        ),
-        (
-            "1router",
-            if quick {
-                FaultModel {
-                    link_faults: 0,
-                    router_faults: 1,
-                    seed: HARNESS_SEED,
-                }
-                .sample_scenarios(topo, 3)
-            } else {
-                single_router_scenarios(topo)
-            },
-        ),
-    ]
-}
-
-fn csv_row(
-    class: LinkClass,
-    network_label: &str,
-    pattern: &str,
-    set_name: &str,
-    report: &ResilienceReport,
-) -> String {
-    let opt = |v: Option<f64>| v.map(|x| format!("{x:.4}")).unwrap_or_default();
-    format!(
-        "{},{},{},{},{},{:.4},{},{},{},{},{},{},{}",
-        class.name(),
-        network_label.replace(" / ", ","),
-        pattern,
-        set_name,
-        report.outcomes.len(),
-        report.coverage(),
-        report.total_unreachable_pairs(),
-        opt(report.baseline_saturation_flits_per_node_cycle),
-        opt(report.worst_saturation()),
-        opt(report.mean_saturation()),
-        opt(report.worst_saturation_retention()),
-        opt(report.mean_latency_inflation()),
-        opt(report.worst_latency_inflation()),
-    )
-}
+//! Thin wrapper: runs the `fig13_resilience` experiment spec (see
+//! `netsmith_bench::figures::fig13_resilience`) with the uniform
+//! `--quick` / `--json` / `--seed` CLI.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let layout = Layout::noi_4x5();
-    let classes: &[LinkClass] = if quick {
-        &[LinkClass::Medium]
-    } else {
-        &LinkClass::STANDARD
-    };
-    let patterns: &[TrafficPattern] = if quick {
-        &[TrafficPattern::UniformRandom]
-    } else {
-        &[TrafficPattern::UniformRandom, TrafficPattern::Shuffle]
-    };
-
-    println!(
-        "class,topology,routing,pattern,fault_set,scenarios,coverage,unreachable_pairs,\
-         baseline_sat,worst_sat,mean_sat,worst_retention,mean_latency_inflation,\
-         worst_latency_inflation"
-    );
-
-    // (class, topology, fault_set) -> structural coverage, for the exit
-    // assertions.
-    let mut structural: Vec<(String, String, String, f64)> = Vec::new();
-
-    for &class in classes {
-        for (topo, scheme) in lineup_for_class(&layout, class, quick) {
-            let network = prepare(&topo, scheme);
-            let mut sim_cfg = SimConfig::quick();
-            sim_cfg.clock_ghz = class.clock_ghz();
-
-            // Structural pass: exhaustive repair verification over the full
-            // fault sets (pattern-independent, so computed once).
-            for (set_name, scenarios) in fault_sets(&topo, quick) {
-                let report = network.resilience_report(
-                    &scenarios,
-                    &RerouteRepair,
-                    &ResilienceConfig {
-                        simulate: false,
-                        ..Default::default()
-                    },
-                );
-                println!(
-                    "{}",
-                    csv_row(class, &network.label(), "structural", set_name, &report)
-                );
-                structural.push((
-                    class.name(),
-                    topo.name().to_string(),
-                    set_name.to_string(),
-                    report.coverage(),
-                ));
-            }
-
-            // Measured pass: re-simulate a sampled scenario subset per
-            // traffic pattern on the repaired fabrics.
-            for pattern in patterns {
-                // Faulty scenarios only: the healthy baseline is measured
-                // separately inside assess_resilience, and including it
-                // here would dilute the degraded aggregates.
-                let sampled: Vec<FaultScenario> = {
-                    let count = if quick { 2 } else { 4 };
-                    let mut s =
-                        FaultModel::links(1, HARNESS_SEED ^ 1).sample_scenarios(&topo, count);
-                    if !quick {
-                        s.extend(FaultModel::links(2, HARNESS_SEED ^ 2).sample_scenarios(&topo, 3));
-                        s.extend(
-                            FaultModel {
-                                link_faults: 0,
-                                router_faults: 1,
-                                seed: HARNESS_SEED ^ 3,
-                            }
-                            .sample_scenarios(&topo, 3),
-                        );
-                    }
-                    s
-                };
-                let report = network.resilience_report(
-                    &sampled,
-                    &RerouteRepair,
-                    &ResilienceConfig {
-                        sim: sim_cfg.clone(),
-                        pattern: pattern.clone(),
-                        simulate: true,
-                        ..Default::default()
-                    },
-                );
-                println!(
-                    "{}",
-                    csv_row(class, &network.label(), &pattern.name(), "sampled", &report)
-                );
-            }
-            eprintln!(
-                "# {}/{}: {} critical links",
-                class.name(),
-                network.label(),
-                critical_link_pairs(&topo).len()
-            );
-        }
-    }
-
-    // Headline assertions.
-    //
-    // 1. Every NS-FaultOp single-link-failure scenario re-routed
-    //    deadlock-free: exhaustive coverage is exactly 1.0.
-    let mut faultop_checked = 0usize;
-    for (class, topo, set, coverage) in &structural {
-        if topo.starts_with("NS-FaultOp") && set == "1link" {
-            assert!(
-                (*coverage - 1.0).abs() < 1e-12,
-                "{class}/{topo}: single-link coverage {coverage} < 100%"
-            );
-            faultop_checked += 1;
-        }
-    }
-    assert!(faultop_checked > 0, "no NS-FaultOp topologies were checked");
-
-    // 2. Graceful degradation: per class, NS-FaultOp's mean coverage over
-    //    the structural fault sets is never below the latency-only
-    //    baseline's.
-    for &class in classes {
-        let mean_for = |prefix: &str| -> f64 {
-            let values: Vec<f64> = structural
-                .iter()
-                .filter(|(c, t, _, _)| *c == class.name() && t.starts_with(prefix))
-                .map(|(_, _, _, cov)| *cov)
-                .collect();
-            assert!(!values.is_empty(), "{class:?}: no {prefix} rows");
-            values.iter().sum::<f64>() / values.len() as f64
-        };
-        let faultop = mean_for("NS-FaultOp");
-        let latop = mean_for("NS-LatOp");
-        assert!(
-            faultop >= latop - 1e-9,
-            "{}: NS-FaultOp coverage {faultop:.4} degrades worse than NS-LatOp {latop:.4}",
-            class.name()
-        );
-        eprintln!(
-            "# {}: mean structural coverage NS-FaultOp {faultop:.4} vs NS-LatOp {latop:.4}",
-            class.name()
-        );
-    }
-    eprintln!(
-        "# verified: {faultop_checked} NS-FaultOp configurations keep 100% single-link \
-         routability, all repairs deadlock-free"
-    );
+    netsmith_exp::cli::run_figure(netsmith_bench::figures::fig13_resilience::figure);
 }

@@ -1,217 +1,7 @@
-//! Figure 14 (beyond the paper): Pareto synthesis over latency × energy ×
-//! resilience.
-//!
-//! The composable objective framework makes multi-criteria synthesis a
-//! first-class workload: any non-negative weighting of objective terms is
-//! itself an objective.  This harness sweeps a grid of weight vectors
-//! `(w_lat, w_energy, w_fault)` over the three single-objective axes
-//! (`LatOp` hops, the `EnergyOp` static-power + EDP proxy, and `FaultOp`'s
-//! hops + articulation penalty − spare-capacity reward), synthesizes one
-//! topology per weight point with the annealer's cached/delta evaluation
-//! path, scores every discovered topology on all three axes, and prints
-//! the resulting trade-off surface as CSV with a non-dominated (Pareto
-//! front) flag per row.
-//!
-//! Mixed weight points normalize each axis by the mesh baseline's score so
-//! a unit of weight means roughly "one mesh" on every axis; pure corner
-//! points use the axis objective's own decomposition verbatim, which makes
-//! the corner runs bit-identical to the single-objective runs — the basis
-//! for the exit assertions.
-//!
-//! `--quick` restricts the sweep to the corner points plus the balanced
-//! center with a small discovery budget (the CI smoke configuration).
-//!
-//! The binary asserts before exiting that (1) every pure-weight corner
-//! recovers the single-objective winner exactly (same score on its axis),
-//! and (2) the reported Pareto front is mutually non-dominated and
-//! non-empty.
-
-use netsmith::gen::{Objective, WeightedTerm};
-use netsmith::prelude::*;
-use netsmith_bench::{evals_budget, workers, HARNESS_SEED};
-use netsmith_topo::resilience::{critical_link_pairs, min_directional_degree};
-use netsmith_topo::Topology;
-
-/// EDP weight of the energy axis (the `fig12_energy` proxy setting).
-const EDP_WEIGHT: f64 = 5.0;
-
-/// The three single-objective axes of the sweep.
-fn axis_objectives() -> [Objective; 3] {
-    [
-        Objective::LatOp,
-        Objective::EnergyOp {
-            edp_weight: EDP_WEIGHT,
-        },
-        Objective::fault_op_default(),
-    ]
-}
-
-/// The composite objective for one weight vector.  Corners reuse the axis
-/// decomposition verbatim (identical annealing trajectory to the pure
-/// objective); mixed points scale each axis by `weight / norm`.
-fn composite_for(weights: [f64; 3], norms: [f64; 3]) -> Objective {
-    let axes = axis_objectives();
-    let active: Vec<usize> = (0..3).filter(|&i| weights[i] > 0.0).collect();
-    assert!(!active.is_empty(), "all-zero weight vector");
-    if let [only] = active[..] {
-        return Objective::Composite(axes[only].decomposition());
-    }
-    // Fold by term so the axes' shared terms (Hops appears in both the
-    // LatOp and FaultOp decompositions) collapse into one weighted entry
-    // and the composite's name stays unambiguous.
-    let mut terms: Vec<(f64, netsmith::gen::Term)> = Vec::new();
-    for i in active {
-        let scale = weights[i] / norms[i];
-        for WeightedTerm { weight, term } in axes[i].decomposition() {
-            match terms.iter_mut().find(|(_, t)| *t == term) {
-                Some((w, _)) => *w += scale * weight,
-                None => terms.push((scale * weight, term)),
-            }
-        }
-    }
-    Objective::composite(terms)
-}
-
-fn discover(layout: &Layout, class: LinkClass, objective: Objective, quick: bool) -> Topology {
-    NetSmith::new(layout.clone(), class)
-        .objective(objective)
-        .evaluations(if quick { 1_500 } else { evals_budget() })
-        .workers(if quick { 2 } else { workers() })
-        .seed(HARNESS_SEED ^ 0x14)
-        .discover()
-        .topology
-}
-
-/// `p` dominates `q` when it is no worse on every axis and strictly better
-/// on at least one (all scores are minimized).
-fn dominates(p: &[f64; 3], q: &[f64; 3]) -> bool {
-    let eps = 1e-9;
-    p.iter().zip(q.iter()).all(|(a, b)| *a <= b + eps)
-        && p.iter().zip(q.iter()).any(|(a, b)| *a < b - eps)
-}
-
-struct SweepPoint {
-    weights: [f64; 3],
-    topology: Topology,
-    axis_scores: [f64; 3],
-}
+//! Thin wrapper: runs the `fig14_pareto` experiment spec (see
+//! `netsmith_bench::figures::fig14_pareto`) with the uniform
+//! `--quick` / `--json` / `--seed` CLI.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let layout = Layout::noi_4x5();
-    let class = LinkClass::Medium;
-    let axes = axis_objectives();
-
-    // Mesh-baseline normalization so mixed weights mean "meshes per axis".
-    let mesh = expert::mesh(&layout);
-    let norms = axes
-        .clone()
-        .map(|o| o.evaluate(&mesh).score.abs().max(f64::MIN_POSITIVE));
-
-    let corner_points: [[f64; 3]; 3] = [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]];
-    let mut weight_grid: Vec<[f64; 3]> = corner_points.to_vec();
-    weight_grid.push([1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0]);
-    if !quick {
-        weight_grid.extend([
-            [0.5, 0.5, 0.0],
-            [0.5, 0.0, 0.5],
-            [0.0, 0.5, 0.5],
-            [0.6, 0.2, 0.2],
-            [0.2, 0.6, 0.2],
-            [0.2, 0.2, 0.6],
-        ]);
-    }
-
-    // Single-objective reference winners, same seed and budget as the
-    // sweep (the corner points must reproduce these exactly).
-    let single_winners: Vec<Topology> = axes
-        .clone()
-        .into_iter()
-        .map(|o| discover(&layout, class, o, quick))
-        .collect();
-
-    let points: Vec<SweepPoint> = weight_grid
-        .iter()
-        .map(|&weights| {
-            let topology = discover(&layout, class, composite_for(weights, norms), quick);
-            let axis_scores = axes.clone().map(|o| o.evaluate(&topology).score);
-            SweepPoint {
-                weights,
-                topology,
-                axis_scores,
-            }
-        })
-        .collect();
-
-    let on_front: Vec<bool> = points
-        .iter()
-        .map(|p| {
-            !points
-                .iter()
-                .any(|q| dominates(&q.axis_scores, &p.axis_scores))
-        })
-        .collect();
-
-    println!(
-        "w_lat,w_energy,w_fault,topology,links,avg_hops,lat_score,energy_score,fault_score,\
-         critical_links,min_dir_degree,on_front"
-    );
-    for (point, front) in points.iter().zip(on_front.iter()) {
-        let [wl, we, wf] = point.weights;
-        let [ls, es, fs] = point.axis_scores;
-        println!(
-            "{wl:.3},{we:.3},{wf:.3},{},{},{:.3},{ls:.3},{es:.3},{fs:.3},{},{},{front}",
-            point.topology.name(),
-            point.topology.num_links(),
-            netsmith_topo::metrics::average_hops(&point.topology),
-            critical_link_pairs(&point.topology).len(),
-            min_directional_degree(&point.topology),
-        );
-    }
-
-    // Assertion 1: pure corners recover the single-objective winners — the
-    // corner composite is the same term list, seed and budget, so its score
-    // on its own axis must match exactly.
-    for (axis, (&weights, winner)) in corner_points.iter().zip(&single_winners).enumerate() {
-        let corner = points
-            .iter()
-            .find(|p| p.weights == weights)
-            .expect("corner point swept");
-        let winner_score = axes[axis].evaluate(winner).score;
-        assert!(
-            (corner.axis_scores[axis] - winner_score).abs() < 1e-9,
-            "corner {weights:?}: composite score {} != single-objective winner {}",
-            corner.axis_scores[axis],
-            winner_score
-        );
-        eprintln!(
-            "# corner {weights:?} recovers {} (axis score {winner_score:.3})",
-            winner.name()
-        );
-    }
-
-    // Assertion 2: the reported front is non-empty and mutually
-    // non-dominated.
-    let front: Vec<&SweepPoint> = points
-        .iter()
-        .zip(on_front.iter())
-        .filter(|(_, &f)| f)
-        .map(|(p, _)| p)
-        .collect();
-    assert!(!front.is_empty(), "empty Pareto front");
-    for a in &front {
-        for b in &front {
-            assert!(
-                !dominates(&a.axis_scores, &b.axis_scores),
-                "front point {:?} dominates front point {:?}",
-                a.weights,
-                b.weights
-            );
-        }
-    }
-    eprintln!(
-        "# Pareto front: {}/{} weight points non-dominated over (latency, energy, resilience)",
-        front.len(),
-        points.len()
-    );
+    netsmith_exp::cli::run_figure(netsmith_bench::figures::fig14_pareto::figure);
 }

@@ -1,35 +1,7 @@
-//! Table II: topology metrics (#links, diameter, average hops, bisection
-//! bandwidth) for the 20-router (4x5) and 30-router (6x5) configurations,
-//! covering the expert designs, the LPBT-style baselines, and the NetSmith
-//! LatOp/SCOp topologies of every link class.
-
-use netsmith::gen::Objective;
-use netsmith::prelude::*;
-use netsmith_bench::discover;
-use netsmith_topo::metrics::TopologyMetrics;
+//! Thin wrapper: runs the `table02_metrics` experiment spec (see
+//! `netsmith_bench::figures::table02_metrics`) with the uniform
+//! `--quick` / `--json` / `--seed` CLI.
 
 fn main() {
-    println!("routers,{}", TopologyMetrics::csv_header());
-    for layout in [Layout::noi_4x5(), Layout::noi_6x5()] {
-        let routers = layout.num_routers();
-        for class in LinkClass::STANDARD {
-            for topo in expert::baselines_for_class(&layout, class) {
-                println!("{},{}", routers, TopologyMetrics::compute(&topo).csv_row());
-            }
-            for objective in [Objective::LatOp, Objective::SCOp] {
-                let ns = discover(&layout, class, objective);
-                println!(
-                    "{},{}",
-                    routers,
-                    TopologyMetrics::compute(&ns.topology).csv_row()
-                );
-                eprintln!(
-                    "# {} ({} routers): objective-bounds gap {:.1}%",
-                    ns.topology.name(),
-                    routers,
-                    ns.gap * 100.0
-                );
-            }
-        }
-    }
+    netsmith_exp::cli::run_figure(netsmith_bench::figures::table02_metrics::figure);
 }

@@ -1,0 +1,60 @@
+//! Ablation (paper Section III-B and III-A(c)): asymmetric vs symmetric
+//! links.  The paper reports that forcing symmetric links loses under 3%
+//! average hops and nothing in bandwidth, while asymmetric links buy ~3%
+//! throughput; this harness regenerates both variants for every class and
+//! prints the comparison.  The symmetric twin is resolved through the same
+//! suite cache (keyed separately by the symmetric-links flag).
+
+use super::classes;
+use netsmith_exp::prelude::*;
+use netsmith_topo::cuts;
+
+pub const HEADER: &str = "class,objective,links,avg_hops_asymmetric,avg_hops_symmetric,hops_penalty_pct,cut_asymmetric,cut_symmetric";
+
+pub fn figure(profile: &RunProfile) -> Figure {
+    let objectives = if profile.quick {
+        vec![ObjectiveSpec::LatOp]
+    } else {
+        vec![ObjectiveSpec::LatOp, ObjectiveSpec::SCOp]
+    };
+    let mut spec = ExperimentSpec::new("ablation_symmetry");
+    spec.classes = classes(profile);
+    spec.candidates = objectives.into_iter().map(CandidateSpec::synth).collect();
+    spec.assertions = vec![
+        Assertion::MinRows { count: 1 },
+        Assertion::ColumnPositive {
+            column: "avg_hops_symmetric".into(),
+        },
+    ];
+    Figure::new(spec, HEADER, |cell: &Cell<'_>| {
+        let objective = cell.candidate.objective.as_ref().expect("synth candidate");
+        let label = match objective {
+            ObjectiveSpec::LatOp => "LatOp",
+            ObjectiveSpec::SCOp => "SCOp",
+            other => panic!("unexpected ablation objective {other:?}"),
+        };
+        let base = cell.candidate.discovery.as_ref().expect("synth candidate");
+        // The symmetric-links twin, discovered through the shared cache.
+        let sym = cell.runner.resolve_synth(
+            cell.candidate.layout_spec,
+            cell.candidate.class,
+            objective,
+            true,
+        );
+        let sym = sym.discovery.as_ref().expect("synth candidate").clone();
+        let cut_a = cuts::sparsest_cut(&cell.candidate.topology).normalized_bandwidth;
+        let cut_s = cuts::sparsest_cut(&sym.topology).normalized_bandwidth;
+        vec![Row::new()
+            .str(cell.candidate.class.name())
+            .str(label)
+            .int(cell.candidate.topology.num_links() as i64)
+            .float(base.objective.average_hops, 3)
+            .float(sym.objective.average_hops, 3)
+            .float(
+                (sym.objective.average_hops / base.objective.average_hops - 1.0) * 100.0,
+                2,
+            )
+            .float(cut_a, 4)
+            .float(cut_s, 4)]
+    })
+}

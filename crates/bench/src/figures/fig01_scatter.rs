@@ -1,0 +1,52 @@
+//! Figure 1: analytical latency vs expected saturation-throughput scatter
+//! of every NoI topology (expert, LPBT-style and NetSmith) on the
+//! 20-router 4x5 interposer.
+//!
+//! Output columns: topology, class, routing, average hops (latency proxy,
+//! Y axis), expected saturation throughput in flits/node/cycle (X axis,
+//! the tighter of the cut and occupancy bounds combined with the routed
+//! maximum channel load).
+
+use super::classes;
+use netsmith_exp::prelude::*;
+use netsmith_topo::bounds::ThroughputBounds;
+
+pub const HEADER: &str = "topology,class,routing,avg_hops,expected_saturation_flits_per_node_cycle,cut_bound,occupancy_bound";
+
+pub fn figure(profile: &RunProfile) -> Figure {
+    let mut spec = ExperimentSpec::new("fig01_scatter");
+    spec.classes = classes(profile);
+    spec.candidates = vec![
+        CandidateSpec::ExpertBaselines,
+        CandidateSpec::synth(ObjectiveSpec::LatOp),
+        CandidateSpec::synth(ObjectiveSpec::SCOp),
+    ];
+    spec.assertions = vec![
+        Assertion::MinRows { count: 4 },
+        Assertion::ColumnPositive {
+            column: "avg_hops".into(),
+        },
+        Assertion::ColumnPositive {
+            column: "expected_saturation_flits_per_node_cycle".into(),
+        },
+    ];
+    Figure::new(spec, HEADER, |cell: &Cell<'_>| {
+        let network = cell.candidate.network();
+        let topo = &network.topology;
+        let bounds = ThroughputBounds::compute(topo);
+        let routed_bound = network
+            .routing
+            .uniform_channel_loads()
+            .saturation_injection_rate()
+            * netsmith_sim::SimConfig::default().average_flits();
+        let expected = bounds.limiting().min(routed_bound);
+        vec![Row::new()
+            .str(topo.name())
+            .str(cell.candidate.class.name())
+            .str(network.scheme.label())
+            .float(network.metrics.average_hops, 3)
+            .float(expected, 4)
+            .float(bounds.cut_bound, 4)
+            .float(bounds.occupancy_bound, 4)]
+    })
+}

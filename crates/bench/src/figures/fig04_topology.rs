@@ -1,0 +1,33 @@
+//! Figure 4: an example latency-optimized NetSmith medium topology, printed
+//! as Graphviz DOT with the sparsest-cut partition coloured (red vs blue)
+//! and bidirectional/unidirectional links drawn solid/dashed, plus the
+//! adjacency listing and link-span histogram on stderr.
+
+use netsmith_exp::prelude::*;
+use netsmith_topo::{cuts, viz};
+
+pub fn figure(_profile: &RunProfile) -> Figure {
+    let mut spec = ExperimentSpec::new("fig04_topology");
+    spec.classes = vec![LinkClass::Medium];
+    spec.candidates = vec![CandidateSpec::synth(ObjectiveSpec::LatOp)];
+    spec.assertions = vec![Assertion::MinRows { count: 1 }];
+    Figure::new(spec, "dot", |cell: &Cell<'_>| {
+        let topo = &*cell.candidate.topology;
+        let discovery = cell.candidate.discovery.as_ref().expect("synth candidate");
+        let cut = cuts::sparsest_cut(topo);
+        eprintln!("# adjacency listing:\n{}", viz::adjacency_listing(topo));
+        eprintln!("# link span histogram: {:?}", topo.link_span_histogram());
+        eprintln!(
+            "# sparsest cut: {} fwd / {} bwd crossing links over partition {:?} (bisection: {})",
+            cut.crossing_forward, cut.crossing_backward, cut.partition, cut.is_bisection
+        );
+        eprintln!(
+            "# avg hops {:.3}, links {}, symmetric: {}",
+            discovery.objective.average_hops,
+            topo.num_links(),
+            topo.is_symmetric()
+        );
+        vec![Row::new().raw(viz::to_dot(topo, Some(&cut)))]
+    })
+    .with_output(OutputMode::Raw)
+}

@@ -1,0 +1,68 @@
+//! Figure 6: synthetic-traffic latency/throughput curves for the 20-router
+//! (4x5) NoIs — (a) coherence traffic (uniform random, 50/50 control/data
+//! packets) and (b) memory traffic (requests to the memory-controller
+//! routers).  Expert topologies use NDBT routing, NetSmith topologies use
+//! MCLB, every NoI is clocked per its link-length class.
+
+use super::{classes, sweep_loads};
+use netsmith_exp::prelude::*;
+use netsmith_topo::traffic::TrafficPattern;
+
+pub const HEADER: &str =
+    "traffic,class,topology,routing,offered,accepted_pkts_per_ns,latency_ns,saturated";
+
+pub fn figure(profile: &RunProfile) -> Figure {
+    let mut spec = ExperimentSpec::new("fig06_synthetic");
+    spec.classes = classes(profile);
+    spec.candidates = vec![
+        CandidateSpec::ExpertBaselines,
+        CandidateSpec::synth(ObjectiveSpec::LatOp),
+        CandidateSpec::synth(ObjectiveSpec::SCOp),
+    ];
+    let sim = if profile.quick {
+        SimProfile::QuickClassClock
+    } else {
+        SimProfile::ClassDefault
+    };
+    let loads = sweep_loads(profile);
+    spec.workloads = vec![
+        WorkloadSpec::new(TrafficPattern::UniformRandom, loads.clone(), sim).labeled("coherence"),
+        WorkloadSpec::new(TrafficPattern::Memory, loads, sim).labeled("memory"),
+    ];
+    spec.assertions = vec![
+        Assertion::MinRows { count: 8 },
+        Assertion::ColumnPositive {
+            column: "latency_ns".into(),
+        },
+    ];
+    Figure::new(spec, HEADER, sweep_cell).with_order(CellOrder::WorkloadMajor)
+}
+
+fn sweep_cell(cell: &Cell<'_>) -> Vec<Row> {
+    let network = cell.candidate.network();
+    let workload = cell.workload.as_ref().expect("sweep workload");
+    let config = cell.sim_config();
+    let curve = network.sweep(workload.pattern.clone(), &config, &workload.loads);
+    eprintln!(
+        "# {}/{}/{}: saturation {:.3} packets/node/ns",
+        workload.name(),
+        cell.candidate.class.name(),
+        network.label(),
+        curve.saturation_packets_per_ns(&config)
+    );
+    curve
+        .points
+        .iter()
+        .map(|p| {
+            Row::new()
+                .str(workload.name())
+                .str(cell.candidate.class.name())
+                .str(network.topology.name())
+                .str(network.scheme.label())
+                .float(p.offered, 3)
+                .float(p.accepted_packets_per_ns, 4)
+                .float(p.latency_ns, 2)
+                .bool(p.saturated)
+        })
+        .collect()
+}

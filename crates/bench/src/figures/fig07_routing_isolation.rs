@@ -1,0 +1,65 @@
+//! Figure 7: isolating NetSmith's topology benefit from its routing
+//! benefit.  Every *large-class* topology is simulated under both NDBT and
+//! MCLB routing; the analytical cut-based and occupancy-based bounds are
+//! printed alongside the measured saturation throughput.
+
+use super::sweep_loads;
+use netsmith::pipeline::RoutingScheme;
+use netsmith_exp::prelude::*;
+use netsmith_topo::bounds::ThroughputBounds;
+use netsmith_topo::traffic::TrafficPattern;
+
+pub const HEADER: &str = "topology,routing,measured_saturation_flits,expected_saturation_flits,cut_bound_flits,occupancy_bound_flits";
+
+pub fn figure(profile: &RunProfile) -> Figure {
+    let mut spec = ExperimentSpec::new("fig07_routing_isolation");
+    spec.classes = vec![LinkClass::Large];
+    spec.candidates = if profile.quick {
+        vec![
+            CandidateSpec::expert("butter-donut"),
+            CandidateSpec::synth(ObjectiveSpec::LatOp),
+        ]
+    } else {
+        vec![
+            CandidateSpec::ExpertBaselines,
+            CandidateSpec::synth(ObjectiveSpec::LatOp),
+            CandidateSpec::synth(ObjectiveSpec::SCOp),
+        ]
+    };
+    spec.scheme_override = Some(vec![RoutingScheme::Ndbt, RoutingScheme::Mclb]);
+    let sim = if profile.quick {
+        SimProfile::QuickClassClock
+    } else {
+        SimProfile::ClassDefault
+    };
+    spec.workloads = vec![WorkloadSpec::new(
+        TrafficPattern::UniformRandom,
+        sweep_loads(profile),
+        sim,
+    )];
+    spec.assertions = vec![
+        Assertion::MinRows { count: 4 },
+        Assertion::ColumnPositive {
+            column: "measured_saturation_flits".into(),
+        },
+    ];
+    Figure::new(spec, HEADER, |cell: &Cell<'_>| {
+        let network = cell.candidate.network();
+        let workload = cell.workload.as_ref().expect("sweep workload");
+        let bounds = ThroughputBounds::compute(&network.topology);
+        let config = cell.sim_config();
+        let curve = network.sweep(workload.pattern.clone(), &config, &workload.loads);
+        let expected = network
+            .routing
+            .uniform_channel_loads()
+            .saturation_injection_rate()
+            * config.average_flits();
+        vec![Row::new()
+            .str(network.topology.name())
+            .str(network.scheme.label())
+            .float(curve.saturation_flits_per_node_cycle(), 4)
+            .float(expected.min(bounds.limiting()), 4)
+            .float(bounds.cut_bound, 4)
+            .float(bounds.occupancy_bound, 4)]
+    })
+}

@@ -1,0 +1,97 @@
+//! Figure 8: PARSEC execution-time speedup (bars) and packet-latency
+//! reduction (markers) relative to the mesh baseline, for the small, medium
+//! and large topology classes.  Benchmarks are ordered by L2 MPKI exactly
+//! like the paper's X axis.
+
+use super::classes;
+use netsmith::pipeline::{EvaluatedNetwork, RoutingScheme};
+use netsmith::prelude::{evaluate_topology, expert, parsec_suite, FullSystemConfig};
+use netsmith_exp::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+pub const HEADER: &str =
+    "benchmark,class,topology,speedup_vs_mesh,packet_latency_reduction_vs_mesh";
+
+pub fn figure(profile: &RunProfile) -> Figure {
+    let mut spec = ExperimentSpec::new("fig08_parsec");
+    spec.classes = classes(profile);
+    spec.candidates = if profile.quick {
+        vec![
+            CandidateSpec::expert("folded-torus"),
+            CandidateSpec::synth(ObjectiveSpec::LatOp),
+        ]
+    } else {
+        vec![
+            CandidateSpec::ExpertBaselines,
+            CandidateSpec::synth(ObjectiveSpec::LatOp),
+            CandidateSpec::synth(ObjectiveSpec::SCOp),
+        ]
+    };
+    spec.assertions = vec![
+        Assertion::MinRows { count: 4 },
+        Assertion::ColumnPositive {
+            column: "speedup_vs_mesh".into(),
+        },
+    ];
+
+    let quick = profile.quick;
+    let config = if quick {
+        FullSystemConfig::quick()
+    } else {
+        FullSystemConfig::default()
+    };
+    let prepare_seed = profile.seed;
+    // The mesh baseline is shared by every cell; prepared once lazily.
+    let mesh: Arc<OnceLock<Arc<EvaluatedNetwork>>> = Arc::new(OnceLock::new());
+
+    Figure::new(spec, HEADER, move |cell: &Cell<'_>| {
+        let mesh = mesh.get_or_init(|| {
+            Arc::new(
+                EvaluatedNetwork::prepare(
+                    &expert::mesh(&cell.candidate.layout),
+                    RoutingScheme::Ndbt,
+                    VC_BUDGET,
+                    prepare_seed,
+                )
+                .expect("mesh is routable"),
+            )
+        });
+        let network = cell.candidate.network();
+        let suite = parsec_suite();
+        let suite = if quick { &suite[..3] } else { &suite[..] };
+        let mut rows = Vec::new();
+        let mut product = 1.0f64;
+        for workload in suite {
+            let base = evaluate_topology(
+                workload,
+                &mesh.topology,
+                &mesh.routing,
+                Some(&mesh.vcs),
+                &config,
+            );
+            let result = evaluate_topology(
+                workload,
+                &network.topology,
+                &network.routing,
+                Some(&network.vcs),
+                &config,
+            );
+            product *= result.speedup_over(&base);
+            rows.push(
+                Row::new()
+                    .str(workload.name)
+                    .str(cell.candidate.class.name())
+                    .str(network.topology.name())
+                    .float(result.speedup_over(&base), 4)
+                    .float(result.latency_reduction_over(&base), 4),
+            );
+        }
+        eprintln!(
+            "# {} ({}): geomean speedup {:.3}x",
+            network.topology.name(),
+            cell.candidate.class.name(),
+            product.powf(1.0 / suite.len() as f64)
+        );
+        rows
+    })
+}

@@ -1,0 +1,93 @@
+//! Figure 9: NoI power (static + dynamic) and area (routers + wires)
+//! relative to the mesh baseline, using the DSENT-style model fed with the
+//! simulator's measured per-link activity at a moderate operating point
+//! (every flit is charged the wire it actually crossed).
+
+use super::classes;
+use netsmith::pipeline::{EvaluatedNetwork, RoutingScheme};
+use netsmith::power::{area_report, power_report_from_activity, relative_to, PowerConfig};
+use netsmith::prelude::expert;
+use netsmith_exp::prelude::*;
+use netsmith_power::{AreaReport, PowerReport};
+use netsmith_topo::traffic::TrafficPattern;
+use std::sync::{Arc, OnceLock};
+
+pub const HEADER: &str = "topology,class,avg_link_utilization,static_power_rel_mesh,dynamic_power_rel_mesh,total_power_rel_mesh,router_area_rel_mesh,wire_area_rel_mesh,total_area_rel_mesh";
+
+/// Flits/node/cycle at the measured operating point, below saturation for
+/// every topology in the line-up.
+const OPERATING_LOAD: f64 = 0.3;
+
+pub fn figure(profile: &RunProfile) -> Figure {
+    let mut spec = ExperimentSpec::new("fig09_power_area");
+    spec.classes = classes(profile);
+    spec.candidates = vec![
+        CandidateSpec::ExpertBaselines,
+        CandidateSpec::synth(ObjectiveSpec::LatOp),
+        CandidateSpec::synth(ObjectiveSpec::SCOp),
+    ];
+    let sim = if profile.quick {
+        SimProfile::ClassWithWindows {
+            warmup: 500,
+            measure: 3_000,
+            drain: 1_500,
+        }
+    } else {
+        SimProfile::ClassDefault
+    };
+    spec.workloads = vec![WorkloadSpec::new(
+        TrafficPattern::UniformRandom,
+        vec![OPERATING_LOAD],
+        sim,
+    )];
+    spec.assertions = vec![
+        Assertion::MinRows { count: 4 },
+        Assertion::ColumnPositive {
+            column: "total_power_rel_mesh".into(),
+        },
+        Assertion::ColumnPositive {
+            column: "total_area_rel_mesh".into(),
+        },
+    ];
+
+    let prepare_seed = profile.seed;
+    // Mesh baseline power/area, measured once at its own class clock.
+    #[allow(clippy::type_complexity)]
+    let mesh: Arc<OnceLock<(PowerReport, AreaReport)>> = Arc::new(OnceLock::new());
+
+    Figure::new(spec, HEADER, move |cell: &Cell<'_>| {
+        let power_cfg = PowerConfig::default();
+        let workload = cell.workload.as_ref().expect("measure workload");
+        let (mesh_power, mesh_area) = mesh.get_or_init(|| {
+            let mesh = EvaluatedNetwork::prepare(
+                &expert::mesh(&cell.candidate.layout),
+                RoutingScheme::Ndbt,
+                VC_BUDGET,
+                prepare_seed,
+            )
+            .expect("mesh is routable");
+            let cfg = workload.sim.resolve(mesh.topology.class());
+            let report = mesh.measure(TrafficPattern::UniformRandom, &cfg, OPERATING_LOAD);
+            (
+                power_report_from_activity(&mesh.topology, &power_cfg, &cfg, &report.activity),
+                area_report(&mesh.topology, &power_cfg),
+            )
+        });
+        let network = cell.candidate.network();
+        let cfg = cell.sim_config();
+        let report = network.measure(workload.pattern.clone(), &cfg, OPERATING_LOAD);
+        let power =
+            power_report_from_activity(&network.topology, &power_cfg, &cfg, &report.activity);
+        let area = area_report(&network.topology, &power_cfg);
+        vec![Row::new()
+            .str(network.topology.name())
+            .str(cell.candidate.class.name())
+            .float(report.activity.avg_link_utilization(), 4)
+            .float(relative_to(power.static_mw, mesh_power.static_mw), 3)
+            .float(relative_to(power.dynamic_mw, mesh_power.dynamic_mw), 3)
+            .float(relative_to(power.total_mw(), mesh_power.total_mw()), 3)
+            .float(relative_to(area.router_mm2, mesh_area.router_mm2), 3)
+            .float(relative_to(area.wire_mm2, mesh_area.wire_mm2), 3)
+            .float(relative_to(area.total_mm2(), mesh_area.total_mm2()), 3)]
+    })
+}

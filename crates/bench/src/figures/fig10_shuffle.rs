@@ -1,0 +1,64 @@
+//! Figure 10: latency/throughput under the gem5 "shuffle" permutation for
+//! the 20-router NoIs, including the shuffle-optimized NetSmith topology
+//! ("NS ShufOpt") generated with the pattern-weighted objective.
+
+use super::{classes, sweep_loads};
+use netsmith_exp::prelude::*;
+use netsmith_topo::traffic::TrafficPattern;
+
+pub const HEADER: &str = "class,topology,routing,offered,accepted_pkts_per_ns,latency_ns,saturated";
+
+pub fn figure(profile: &RunProfile) -> Figure {
+    let mut spec = ExperimentSpec::new("fig10_shuffle");
+    spec.classes = classes(profile);
+    spec.candidates = vec![
+        CandidateSpec::ExpertBaselines,
+        CandidateSpec::synth(ObjectiveSpec::LatOp),
+        CandidateSpec::synth(ObjectiveSpec::SCOp),
+        CandidateSpec::synth(ObjectiveSpec::PatternLatOp {
+            pattern: TrafficPattern::Shuffle,
+        }),
+    ];
+    let sim = if profile.quick {
+        SimProfile::QuickClassClock
+    } else {
+        SimProfile::ClassDefault
+    };
+    spec.workloads = vec![WorkloadSpec::new(
+        TrafficPattern::Shuffle,
+        sweep_loads(profile),
+        sim,
+    )];
+    spec.assertions = vec![
+        Assertion::MinRows { count: 8 },
+        Assertion::ColumnPositive {
+            column: "latency_ns".into(),
+        },
+    ];
+    Figure::new(spec, HEADER, |cell: &Cell<'_>| {
+        let network = cell.candidate.network();
+        let workload = cell.workload.as_ref().expect("sweep workload");
+        let config = cell.sim_config();
+        let curve = network.sweep(workload.pattern.clone(), &config, &workload.loads);
+        eprintln!(
+            "# {}/{}: shuffle saturation {:.3} packets/node/ns",
+            cell.candidate.class.name(),
+            network.label(),
+            curve.saturation_packets_per_ns(&config)
+        );
+        curve
+            .points
+            .iter()
+            .map(|p| {
+                Row::new()
+                    .str(cell.candidate.class.name())
+                    .str(network.topology.name())
+                    .str(network.scheme.label())
+                    .float(p.offered, 3)
+                    .float(p.accepted_packets_per_ns, 4)
+                    .float(p.latency_ns, 2)
+                    .bool(p.saturated)
+            })
+            .collect()
+    })
+}

@@ -1,0 +1,69 @@
+//! Figure 11: synthetic uniform-random traffic on the 48-router (8x6)
+//! interposer — the scalability study.  Expert topologies that have a
+//! published scaling rule are extended to 8x6 (Kite-Large does not scale to
+//! even column counts, LPBT fails to produce connected graphs — the paper
+//! makes the same exclusions); NetSmith topologies are regenerated for the
+//! larger layout.
+
+use super::{classes, sweep_loads};
+use netsmith_exp::prelude::*;
+use netsmith_topo::traffic::TrafficPattern;
+
+pub const HEADER: &str = "class,topology,routing,offered,accepted_pkts_per_ns,latency_ns,saturated";
+
+pub fn figure(profile: &RunProfile) -> Figure {
+    let mut spec = ExperimentSpec::new("fig11_scale48");
+    spec.layouts = vec![LayoutSpec::Noi8x6];
+    spec.classes = classes(profile);
+    spec.candidates = vec![
+        CandidateSpec::expert_in("mesh", LinkClass::Small),
+        CandidateSpec::expert_in("kite-small", LinkClass::Small),
+        CandidateSpec::expert_in("folded-torus", LinkClass::Medium),
+        CandidateSpec::expert_in("kite-medium", LinkClass::Medium),
+        CandidateSpec::expert_in("butter-donut", LinkClass::Large),
+        CandidateSpec::expert_in("double-butterfly", LinkClass::Large),
+        CandidateSpec::synth(ObjectiveSpec::LatOp),
+    ];
+    let sim = if profile.quick {
+        SimProfile::QuickClassClock
+    } else {
+        SimProfile::ClassDefault
+    };
+    spec.workloads = vec![WorkloadSpec::new(
+        TrafficPattern::UniformRandom,
+        sweep_loads(profile),
+        sim,
+    )];
+    spec.assertions = vec![
+        Assertion::MinRows { count: 6 },
+        Assertion::ColumnPositive {
+            column: "latency_ns".into(),
+        },
+    ];
+    Figure::new(spec, HEADER, |cell: &Cell<'_>| {
+        let network = cell.candidate.network();
+        let workload = cell.workload.as_ref().expect("sweep workload");
+        let config = cell.sim_config();
+        let curve = network.sweep(workload.pattern.clone(), &config, &workload.loads);
+        eprintln!(
+            "# 48-router {}/{}: saturation {:.3} packets/node/ns",
+            cell.candidate.class.name(),
+            network.label(),
+            curve.saturation_packets_per_ns(&config)
+        );
+        curve
+            .points
+            .iter()
+            .map(|p| {
+                Row::new()
+                    .str(cell.candidate.class.name())
+                    .str(network.topology.name())
+                    .str(network.scheme.label())
+                    .float(p.offered, 3)
+                    .float(p.accepted_packets_per_ns, 4)
+                    .float(p.latency_ns, 2)
+                    .bool(p.saturated)
+            })
+            .collect()
+    })
+}

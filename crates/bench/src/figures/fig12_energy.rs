@@ -1,0 +1,120 @@
+//! Figure 12 (beyond the paper): energy-policy comparison across expert
+//! and machine-discovered topologies under measured traffic.
+//!
+//! For every topology × traffic pattern × operating load, the harness
+//! measures per-link activity with the cycle-driven simulator and then
+//! evaluates three energy-management policies on that measurement:
+//! always-on (baseline), link sleep (power-gate under-utilized links,
+//! verified to keep the gated sub-topology connected and deadlock-free)
+//! and DVFS (clock/voltage scaling to the measured load).  The NetSmith
+//! line-up gains an `NS-EnergyOp` topology synthesized with the energy
+//! objective.
+//!
+//! The declared assertions encode the headline property: at the lowest
+//! load, link sleep burns strictly less total power than always-on on
+//! every configuration, and every configuration remains routable.
+
+use super::classes;
+use netsmith::energy::{standard_policies, EnergyConfig, EnergyReport};
+use netsmith_exp::prelude::*;
+use netsmith_system::parsec_suite;
+use netsmith_topo::traffic::TrafficPattern;
+
+/// The idle threshold used by the link-sleep policy: links busy less than
+/// this fraction of the measurement window are gating candidates.
+const IDLE_THRESHOLD: f64 = 0.12;
+
+/// The low point must be genuinely idle (sparse topologies keep their few
+/// links busy even at 5% load); the high point sits below saturation for
+/// every topology in the line-up.
+const LOADS: [f64; 2] = [0.02, 0.3];
+
+pub fn header() -> String {
+    format!(
+        "class,topology,routing,pattern,load,{}",
+        EnergyReport::csv_header()
+    )
+}
+
+pub fn figure(profile: &RunProfile) -> Figure {
+    let mut spec = ExperimentSpec::new("fig12_energy");
+    spec.classes = classes(profile);
+    spec.candidates = vec![
+        CandidateSpec::ExpertBaselines,
+        CandidateSpec::synth(ObjectiveSpec::EnergyOp { edp_weight: 25.0 }),
+    ];
+    let sim = if profile.quick {
+        SimProfile::ClassWithWindows {
+            warmup: 500,
+            measure: 3_000,
+            drain: 1_500,
+        }
+    } else {
+        SimProfile::ClassDefault
+    };
+    // Traffic: uniform and shuffle everywhere, plus PARSEC-derived hotspot
+    // mixtures (the least and most network-bound benchmarks) in the full
+    // run.
+    let mut workloads = vec![
+        WorkloadSpec::new(TrafficPattern::UniformRandom, LOADS.to_vec(), sim)
+            .labeled("uniform_random"),
+        WorkloadSpec::new(TrafficPattern::Shuffle, LOADS.to_vec(), sim).labeled("shuffle"),
+    ];
+    if !profile.quick {
+        let layout = LayoutSpec::Noi4x5.layout();
+        for workload in parsec_suite() {
+            if workload.name == "swaptions" || workload.name == "canneal" {
+                workloads.push(
+                    WorkloadSpec::new(workload.traffic_pattern(&layout), LOADS.to_vec(), sim)
+                        .labeled(&format!("parsec_{}", workload.name)),
+                );
+            }
+        }
+    }
+    spec.workloads = workloads;
+    spec.assertions = vec![
+        Assertion::MinRows { count: 12 },
+        Assertion::ColumnAllTrue {
+            column: "routable".into(),
+        },
+        // The headline result: link sleep strictly beats always-on on every
+        // (class, topology, pattern) configuration at the lowest load.
+        Assertion::GroupedLess {
+            keys: vec!["class".into(), "topology".into(), "pattern".into()],
+            pivot: "policy".into(),
+            lesser: "link_sleep".into(),
+            greater: "always_on".into(),
+            column: "total_mw".into(),
+            filters: vec![("load".into(), format!("{:.2}", LOADS[0]))],
+        },
+    ];
+    Figure::new(spec, &header(), |cell: &Cell<'_>| {
+        let network = cell.candidate.network();
+        let workload = cell.workload.as_ref().expect("measured workload");
+        let sim_cfg = cell.sim_config();
+        let energy_cfg = EnergyConfig::default();
+        let mut rows = Vec::new();
+        for &load in &workload.loads {
+            let report = network.measure(workload.pattern.clone(), &sim_cfg, load);
+            for policy in standard_policies(IDLE_THRESHOLD) {
+                let energy = network.energy_report(policy.as_ref(), &sim_cfg, &report, &energy_cfg);
+                rows.push(
+                    Row::new()
+                        .str(cell.candidate.class.name())
+                        .str(network.topology.name())
+                        .str(network.scheme.label())
+                        .str(workload.name())
+                        .float(load, 2)
+                        .raw(energy.to_csv_row()),
+                );
+            }
+        }
+        eprintln!(
+            "# {}/{} under {}: measured activity drives the policies",
+            cell.candidate.class.name(),
+            network.label(),
+            workload.name()
+        );
+        rows
+    })
+}

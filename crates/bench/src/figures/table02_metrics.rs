@@ -1,0 +1,42 @@
+//! Table II: topology metrics (#links, diameter, average hops, bisection
+//! bandwidth) for the 20-router (4x5) and 30-router (6x5) configurations,
+//! covering the expert designs, the LPBT-style baselines, and the NetSmith
+//! LatOp/SCOp topologies of every link class.
+
+use super::classes;
+use netsmith_exp::prelude::*;
+use netsmith_topo::metrics::TopologyMetrics;
+
+pub fn header() -> String {
+    format!("routers,{}", TopologyMetrics::csv_header())
+}
+
+pub fn figure(profile: &RunProfile) -> Figure {
+    let mut spec = ExperimentSpec::new("table02_metrics");
+    spec.layouts = if profile.quick {
+        vec![LayoutSpec::Noi4x5]
+    } else {
+        vec![LayoutSpec::Noi4x5, LayoutSpec::Noi6x5]
+    };
+    spec.classes = classes(profile);
+    spec.candidates = vec![
+        CandidateSpec::ExpertBaselines,
+        CandidateSpec::synth(ObjectiveSpec::LatOp),
+        CandidateSpec::synth(ObjectiveSpec::SCOp),
+    ];
+    spec.assertions = vec![Assertion::MinRows { count: 4 }];
+    Figure::new(spec, &header(), |cell: &Cell<'_>| {
+        let topo = &*cell.candidate.topology;
+        if let Some(discovery) = &cell.candidate.discovery {
+            eprintln!(
+                "# {} ({} routers): objective-bounds gap {:.1}%",
+                topo.name(),
+                cell.candidate.layout.num_routers(),
+                discovery.gap * 100.0
+            );
+        }
+        vec![Row::new()
+            .int(cell.candidate.layout.num_routers() as i64)
+            .raw(TopologyMetrics::compute(topo).csv_row())]
+    })
+}

@@ -1,70 +1,23 @@
 //! Shared harness code for the per-figure experiment binaries.
 //!
-//! Every binary reads two environment variables:
+//! Every figure is a [`netsmith_exp`] experiment: a declarative spec
+//! (candidates × workloads × assertions) plus the figure's measurement
+//! code, registered in [`figures::ALL`].  The thin binaries in `src/bin/`
+//! hand their figure to [`netsmith_exp::cli::run_figure`], so each one
+//! accepts the same `--quick` / `--json` / `--seed` flags; the `suite`
+//! binary runs every registered figure against one shared candidate cache.
 //!
-//! * `NETSMITH_EVALS` — per-worker annealing budget for topology discovery
-//!   (default 30 000; the EXPERIMENTS.md numbers were produced with the
-//!   default unless noted).
-//! * `NETSMITH_WORKERS` — parallel annealing workers (default 4).
-//!
-//! and prints CSV to stdout plus human-readable notes to stderr, so results
-//! can be captured with a plain shell redirect.
+//! Budget configuration flows through [`RunProfile`] (construct it directly
+//! in tests); the historical `NETSMITH_EVALS` / `NETSMITH_WORKERS`
+//! environment variables remain as fallbacks for scripted runs.
 
-use netsmith::gen::Objective;
-use netsmith::prelude::*;
-use netsmith_topo::Topology;
+pub mod figures;
 
-/// Per-worker evaluation budget, from `NETSMITH_EVALS`.
-pub fn evals_budget() -> u64 {
-    std::env::var("NETSMITH_EVALS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(30_000)
-}
-
-/// Worker count, from `NETSMITH_WORKERS`.
-pub fn workers() -> usize {
-    std::env::var("NETSMITH_WORKERS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(4)
-}
+pub use netsmith_exp::RunProfile;
 
 /// Deterministic seed shared by the harness binaries so repeated runs
 /// reproduce the same topologies.
-pub const HARNESS_SEED: u64 = 20_240_402;
-
-/// Discover a NetSmith topology for a layout/class/objective with the
-/// harness budget.
-pub fn discover(layout: &Layout, class: LinkClass, objective: Objective) -> DiscoveryResult {
-    NetSmith::new(layout.clone(), class)
-        .objective(objective)
-        .evaluations(evals_budget())
-        .workers(workers())
-        .seed(HARNESS_SEED ^ class.clock_ghz().to_bits() ^ 0xABCD)
-        .discover()
-}
-
-/// The standard per-class line-up the paper compares (expert baselines with
-/// their link class, plus NS-LatOp and NS-SCOp for the same class).
-pub fn class_lineup(layout: &Layout, class: LinkClass) -> Vec<(Topology, RoutingScheme)> {
-    let mut lineup: Vec<(Topology, RoutingScheme)> = expert::baselines_for_class(layout, class)
-        .into_iter()
-        .map(|t| (t, RoutingScheme::Ndbt))
-        .collect();
-    let latop = discover(layout, class, Objective::LatOp);
-    let scop = discover(layout, class, Objective::SCOp);
-    lineup.push((latop.topology, RoutingScheme::Mclb));
-    lineup.push((scop.topology, RoutingScheme::Mclb));
-    lineup
-}
-
-/// Prepare a topology for simulation, panicking with a useful message when
-/// it cannot be routed within the paper's 6-VC budget.
-pub fn prepare(topo: &Topology, scheme: RoutingScheme) -> EvaluatedNetwork {
-    EvaluatedNetwork::prepare(topo, scheme, 6, HARNESS_SEED)
-        .unwrap_or_else(|| panic!("{} cannot be routed within 6 VCs", topo.name()))
-}
+pub const HARNESS_SEED: u64 = netsmith_exp::DEFAULT_SEED;
 
 /// The load grid used by the synthetic-traffic figures (flits/node/cycle).
 pub fn load_grid() -> Vec<f64> {
@@ -74,24 +27,38 @@ pub fn load_grid() -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use netsmith_exp::{ObjectiveSpec, Runner, SuiteCache};
 
     #[test]
-    fn env_defaults_are_sane() {
-        assert!(evals_budget() > 0);
-        assert!(workers() >= 1);
+    fn run_profile_routes_budget_without_touching_the_environment() {
+        // The budget travels through the struct, not process-global state:
+        // no `std::env::set_var` anywhere in this test.
+        let profile = RunProfile {
+            evals: 400,
+            workers: 1,
+            ..RunProfile::default()
+        };
+        let cache = SuiteCache::new();
+        let runner = Runner::new(profile, &cache);
+        let candidate = runner.resolve_synth(
+            netsmith_exp::LayoutSpec::Noi4x5,
+            netsmith::topo::LinkClass::Medium,
+            &ObjectiveSpec::LatOp,
+            false,
+        );
+        assert_eq!(candidate.topology.name(), "NS-LatOp-medium");
+        let discovery = candidate.discovery.as_ref().unwrap();
+        // One worker, 400-evaluation budget — exactly as routed.
+        assert!(discovery.evaluations >= 400);
+        assert!(discovery.evaluations < 4_000);
     }
 
     #[test]
-    fn class_lineup_contains_ns_entries() {
-        // Use a tiny budget for the test.
-        std::env::set_var("NETSMITH_EVALS", "400");
-        std::env::set_var("NETSMITH_WORKERS", "1");
-        let layout = Layout::noi_4x5();
-        let lineup = class_lineup(&layout, LinkClass::Small);
-        assert!(lineup.iter().any(|(t, _)| t.name().starts_with("NS-LatOp")));
-        assert!(lineup.iter().any(|(t, _)| t.name().starts_with("NS-SCOp")));
-        assert!(lineup.len() >= 4);
-        std::env::remove_var("NETSMITH_EVALS");
-        std::env::remove_var("NETSMITH_WORKERS");
+    fn every_figure_is_registered_once() {
+        let mut names: Vec<&str> = figures::ALL.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names.len(), 14, "all fourteen figure binaries registered");
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 14, "figure names must be unique");
     }
 }

@@ -24,7 +24,7 @@ use netsmith_route::vc::verify_deadlock_free;
 use netsmith_route::{allocate_vcs, mclb_route, MclbConfig, RoutingTable, VcAllocation};
 use netsmith_sim::{SimConfig, SimReport};
 use netsmith_topo::metrics::unreachable_pairs;
-use netsmith_topo::{RouterId, Topology};
+use netsmith_topo::{PipelineError, RouterId, Topology};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -146,9 +146,13 @@ impl Default for LinkSleep {
 }
 
 impl LinkSleep {
-    /// Route and VC-allocate a topology; `None` when it cannot be routed
-    /// deadlock-free within the budget.
-    fn route(topo: &Topology, vc_budget: usize, seed: u64) -> Option<(RoutingTable, VcAllocation)> {
+    /// Route and VC-allocate a topology; the error names why it cannot be
+    /// routed deadlock-free within the budget.
+    fn route(
+        topo: &Topology,
+        vc_budget: usize,
+        seed: u64,
+    ) -> Result<(RoutingTable, VcAllocation), PipelineError> {
         let paths = all_shortest_paths(topo);
         let table = mclb_route(
             &paths,
@@ -157,14 +161,16 @@ impl LinkSleep {
                 ..Default::default()
             },
         );
-        if !table.is_complete() {
-            return None;
-        }
+        table.require_complete()?;
         let vcs = allocate_vcs(&table, vc_budget, seed)?;
         if !verify_deadlock_free(&table, &vcs) {
-            return None;
+            // Defensive re-check; the balancer keeps every VC acyclic.
+            return Err(PipelineError::VcBudgetExceeded {
+                needed: vcs.escape_layers,
+                budget: vc_budget,
+            });
         }
-        Some((table, vcs))
+        Ok((table, vcs))
     }
 
     /// Leakage saved per gated pair, in mW.
@@ -200,10 +206,10 @@ impl LinkSleep {
     /// net benefit down; a pair is kept awake when removing it would
     /// disconnect the network, and the final selection is walked back
     /// (smallest net benefit first) until the sub-topology routes
-    /// deadlock-free within the VC budget.  Returns `None` only when even
-    /// the ungated topology cannot be routed — which the pipeline rules out
-    /// before a policy ever runs.
-    pub fn gate(&self, ctx: &EnergyContext<'_>) -> Option<GatedNetwork> {
+    /// deadlock-free within the VC budget.  Fails only when even the
+    /// ungated topology cannot be routed — which the pipeline rules out
+    /// before a policy ever runs — and then surfaces the typed reason.
+    pub fn gate(&self, ctx: &EnergyContext<'_>) -> Result<GatedNetwork, PipelineError> {
         let topo = ctx.topology;
         let activity = &ctx.report.activity;
         let util: HashMap<(RouterId, RouterId), f64> = activity
@@ -267,22 +273,28 @@ impl LinkSleep {
         loop {
             let name = format!("{}-gated", topo.name());
             let candidate = gated_topo.clone().with_name(name);
-            if let Some((routing, vcs)) =
-                Self::route(&candidate, ctx.config.vc_budget, ctx.config.reroute_seed)
-            {
-                return Some(GatedNetwork {
-                    topology: candidate,
-                    routing,
-                    vcs,
-                    gated_pairs: gated,
-                });
-            }
-            let (i, j) = gated.pop()?;
-            if topo.has_link(i, j) {
-                gated_topo.add_link(i, j);
-            }
-            if topo.has_link(j, i) {
-                gated_topo.add_link(j, i);
+            match Self::route(&candidate, ctx.config.vc_budget, ctx.config.reroute_seed) {
+                Ok((routing, vcs)) => {
+                    return Ok(GatedNetwork {
+                        topology: candidate,
+                        routing,
+                        vcs,
+                        gated_pairs: gated,
+                    })
+                }
+                Err(err) => {
+                    // Nothing left to restore: even the ungated topology is
+                    // unroutable, so propagate that failure.
+                    let Some((i, j)) = gated.pop() else {
+                        return Err(err);
+                    };
+                    if topo.has_link(i, j) {
+                        gated_topo.add_link(i, j);
+                    }
+                    if topo.has_link(j, i) {
+                        gated_topo.add_link(j, i);
+                    }
+                }
             }
         }
     }
@@ -295,7 +307,7 @@ impl EnergyPolicy for LinkSleep {
 
     fn evaluate(&self, ctx: &EnergyContext<'_>) -> EnergyReport {
         let baseline = ctx.baseline_power();
-        let Some(gated) = self.gate(ctx) else {
+        let Ok(gated) = self.gate(ctx) else {
             // Even the ungated network failed to re-route: fall back to
             // always-on figures, flagged unroutable.
             let mut report = AlwaysOn.evaluate(ctx);

@@ -1,0 +1,207 @@
+//! The suite-wide candidate discovery cache.
+//!
+//! Discovery is the expensive step of every figure (~10⁵ annealer
+//! evaluations per candidate at full budget), and most figures ask for the
+//! same handful of candidates (`NS-LatOp-medium`, `NS-SCOp-large`, …).  The
+//! cache keys a discovery by everything that determines its outcome — the
+//! *resolved objective decomposition* (so a pure-corner composite and the
+//! axis objective it equals share one entry), the layout, link class,
+//! symmetric-links flag, seed and search budget — and runs it at most once
+//! per suite, handing every later reference the same `Arc`'d result
+//! bit-for-bit.
+
+use netsmith::gen::{DiscoveryResult, NetSmith, Term, WeightedTerm};
+use netsmith_topo::traffic::DemandMatrix;
+use netsmith_topo::{Layout, LinkClass};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Everything that determines a discovery's outcome.
+#[derive(Debug, Clone)]
+pub struct DiscoveryRequest {
+    pub layout: Layout,
+    pub layout_label: String,
+    pub class: LinkClass,
+    pub objective: netsmith::gen::Objective,
+    pub symmetric: bool,
+    pub seed: u64,
+    pub evaluations: u64,
+    pub workers: usize,
+}
+
+impl DiscoveryRequest {
+    /// The canonical cache key.  Weights and floating-point parameters are
+    /// keyed by their bit patterns, so two requests collide exactly when
+    /// their searches would be identical.
+    pub fn key(&self) -> String {
+        let mut key = format!(
+            "{}|{}|sym={}|seed={}|evals={}|workers={}|",
+            self.layout_label,
+            self.class.name(),
+            self.symmetric,
+            self.seed,
+            self.evaluations,
+            self.workers
+        );
+        for WeightedTerm { weight, term } in self.objective.decomposition() {
+            let _ = write!(key, "{:016x}x", weight.to_bits());
+            match term {
+                Term::Hops => key.push_str("hops"),
+                Term::SparsestCut => key.push_str("cut"),
+                Term::CriticalLinks => key.push_str("crit"),
+                Term::SpareCapacity => key.push_str("spare"),
+                Term::EnergyProxy { edp_weight } => {
+                    let _ = write!(key, "energy[{:016x}]", edp_weight.to_bits());
+                }
+                Term::PatternHops(demand) => {
+                    let _ = write!(key, "pattern[{:016x}]", demand_fingerprint(&demand));
+                }
+            }
+            key.push('+');
+        }
+        key
+    }
+}
+
+/// FNV-1a over the demand matrix's bit patterns: distinct demand matrices
+/// must key distinct discoveries.
+fn demand_fingerprint(demand: &DemandMatrix) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let n = demand.num_nodes();
+    for s in 0..n {
+        for d in 0..n {
+            for byte in demand.demand(s, d).to_bits().to_le_bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+    }
+    hash
+}
+
+/// Shared discovery cache with invocation accounting and a test probe.
+#[derive(Default)]
+pub struct SuiteCache {
+    entries: Mutex<HashMap<String, Arc<DiscoveryResult>>>,
+    discoveries: AtomicUsize,
+    references: AtomicUsize,
+    /// Called with the cache key on every *actual* discovery (cache miss);
+    /// lets tests count and inspect real invocations.
+    #[allow(clippy::type_complexity)]
+    probe: Mutex<Option<Box<dyn Fn(&str) + Send>>>,
+}
+
+impl SuiteCache {
+    pub fn new() -> Self {
+        SuiteCache::default()
+    }
+
+    /// Install a probe invoked with the key of every cache-missing
+    /// discovery.
+    pub fn set_probe(&self, probe: impl Fn(&str) + Send + 'static) {
+        *self.probe.lock().unwrap() = Some(Box::new(probe));
+    }
+
+    /// Discoveries actually run (cache misses).
+    pub fn discoveries(&self) -> usize {
+        self.discoveries.load(Ordering::SeqCst)
+    }
+
+    /// Candidate references served (hits + misses).
+    pub fn references(&self) -> usize {
+        self.references.load(Ordering::SeqCst)
+    }
+
+    /// Resolve a discovery request through the cache.  The lock is held
+    /// across the search itself so concurrent requests for the same key
+    /// never duplicate work (the annealer parallelizes internally).
+    pub fn discover(&self, request: &DiscoveryRequest) -> Arc<DiscoveryResult> {
+        self.references.fetch_add(1, Ordering::SeqCst);
+        let key = request.key();
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(result) = entries.get(&key) {
+            return Arc::clone(result);
+        }
+        self.discoveries.fetch_add(1, Ordering::SeqCst);
+        if let Some(probe) = self.probe.lock().unwrap().as_ref() {
+            probe(&key);
+        }
+        let result = Arc::new(
+            NetSmith::new(request.layout.clone(), request.class)
+                .objective(request.objective.clone())
+                .symmetric_links(request.symmetric)
+                .evaluations(request.evaluations)
+                .workers(request.workers)
+                .seed(request.seed)
+                .discover(),
+        );
+        entries.insert(key, Arc::clone(&result));
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsmith::gen::Objective;
+
+    fn request(objective: Objective) -> DiscoveryRequest {
+        DiscoveryRequest {
+            layout: Layout::noi_4x5(),
+            layout_label: "4x5".into(),
+            class: LinkClass::Medium,
+            objective,
+            symmetric: false,
+            seed: 7,
+            evaluations: 400,
+            workers: 1,
+        }
+    }
+
+    #[test]
+    fn corner_composites_key_like_their_axis_objective() {
+        let axis = request(Objective::fault_op_default());
+        let corner = request(Objective::Composite(
+            Objective::fault_op_default().decomposition(),
+        ));
+        assert_eq!(axis.key(), corner.key());
+        // But a different weighting keys differently.
+        let other = request(Objective::FaultOp {
+            articulation_penalty: 2.0e5,
+            spare_capacity_weight: 40.0,
+        });
+        assert_ne!(axis.key(), other.key());
+    }
+
+    #[test]
+    fn budget_and_symmetry_key_separately() {
+        let base = request(Objective::LatOp);
+        let mut budget = request(Objective::LatOp);
+        budget.evaluations = 800;
+        let mut symmetric = request(Objective::LatOp);
+        symmetric.symmetric = true;
+        assert_ne!(base.key(), budget.key());
+        assert_ne!(base.key(), symmetric.key());
+    }
+
+    #[test]
+    fn cache_runs_each_key_once_and_shares_the_result() {
+        let cache = SuiteCache::new();
+        let probed = std::sync::Arc::new(AtomicUsize::new(0));
+        let observer = std::sync::Arc::clone(&probed);
+        cache.set_probe(move |_| {
+            observer.fetch_add(1, Ordering::SeqCst);
+        });
+        let a = cache.discover(&request(Objective::LatOp));
+        let b = cache.discover(&request(Objective::LatOp));
+        assert_eq!(cache.discoveries(), 1);
+        assert_eq!(cache.references(), 2);
+        assert_eq!(probed.load(Ordering::SeqCst), 1);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = cache.discover(&request(Objective::SCOp));
+        assert_eq!(cache.discoveries(), 2);
+        assert_eq!(c.topology.name(), "NS-SCOp-medium");
+    }
+}

@@ -1,0 +1,277 @@
+//! Uniform command-line entry points for the figure binaries and the suite.
+//!
+//! Every figure binary accepts the same flags:
+//!
+//! * `--quick` — the CI smoke matrix (small discovery budget, reduced
+//!   classes/loads/windows as declared by the figure's quick spec).
+//! * `--json` — emit rows as JSON Lines instead of CSV.
+//! * `--seed N` — override the harness seed (changes every discovery and
+//!   routing seed coherently).
+//!
+//! Budget configuration flows through [`RunProfile`] with the historical
+//! `NETSMITH_EVALS` / `NETSMITH_WORKERS` environment variables as
+//! fallbacks, so scripted runs keep working while tests construct profiles
+//! directly instead of mutating process-global state.
+
+use crate::cache::SuiteCache;
+use crate::row::emit;
+use crate::runner::{Figure, Runner};
+use crate::spec::CandidateSpec;
+
+/// Deterministic seed shared by the harness so repeated runs reproduce the
+/// same topologies (and so every figure's candidates share cache entries).
+pub const DEFAULT_SEED: u64 = 20_240_402;
+
+/// Per-worker annealing budget used by `--quick` runs.
+pub const QUICK_EVALS: u64 = 1_500;
+
+/// Worker count used by `--quick` runs.
+pub const QUICK_WORKERS: usize = 2;
+
+/// Search-budget and mode configuration for a run.  Construct directly in
+/// tests; CLI entry points build it from flags with env fallback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunProfile {
+    /// Per-worker annealing evaluation budget.
+    pub evals: u64,
+    /// Parallel annealing workers per discovery.
+    pub workers: usize,
+    /// Base seed for discovery, routing and VC allocation.
+    pub seed: u64,
+    /// Whether the quick (CI smoke) matrix was requested.
+    pub quick: bool,
+}
+
+impl Default for RunProfile {
+    fn default() -> Self {
+        RunProfile {
+            evals: 30_000,
+            workers: 4,
+            seed: DEFAULT_SEED,
+            quick: false,
+        }
+    }
+}
+
+impl RunProfile {
+    /// The default profile with `NETSMITH_EVALS` / `NETSMITH_WORKERS`
+    /// applied as fallbacks when present.
+    pub fn from_env() -> Self {
+        let mut profile = RunProfile::default();
+        if let Some(evals) = std::env::var("NETSMITH_EVALS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            profile.evals = evals;
+        }
+        if let Some(workers) = std::env::var("NETSMITH_WORKERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            profile.workers = workers;
+        }
+        profile
+    }
+
+    /// The CI smoke profile: fixed small budget regardless of environment.
+    pub fn quick() -> Self {
+        RunProfile {
+            evals: QUICK_EVALS,
+            workers: QUICK_WORKERS,
+            quick: true,
+            ..RunProfile::default()
+        }
+    }
+}
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliOptions {
+    pub profile: RunProfile,
+    /// Emit JSON Lines instead of CSV.
+    pub json: bool,
+}
+
+impl CliOptions {
+    /// Parse `--quick` / `--json` / `--seed N` from an argument list
+    /// (without the program name).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut profile = RunProfile::from_env();
+        let mut json = false;
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => {
+                    profile.quick = true;
+                    profile.evals = QUICK_EVALS;
+                    profile.workers = QUICK_WORKERS;
+                }
+                "--json" => json = true,
+                "--seed" => {
+                    let value = args.next().ok_or("--seed requires a value")?;
+                    profile.seed = value
+                        .parse()
+                        .map_err(|_| format!("invalid --seed value {value:?}"))?;
+                }
+                other => return Err(format!("unknown argument {other:?}")),
+            }
+        }
+        Ok(CliOptions { profile, json })
+    }
+
+    fn from_process_args() -> Self {
+        match CliOptions::parse(std::env::args().skip(1)) {
+            Ok(options) => options,
+            Err(message) => {
+                eprintln!("error: {message}");
+                eprintln!("usage: <figure> [--quick] [--json] [--seed N]");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// Does a spec reference at least one synthesized candidate?
+fn references_synth(figure: &Figure) -> bool {
+    figure
+        .spec
+        .candidates
+        .iter()
+        .any(|c| matches!(c, CandidateSpec::Synth { .. }))
+}
+
+/// Run one figure as a standalone binary: parse flags, execute, print rows,
+/// verify assertions (after printing, like the legacy binaries), exit
+/// non-zero on failure.
+pub fn run_figure(build: fn(&RunProfile) -> Figure) {
+    let options = CliOptions::from_process_args();
+    let cache = SuiteCache::new();
+    let runner = Runner::new(options.profile, &cache);
+    let figure = build(&runner.profile);
+    let output = match runner.run(&figure) {
+        Ok(output) => output,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+    };
+    emit(&output.header, &output.rows, figure.output, options.json);
+    eprintln!(
+        "# {}: {} rows; candidate cache: {} discoveries / {} references",
+        output.name,
+        output.rows.len(),
+        cache.discoveries(),
+        cache.references()
+    );
+    if let Err(message) = runner.verify(&figure, &output) {
+        eprintln!("ASSERTION FAILED: {message}");
+        std::process::exit(1);
+    }
+}
+
+/// A named figure constructor, as registered in a suite.
+pub type FigureEntry = (&'static str, fn(&RunProfile) -> Figure);
+
+/// Run every registered figure against one shared cache: the suite mode CI
+/// smokes.  Prints each figure's CSV (section-prefixed) to stdout, verifies
+/// every declared assertion, and fails unless the shared candidate cache
+/// demonstrably collapsed discovery work (total discovery invocations <
+/// number of figure specs referencing synthesized candidates).
+pub fn run_suite(registry: &[FigureEntry]) {
+    let options = CliOptions::from_process_args();
+    let cache = SuiteCache::new();
+    let runner = Runner::new(options.profile, &cache);
+    let mut failures: Vec<String> = Vec::new();
+    let mut synth_specs = 0usize;
+    let started = std::time::Instant::now();
+    for (name, build) in registry {
+        let figure = build(&runner.profile);
+        if references_synth(&figure) {
+            synth_specs += 1;
+        }
+        let figure_started = std::time::Instant::now();
+        match runner.run(&figure) {
+            Ok(output) => {
+                println!("# figure: {name}");
+                emit(&output.header, &output.rows, figure.output, options.json);
+                if let Err(message) = runner.verify(&figure, &output) {
+                    eprintln!("# {name}: ASSERTION FAILED: {message}");
+                    failures.push(format!("{name}: {message}"));
+                } else {
+                    eprintln!(
+                        "# {name}: ok ({} rows, {:.1}s)",
+                        output.rows.len(),
+                        figure_started.elapsed().as_secs_f64()
+                    );
+                }
+            }
+            Err(message) => {
+                eprintln!("# {name}: RUN FAILED: {message}");
+                failures.push(format!("{name}: {message}"));
+            }
+        }
+    }
+    eprintln!(
+        "# suite: {} figures in {:.1}s; candidate cache: {} discoveries / {} references \
+         across {synth_specs} synth-referencing specs",
+        registry.len(),
+        started.elapsed().as_secs_f64(),
+        cache.discoveries(),
+        cache.references()
+    );
+    // The cache-effectiveness invariant is defined on the quick matrix
+    // (ISSUE acceptance criterion): full runs sweep more classes/layouts,
+    // so their distinct-key count legitimately exceeds the spec count.
+    if options.profile.quick && synth_specs > 1 && cache.discoveries() >= synth_specs {
+        failures.push(format!(
+            "candidate cache ineffective: {} discoveries for {synth_specs} synth-referencing specs",
+            cache.discoveries()
+        ));
+    }
+    if !failures.is_empty() {
+        eprintln!("# suite: {} failure(s)", failures.len());
+        for failure in &failures {
+            eprintln!("#   {failure}");
+        }
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_handles_all_flags() {
+        let options = CliOptions::parse(
+            ["--quick", "--json", "--seed", "42"]
+                .into_iter()
+                .map(String::from),
+        )
+        .unwrap();
+        assert!(options.profile.quick);
+        assert!(options.json);
+        assert_eq!(options.profile.seed, 42);
+        assert_eq!(options.profile.evals, QUICK_EVALS);
+        assert_eq!(options.profile.workers, QUICK_WORKERS);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_flags() {
+        assert!(CliOptions::parse(["--fast".to_string()]).is_err());
+        assert!(CliOptions::parse(["--seed".to_string()]).is_err());
+        assert!(CliOptions::parse(["--seed".to_string(), "x".to_string()]).is_err());
+    }
+
+    #[test]
+    fn profile_defaults_are_sane_without_env() {
+        // Reads (never mutates) the environment: defaults apply when the
+        // variables are unset, and any value present must parse into the
+        // profile unchanged.
+        let profile = RunProfile::from_env();
+        assert!(profile.evals > 0);
+        assert!(profile.workers >= 1);
+        assert_eq!(profile.seed, DEFAULT_SEED);
+        assert!(!profile.quick);
+    }
+}

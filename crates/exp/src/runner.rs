@@ -1,0 +1,503 @@
+//! The experiment runner: candidate resolution through the suite cache,
+//! parallel cell execution, declarative assertion checking.
+
+use crate::cache::{DiscoveryRequest, SuiteCache};
+use crate::cli::RunProfile;
+use crate::row::{OutputMode, Row};
+use crate::spec::{
+    expert_by_name, Assertion, CandidateSpec, ExperimentSpec, LayoutSpec, WorkloadSpec,
+};
+use netsmith::gen::DiscoveryResult;
+use netsmith::pipeline::{EvaluatedNetwork, RoutingScheme};
+use netsmith_sim::SimConfig;
+use netsmith_topo::{expert, Layout, LinkClass, PipelineError, Topology};
+use std::sync::{Arc, OnceLock};
+
+/// The paper's virtual-channel budget, shared by every figure.
+pub const VC_BUDGET: usize = 6;
+
+/// A candidate instantiated for one (layout, class) cell of the matrix,
+/// with its routed/allocated network prepared lazily and shared across
+/// every workload cell that touches it.
+#[derive(Clone)]
+pub struct ResolvedCandidate {
+    pub layout_spec: LayoutSpec,
+    pub layout: Layout,
+    pub class: LinkClass,
+    pub scheme: RoutingScheme,
+    pub topology: Arc<Topology>,
+    /// Present for synthesized candidates (progress traces, bounds, gaps).
+    pub discovery: Option<Arc<DiscoveryResult>>,
+    /// The objective spec a synthesized candidate was resolved from, so
+    /// measurements never have to reconstruct it from cell indices.
+    pub objective: Option<crate::spec::ObjectiveSpec>,
+    prepare_seed: u64,
+    #[allow(clippy::type_complexity)]
+    prepared: Arc<OnceLock<Result<Arc<EvaluatedNetwork>, PipelineError>>>,
+}
+
+impl ResolvedCandidate {
+    /// The routed, VC-allocated network; prepared on first use and shared.
+    /// The typed error names why preparation failed.
+    pub fn try_network(&self) -> Result<Arc<EvaluatedNetwork>, PipelineError> {
+        self.prepared
+            .get_or_init(|| {
+                EvaluatedNetwork::prepare(&self.topology, self.scheme, VC_BUDGET, self.prepare_seed)
+                    .map(Arc::new)
+            })
+            .clone()
+    }
+
+    /// The prepared network, panicking with the typed error's message when
+    /// the candidate cannot be served (figures treat that as fatal, exactly
+    /// like the legacy binaries did).
+    pub fn network(&self) -> Arc<EvaluatedNetwork> {
+        self.try_network()
+            .unwrap_or_else(|e| panic!("{} cannot be prepared: {e}", self.topology.name()))
+    }
+}
+
+/// One executable cell: a resolved candidate crossed with a workload (or
+/// with nothing, for analytic figures).  Cells borrow the runner so
+/// measurements can resolve auxiliary candidates through the same cache.
+pub struct Cell<'r> {
+    pub runner: &'r Runner<'r>,
+    pub candidate: ResolvedCandidate,
+    pub workload: Option<WorkloadSpec>,
+    /// Index of the candidate in the resolved candidate list.
+    pub candidate_index: usize,
+    /// Index of the workload in the spec (0 when the spec has none).
+    pub workload_index: usize,
+}
+
+impl Cell<'_> {
+    pub fn profile(&self) -> &RunProfile {
+        &self.runner.profile
+    }
+
+    /// The workload's simulator configuration for this cell's class.
+    pub fn sim_config(&self) -> SimConfig {
+        self.workload
+            .as_ref()
+            .expect("cell has no workload")
+            .sim
+            .resolve(self.candidate.class)
+    }
+}
+
+/// How candidate × workload cells are ordered (and therefore how rows are
+/// grouped in the output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CellOrder {
+    /// All workloads of a candidate together (the default).
+    #[default]
+    CandidateMajor,
+    /// All candidates of a workload together (the synthetic-traffic
+    /// figures group by traffic class first).
+    WorkloadMajor,
+}
+
+/// A figure: the declarative spec plus the measurement and (optional)
+/// post-processing / invariant code the spec cannot express.
+pub struct Figure {
+    pub spec: ExperimentSpec,
+    /// The exact CSV header (held stable across the port of the legacy
+    /// binaries; guarded by a golden-header test).
+    pub header: String,
+    pub output: OutputMode,
+    pub cell_order: CellOrder,
+    /// Measure one cell into zero or more rows.
+    #[allow(clippy::type_complexity)]
+    pub measure: Box<dyn Fn(&Cell<'_>) -> Vec<Row> + Send + Sync>,
+    /// Whole-output pass run after all cells (cross-row columns such as a
+    /// Pareto-front flag).
+    #[allow(clippy::type_complexity)]
+    pub postprocess: Option<Box<dyn Fn(&mut Vec<Row>) + Send + Sync>>,
+    /// Figure-specific invariants that need code; declarative invariants
+    /// belong in `spec.assertions`.
+    #[allow(clippy::type_complexity)]
+    pub check: Option<Box<dyn Fn(&RunOutput, &Runner<'_>) -> Result<(), String> + Send + Sync>>,
+}
+
+impl Figure {
+    /// A CSV figure with default ordering and no extra hooks.
+    pub fn new(
+        spec: ExperimentSpec,
+        header: &str,
+        measure: impl Fn(&Cell<'_>) -> Vec<Row> + Send + Sync + 'static,
+    ) -> Self {
+        Figure {
+            spec,
+            header: header.into(),
+            output: OutputMode::Csv,
+            cell_order: CellOrder::CandidateMajor,
+            measure: Box::new(measure),
+            postprocess: None,
+            check: None,
+        }
+    }
+
+    pub fn with_order(mut self, order: CellOrder) -> Self {
+        self.cell_order = order;
+        self
+    }
+
+    pub fn with_output(mut self, output: OutputMode) -> Self {
+        self.output = output;
+        self
+    }
+
+    pub fn with_postprocess(
+        mut self,
+        postprocess: impl Fn(&mut Vec<Row>) + Send + Sync + 'static,
+    ) -> Self {
+        self.postprocess = Some(Box::new(postprocess));
+        self
+    }
+
+    pub fn with_check(
+        mut self,
+        check: impl Fn(&RunOutput, &Runner<'_>) -> Result<(), String> + Send + Sync + 'static,
+    ) -> Self {
+        self.check = Some(Box::new(check));
+        self
+    }
+}
+
+/// The collected result of running one figure.
+pub struct RunOutput {
+    pub name: String,
+    pub header: String,
+    pub rows: Vec<Row>,
+    pub candidates: Vec<ResolvedCandidate>,
+}
+
+impl RunOutput {
+    /// Index of a header column.
+    pub fn column(&self, name: &str) -> Option<usize> {
+        self.header.split(',').position(|c| c == name)
+    }
+
+    /// Rendered value of a row's column.
+    pub fn value(&self, row: usize, column: &str) -> Option<String> {
+        let idx = self.column(column)?;
+        self.rows.get(row)?.columns().into_iter().nth(idx)
+    }
+
+    /// A row's column parsed as a float.
+    pub fn float(&self, row: usize, column: &str) -> Option<f64> {
+        self.value(row, column)?.parse().ok()
+    }
+}
+
+/// Executes figures against a shared profile and candidate cache.
+pub struct Runner<'c> {
+    pub profile: RunProfile,
+    pub cache: &'c SuiteCache,
+    /// Maximum cells measured concurrently.
+    pub parallelism: usize,
+}
+
+impl<'c> Runner<'c> {
+    pub fn new(profile: RunProfile, cache: &'c SuiteCache) -> Self {
+        let parallelism = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(1, 8);
+        Runner {
+            profile,
+            cache,
+            parallelism,
+        }
+    }
+
+    /// Resolve a synthesis candidate through the suite cache (the same path
+    /// spec candidates take; exposed so measurements can resolve auxiliary
+    /// candidates such as a symmetric-links twin).
+    pub fn resolve_synth(
+        &self,
+        layout_spec: LayoutSpec,
+        class: LinkClass,
+        objective: &crate::spec::ObjectiveSpec,
+        symmetric: bool,
+    ) -> ResolvedCandidate {
+        let layout = layout_spec.layout();
+        let discovery = self.cache.discover(&DiscoveryRequest {
+            layout: layout.clone(),
+            layout_label: layout_spec.label().into(),
+            class,
+            objective: objective.resolve(&layout),
+            symmetric,
+            seed: self.profile.seed,
+            evaluations: self.profile.evals,
+            workers: self.profile.workers,
+        });
+        ResolvedCandidate {
+            layout_spec,
+            layout,
+            class,
+            scheme: RoutingScheme::Mclb,
+            topology: Arc::new(discovery.topology.clone()),
+            discovery: Some(discovery),
+            objective: Some(objective.clone()),
+            prepare_seed: self.profile.seed,
+            prepared: Arc::new(OnceLock::new()),
+        }
+    }
+
+    /// Resolve an expert candidate (no discovery, NDBT routing).
+    pub fn resolve_expert(
+        &self,
+        layout_spec: LayoutSpec,
+        class: LinkClass,
+        topology: Topology,
+    ) -> ResolvedCandidate {
+        ResolvedCandidate {
+            layout_spec,
+            layout: layout_spec.layout(),
+            class,
+            scheme: RoutingScheme::Ndbt,
+            topology: Arc::new(topology),
+            discovery: None,
+            objective: None,
+            prepare_seed: self.profile.seed,
+            prepared: Arc::new(OnceLock::new()),
+        }
+    }
+
+    /// Expand a spec's candidate matrix into resolved candidates, in
+    /// (layout, class, candidate, scheme) order.
+    pub fn resolve_candidates(
+        &self,
+        spec: &ExperimentSpec,
+    ) -> Result<Vec<ResolvedCandidate>, String> {
+        let mut resolved = Vec::new();
+        for &layout_spec in &spec.layouts {
+            let layout = layout_spec.layout();
+            for &class in &spec.classes {
+                for candidate in &spec.candidates {
+                    let base: Vec<ResolvedCandidate> = match candidate {
+                        CandidateSpec::Expert { name, only_class } => {
+                            if only_class.is_some_and(|c| c != class) {
+                                continue;
+                            }
+                            vec![self.resolve_expert(
+                                layout_spec,
+                                class,
+                                expert_by_name(name, &layout)?,
+                            )]
+                        }
+                        CandidateSpec::ExpertBaselines => {
+                            expert::baselines_for_class(&layout, class)
+                                .into_iter()
+                                .map(|t| self.resolve_expert(layout_spec, class, t))
+                                .collect()
+                        }
+                        CandidateSpec::Synth {
+                            objective,
+                            symmetric,
+                        } => {
+                            vec![self.resolve_synth(layout_spec, class, objective, *symmetric)]
+                        }
+                    };
+                    match &spec.scheme_override {
+                        None => resolved.extend(base),
+                        Some(schemes) => {
+                            for candidate in base {
+                                for &scheme in schemes {
+                                    let mut rerouted = candidate.clone();
+                                    rerouted.scheme = scheme;
+                                    // A different scheme is a different
+                                    // preparation; drop the shared slot.
+                                    rerouted.prepared = Arc::new(OnceLock::new());
+                                    resolved.push(rerouted);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(resolved)
+    }
+
+    /// Run a figure: resolve its candidates, execute every cell (in
+    /// parallel, deterministic row order), post-process.  Assertions are
+    /// *not* checked here — the CLI emits rows first, then verifies, so a
+    /// failing run still prints its data like the legacy binaries did.
+    pub fn run(&self, figure: &Figure) -> Result<RunOutput, String> {
+        let candidates = self.resolve_candidates(&figure.spec)?;
+
+        // Build the cell list in the figure's grouping order.
+        let mut cells: Vec<(usize, usize)> = Vec::new(); // (candidate, workload)
+        let workload_count = figure.spec.workloads.len().max(1);
+        match figure.cell_order {
+            CellOrder::CandidateMajor => {
+                for c in 0..candidates.len() {
+                    for w in 0..workload_count {
+                        cells.push((c, w));
+                    }
+                }
+            }
+            CellOrder::WorkloadMajor => {
+                for w in 0..workload_count {
+                    for c in 0..candidates.len() {
+                        cells.push((c, w));
+                    }
+                }
+            }
+        }
+
+        let mut row_groups: Vec<Vec<Row>> = Vec::with_capacity(cells.len());
+        for batch in cells.chunks(self.parallelism.max(1)) {
+            let batch_rows = std::thread::scope(|scope| {
+                let handles: Vec<_> = batch
+                    .iter()
+                    .map(|&(c, w)| {
+                        let cell = Cell {
+                            runner: self,
+                            candidate: candidates[c].clone(),
+                            workload: figure.spec.workloads.get(w).cloned(),
+                            candidate_index: c,
+                            workload_index: w,
+                        };
+                        let measure = &figure.measure;
+                        scope.spawn(move || measure(&cell))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("cell measurement panicked"))
+                    .collect::<Vec<_>>()
+            });
+            row_groups.extend(batch_rows);
+        }
+        let mut rows: Vec<Row> = row_groups.into_iter().flatten().collect();
+        if let Some(postprocess) = &figure.postprocess {
+            postprocess(&mut rows);
+        }
+        Ok(RunOutput {
+            name: figure.spec.name.clone(),
+            header: figure.header.clone(),
+            rows,
+            candidates,
+        })
+    }
+
+    /// Check the spec's declarative assertions, then the figure's code
+    /// check.
+    pub fn verify(&self, figure: &Figure, output: &RunOutput) -> Result<(), String> {
+        check_assertions(output, &figure.spec.assertions)?;
+        if let Some(check) = &figure.check {
+            check(output, self)?;
+        }
+        Ok(())
+    }
+}
+
+/// Evaluate declarative assertions against an output's rendered rows.
+pub fn check_assertions(output: &RunOutput, assertions: &[Assertion]) -> Result<(), String> {
+    let columns: Vec<&str> = output.header.split(',').collect();
+    let index = |name: &str| -> Result<usize, String> {
+        columns
+            .iter()
+            .position(|c| *c == name)
+            .ok_or_else(|| format!("{}: no column {name:?}", output.name))
+    };
+    let rendered: Vec<Vec<String>> = output.rows.iter().map(|r| r.columns()).collect();
+    for assertion in assertions {
+        match assertion {
+            Assertion::MinRows { count } => {
+                if rendered.len() < *count {
+                    return Err(format!(
+                        "{}: expected at least {count} rows, got {}",
+                        output.name,
+                        rendered.len()
+                    ));
+                }
+            }
+            Assertion::ColumnPositive { column } => {
+                let idx = index(column)?;
+                for (i, row) in rendered.iter().enumerate() {
+                    let value: f64 = row[idx]
+                        .parse()
+                        .map_err(|_| format!("{}: row {i} {column}={:?}", output.name, row[idx]))?;
+                    if value <= 0.0 {
+                        return Err(format!(
+                            "{}: row {i} has non-positive {column} = {value}",
+                            output.name
+                        ));
+                    }
+                }
+            }
+            Assertion::ColumnAllTrue { column } => {
+                let idx = index(column)?;
+                for (i, row) in rendered.iter().enumerate() {
+                    if row[idx] != "true" {
+                        return Err(format!(
+                            "{}: row {i} has {column} = {:?}, expected true",
+                            output.name, row[idx]
+                        ));
+                    }
+                }
+            }
+            Assertion::GroupedLess {
+                keys,
+                pivot,
+                lesser,
+                greater,
+                column,
+                filters,
+            } => {
+                let key_idx: Vec<usize> =
+                    keys.iter().map(|k| index(k)).collect::<Result<_, _>>()?;
+                let pivot_idx = index(pivot)?;
+                let value_idx = index(column)?;
+                let filter_idx: Vec<(usize, &String)> = filters
+                    .iter()
+                    .map(|(c, v)| Ok((index(c)?, v)))
+                    .collect::<Result<_, String>>()?;
+                use std::collections::HashMap;
+                let mut groups: HashMap<Vec<&str>, (Vec<f64>, Vec<f64>)> = HashMap::new();
+                for row in &rendered {
+                    if filter_idx.iter().any(|&(idx, v)| &row[idx] != v) {
+                        continue;
+                    }
+                    let key: Vec<&str> = key_idx.iter().map(|&i| row[i].as_str()).collect();
+                    let value: f64 = row[value_idx].parse().map_err(|_| {
+                        format!("{}: unparsable {column} {:?}", output.name, row[value_idx])
+                    })?;
+                    let entry = groups.entry(key).or_default();
+                    if row[pivot_idx].starts_with(lesser.as_str()) {
+                        entry.0.push(value);
+                    } else if row[pivot_idx].starts_with(greater.as_str()) {
+                        entry.1.push(value);
+                    }
+                }
+                if groups.is_empty() {
+                    return Err(format!(
+                        "{}: grouped_less on {column} matched no rows",
+                        output.name
+                    ));
+                }
+                for (key, (lo, hi)) in &groups {
+                    if lo.is_empty() || hi.is_empty() {
+                        return Err(format!(
+                            "{}: group {key:?} is missing a {lesser:?} or {greater:?} row",
+                            output.name
+                        ));
+                    }
+                    let worst_lo = lo.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    let best_hi = hi.iter().copied().fold(f64::INFINITY, f64::min);
+                    if worst_lo >= best_hi {
+                        return Err(format!(
+                            "{}: group {key:?}: {lesser} {column} {worst_lo} is not below {greater} {best_hi}",
+                            output.name
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,844 @@
+//! Declarative experiment specifications.
+//!
+//! An [`ExperimentSpec`] names the *matrix* a figure evaluates — candidate
+//! topologies (expert designs by name, or synthesis specs as objective
+//! descriptions), workloads (traffic pattern × offered loads × simulator
+//! profile) and declarative assertions over the emitted rows — as plain
+//! data.  Specs round-trip through JSON ([`ExperimentSpec::to_json_string`]
+//! / [`ExperimentSpec::from_json_str`]) so a figure can be stored, diffed
+//! and replayed; the figure-specific *measurement* (which columns a cell
+//! produces) stays code, attached by the harness as a closure next to the
+//! spec.
+
+use crate::json::Json;
+use netsmith::gen::Objective;
+use netsmith::prelude::RoutingScheme;
+use netsmith_sim::SimConfig;
+use netsmith_topo::traffic::TrafficPattern;
+use netsmith_topo::{expert, Layout, LinkClass, Topology};
+use serde::{Deserialize, Serialize};
+
+/// The interposer layouts of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LayoutSpec {
+    /// 20 routers, 4x5 (the paper's primary configuration).
+    Noi4x5,
+    /// 30 routers, 6x5.
+    Noi6x5,
+    /// 48 routers, 8x6 (the scalability study).
+    Noi8x6,
+}
+
+impl LayoutSpec {
+    /// Materialize the layout.
+    pub fn layout(&self) -> Layout {
+        match self {
+            LayoutSpec::Noi4x5 => Layout::noi_4x5(),
+            LayoutSpec::Noi6x5 => Layout::noi_6x5(),
+            LayoutSpec::Noi8x6 => Layout::noi_8x6(),
+        }
+    }
+
+    /// Label used in CSV rows ("4x5").
+    pub fn label(&self) -> &'static str {
+        match self {
+            LayoutSpec::Noi4x5 => "4x5",
+            LayoutSpec::Noi6x5 => "6x5",
+            LayoutSpec::Noi8x6 => "8x6",
+        }
+    }
+
+    fn from_label(label: &str) -> Result<Self, String> {
+        match label {
+            "4x5" => Ok(LayoutSpec::Noi4x5),
+            "6x5" => Ok(LayoutSpec::Noi6x5),
+            "8x6" => Ok(LayoutSpec::Noi8x6),
+            other => Err(format!("unknown layout {other:?}")),
+        }
+    }
+}
+
+/// A synthesis objective as declarative data; demand-weighted objectives
+/// name a traffic pattern and derive the demand matrix from the cell's
+/// layout at resolution time, keeping specs compact and layout-portable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ObjectiveSpec {
+    LatOp,
+    SCOp,
+    EnergyOp {
+        edp_weight: f64,
+    },
+    /// [`Objective::fault_op_default`].
+    FaultOp,
+    /// Pattern-weighted latency (`NS-ShufOpt` style).
+    PatternLatOp {
+        pattern: TrafficPattern,
+    },
+    /// An arbitrary non-negative weighted combination of the axis
+    /// objectives above, folded term-by-term (shared terms collapse).
+    Composite {
+        parts: Vec<(f64, ObjectiveSpec)>,
+    },
+}
+
+impl ObjectiveSpec {
+    /// Resolve to a concrete [`Objective`] for a layout.
+    pub fn resolve(&self, layout: &Layout) -> Objective {
+        match self {
+            ObjectiveSpec::LatOp => Objective::LatOp,
+            ObjectiveSpec::SCOp => Objective::SCOp,
+            ObjectiveSpec::EnergyOp { edp_weight } => Objective::EnergyOp {
+                edp_weight: *edp_weight,
+            },
+            ObjectiveSpec::FaultOp => Objective::fault_op_default(),
+            ObjectiveSpec::PatternLatOp { pattern } => {
+                Objective::PatternLatOp(pattern.demand_matrix(layout))
+            }
+            ObjectiveSpec::Composite { parts } => {
+                // Fold by term so axes sharing a term (Hops appears in both
+                // LatOp and FaultOp) collapse into one weighted entry.
+                let mut terms: Vec<(f64, netsmith::gen::Term)> = Vec::new();
+                for (scale, part) in parts {
+                    for wt in part.resolve(layout).decomposition() {
+                        match terms.iter_mut().find(|(_, t)| *t == wt.term) {
+                            Some((w, _)) => *w += scale * wt.weight,
+                            None => terms.push((scale * wt.weight, wt.term)),
+                        }
+                    }
+                }
+                Objective::composite(terms)
+            }
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        match self {
+            ObjectiveSpec::LatOp => Json::Str("lat-op".into()),
+            ObjectiveSpec::SCOp => Json::Str("sc-op".into()),
+            ObjectiveSpec::FaultOp => Json::Str("fault-op".into()),
+            ObjectiveSpec::EnergyOp { edp_weight } => Json::Obj(vec![
+                ("objective".into(), Json::Str("energy-op".into())),
+                ("edp_weight".into(), Json::Num(*edp_weight)),
+            ]),
+            ObjectiveSpec::PatternLatOp { pattern } => Json::Obj(vec![
+                ("objective".into(), Json::Str("pattern-lat-op".into())),
+                ("pattern".into(), pattern_to_json(pattern)),
+            ]),
+            ObjectiveSpec::Composite { parts } => Json::Obj(vec![
+                ("objective".into(), Json::Str("composite".into())),
+                (
+                    "parts".into(),
+                    Json::Arr(
+                        parts
+                            .iter()
+                            .map(|(w, o)| Json::Arr(vec![Json::Num(*w), o.to_json()]))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        }
+    }
+
+    fn from_json(json: &Json) -> Result<Self, String> {
+        if let Ok(tag) = json.as_str() {
+            return match tag {
+                "lat-op" => Ok(ObjectiveSpec::LatOp),
+                "sc-op" => Ok(ObjectiveSpec::SCOp),
+                "fault-op" => Ok(ObjectiveSpec::FaultOp),
+                other => Err(format!("unknown objective {other:?}")),
+            };
+        }
+        match json.require("objective")?.as_str()? {
+            "energy-op" => Ok(ObjectiveSpec::EnergyOp {
+                edp_weight: json.require("edp_weight")?.as_f64()?,
+            }),
+            "pattern-lat-op" => Ok(ObjectiveSpec::PatternLatOp {
+                pattern: pattern_from_json(json.require("pattern")?)?,
+            }),
+            "composite" => {
+                let mut parts = Vec::new();
+                for item in json.require("parts")?.as_arr()? {
+                    let pair = item.as_arr()?;
+                    if pair.len() != 2 {
+                        return Err("composite part must be [weight, objective]".into());
+                    }
+                    parts.push((pair[0].as_f64()?, ObjectiveSpec::from_json(&pair[1])?));
+                }
+                Ok(ObjectiveSpec::Composite { parts })
+            }
+            other => Err(format!("unknown objective {other:?}")),
+        }
+    }
+}
+
+/// One candidate topology of a spec's line-up.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CandidateSpec {
+    /// A named expert design (routed with NDBT, like the paper).  When
+    /// `only_class` is set the candidate is instantiated only under that
+    /// link class (the 48-router study hand-picks which expert designs
+    /// scale).
+    Expert {
+        name: String,
+        only_class: Option<LinkClass>,
+    },
+    /// Every expert baseline registered for the cell's link class.
+    ExpertBaselines,
+    /// A topology synthesized by the NetSmith annealer (routed with MCLB),
+    /// discovered at most once per suite run for a given
+    /// (objective-decomposition, layout, class, seed, budget) key.
+    Synth {
+        objective: ObjectiveSpec,
+        /// Force symmetric (paired) links — constraint C9.
+        symmetric: bool,
+    },
+}
+
+impl CandidateSpec {
+    /// Shorthand for a named expert candidate available in every class.
+    pub fn expert(name: &str) -> Self {
+        CandidateSpec::Expert {
+            name: name.into(),
+            only_class: None,
+        }
+    }
+
+    /// Shorthand for an expert candidate pinned to one class.
+    pub fn expert_in(name: &str, class: LinkClass) -> Self {
+        CandidateSpec::Expert {
+            name: name.into(),
+            only_class: Some(class),
+        }
+    }
+
+    /// Shorthand for an asymmetric synthesis candidate.
+    pub fn synth(objective: ObjectiveSpec) -> Self {
+        CandidateSpec::Synth {
+            objective,
+            symmetric: false,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        match self {
+            CandidateSpec::Expert { name, only_class } => {
+                let mut members = vec![("expert".into(), Json::Str(name.clone()))];
+                if let Some(class) = only_class {
+                    members.push(("only_class".into(), Json::Str(class.name())));
+                }
+                Json::Obj(members)
+            }
+            CandidateSpec::ExpertBaselines => Json::Str("expert-baselines".into()),
+            CandidateSpec::Synth {
+                objective,
+                symmetric,
+            } => {
+                let mut members = vec![("synth".into(), objective.to_json())];
+                if *symmetric {
+                    members.push(("symmetric".into(), Json::Bool(true)));
+                }
+                Json::Obj(members)
+            }
+        }
+    }
+
+    fn from_json(json: &Json) -> Result<Self, String> {
+        if let Ok(tag) = json.as_str() {
+            return match tag {
+                "expert-baselines" => Ok(CandidateSpec::ExpertBaselines),
+                other => Err(format!("unknown candidate {other:?}")),
+            };
+        }
+        if let Some(name) = json.get("expert") {
+            return Ok(CandidateSpec::Expert {
+                name: name.as_str()?.into(),
+                only_class: match json.get("only_class") {
+                    Some(class) => Some(class_from_name(class.as_str()?)?),
+                    None => None,
+                },
+            });
+        }
+        if let Some(objective) = json.get("synth") {
+            return Ok(CandidateSpec::Synth {
+                objective: ObjectiveSpec::from_json(objective)?,
+                symmetric: match json.get("symmetric") {
+                    Some(flag) => flag.as_bool()?,
+                    None => false,
+                },
+            });
+        }
+        Err(format!("unknown candidate {json:?}"))
+    }
+}
+
+/// Resolve an expert-topology name ("mesh", "folded-torus", …).
+pub fn expert_by_name(name: &str, layout: &Layout) -> Result<Topology, String> {
+    match name {
+        "mesh" => Ok(expert::mesh(layout)),
+        "folded-torus" => Ok(expert::folded_torus(layout)),
+        "kite-small" => Ok(expert::kite_small(layout)),
+        "kite-medium" => Ok(expert::kite_medium(layout)),
+        "kite-large" => Ok(expert::kite_large(layout)),
+        "butter-donut" => Ok(expert::butter_donut(layout)),
+        "double-butterfly" => Ok(expert::double_butterfly(layout)),
+        "lpbt-hops" => Ok(expert::lpbt_hops(layout)),
+        "lpbt-power" => Ok(expert::lpbt_power(layout)),
+        other => Err(format!("unknown expert topology {other:?}")),
+    }
+}
+
+/// Which [`SimConfig`] a workload's measurements run under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SimProfile {
+    /// [`SimConfig::for_class`] — the per-class clocks of the paper.
+    ClassDefault,
+    /// [`SimConfig::quick`] at the quick profile's default clock.
+    Quick,
+    /// [`SimConfig::quick`] with the cell's class clock (structurally quick
+    /// but comparable across classes).
+    QuickClassClock,
+    /// Per-class config with explicit warmup/measure/drain windows (the CI
+    /// smoke configuration of the energy study).
+    ClassWithWindows {
+        warmup: u64,
+        measure: u64,
+        drain: u64,
+    },
+}
+
+impl SimProfile {
+    /// Materialize the simulator configuration for a link class.
+    pub fn resolve(&self, class: LinkClass) -> SimConfig {
+        match self {
+            SimProfile::ClassDefault => SimConfig::for_class(class),
+            SimProfile::Quick => SimConfig::quick(),
+            SimProfile::QuickClassClock => SimConfig {
+                clock_ghz: class.clock_ghz(),
+                ..SimConfig::quick()
+            },
+            SimProfile::ClassWithWindows {
+                warmup,
+                measure,
+                drain,
+            } => SimConfig {
+                warmup_cycles: *warmup,
+                measure_cycles: *measure,
+                drain_cycles: *drain,
+                ..SimConfig::for_class(class)
+            },
+        }
+    }
+
+    fn to_json(self) -> Json {
+        match self {
+            SimProfile::ClassDefault => Json::Str("class-default".into()),
+            SimProfile::Quick => Json::Str("quick".into()),
+            SimProfile::QuickClassClock => Json::Str("quick-class-clock".into()),
+            SimProfile::ClassWithWindows {
+                warmup,
+                measure,
+                drain,
+            } => Json::Obj(vec![
+                ("warmup".into(), Json::Num(warmup as f64)),
+                ("measure".into(), Json::Num(measure as f64)),
+                ("drain".into(), Json::Num(drain as f64)),
+            ]),
+        }
+    }
+
+    fn from_json(json: &Json) -> Result<Self, String> {
+        if let Ok(tag) = json.as_str() {
+            return match tag {
+                "class-default" => Ok(SimProfile::ClassDefault),
+                "quick" => Ok(SimProfile::Quick),
+                "quick-class-clock" => Ok(SimProfile::QuickClassClock),
+                other => Err(format!("unknown sim profile {other:?}")),
+            };
+        }
+        Ok(SimProfile::ClassWithWindows {
+            warmup: json.require("warmup")?.as_u64()?,
+            measure: json.require("measure")?.as_u64()?,
+            drain: json.require("drain")?.as_u64()?,
+        })
+    }
+}
+
+/// A workload cell: traffic pattern × offered loads × simulator profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Label printed in rows; defaults to the pattern's own name.
+    pub label: Option<String>,
+    pub pattern: TrafficPattern,
+    /// Offered loads in flits/node/cycle.
+    pub loads: Vec<f64>,
+    pub sim: SimProfile,
+}
+
+impl WorkloadSpec {
+    /// A uniform-random workload over `loads` with a sim profile.
+    pub fn new(pattern: TrafficPattern, loads: Vec<f64>, sim: SimProfile) -> Self {
+        WorkloadSpec {
+            label: None,
+            pattern,
+            loads,
+            sim,
+        }
+    }
+
+    /// Attach a row label.
+    pub fn labeled(mut self, label: &str) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// The label printed in rows.
+    pub fn name(&self) -> String {
+        self.label.clone().unwrap_or_else(|| self.pattern.name())
+    }
+
+    fn to_json(&self) -> Json {
+        let mut members = Vec::new();
+        if let Some(label) = &self.label {
+            members.push(("label".into(), Json::Str(label.clone())));
+        }
+        members.push(("pattern".into(), pattern_to_json(&self.pattern)));
+        members.push((
+            "loads".into(),
+            Json::Arr(self.loads.iter().map(|&l| Json::Num(l)).collect()),
+        ));
+        members.push(("sim".into(), self.sim.to_json()));
+        Json::Obj(members)
+    }
+
+    fn from_json(json: &Json) -> Result<Self, String> {
+        Ok(WorkloadSpec {
+            label: match json.get("label") {
+                Some(label) => Some(label.as_str()?.into()),
+                None => None,
+            },
+            pattern: pattern_from_json(json.require("pattern")?)?,
+            loads: json
+                .require("loads")?
+                .as_arr()?
+                .iter()
+                .map(|l| l.as_f64())
+                .collect::<Result<_, _>>()?,
+            sim: SimProfile::from_json(json.require("sim")?)?,
+        })
+    }
+}
+
+/// A declarative invariant over the emitted rows, checked by the runner
+/// after every cell has completed (figure-specific invariants that need
+/// code stay in the harness's `check` hook).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Assertion {
+    /// At least `count` rows were emitted.
+    MinRows { count: usize },
+    /// Every value in `column` parses as a float strictly greater than 0.
+    ColumnPositive { column: String },
+    /// Every value in `column` is the literal `true`.
+    ColumnAllTrue { column: String },
+    /// Within every group keyed by `keys`, the `column` value of the row
+    /// whose `pivot` column starts with `lesser` is strictly below the one
+    /// whose `pivot` starts with `greater`.  Rows failing any
+    /// `(column, value)` filter are ignored.
+    GroupedLess {
+        keys: Vec<String>,
+        pivot: String,
+        lesser: String,
+        greater: String,
+        column: String,
+        filters: Vec<(String, String)>,
+    },
+}
+
+impl Assertion {
+    fn to_json(&self) -> Json {
+        match self {
+            Assertion::MinRows { count } => {
+                Json::Obj(vec![("min_rows".into(), Json::Num(*count as f64))])
+            }
+            Assertion::ColumnPositive { column } => {
+                Json::Obj(vec![("column_positive".into(), Json::Str(column.clone()))])
+            }
+            Assertion::ColumnAllTrue { column } => {
+                Json::Obj(vec![("column_all_true".into(), Json::Str(column.clone()))])
+            }
+            Assertion::GroupedLess {
+                keys,
+                pivot,
+                lesser,
+                greater,
+                column,
+                filters,
+            } => Json::Obj(vec![(
+                "grouped_less".into(),
+                Json::Obj(vec![
+                    (
+                        "keys".into(),
+                        Json::Arr(keys.iter().map(|k| Json::Str(k.clone())).collect()),
+                    ),
+                    ("pivot".into(), Json::Str(pivot.clone())),
+                    ("lesser".into(), Json::Str(lesser.clone())),
+                    ("greater".into(), Json::Str(greater.clone())),
+                    ("column".into(), Json::Str(column.clone())),
+                    (
+                        "filters".into(),
+                        Json::Arr(
+                            filters
+                                .iter()
+                                .map(|(c, v)| {
+                                    Json::Arr(vec![Json::Str(c.clone()), Json::Str(v.clone())])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            )]),
+        }
+    }
+
+    fn from_json(json: &Json) -> Result<Self, String> {
+        if let Some(count) = json.get("min_rows") {
+            return Ok(Assertion::MinRows {
+                count: count.as_usize()?,
+            });
+        }
+        if let Some(column) = json.get("column_positive") {
+            return Ok(Assertion::ColumnPositive {
+                column: column.as_str()?.into(),
+            });
+        }
+        if let Some(column) = json.get("column_all_true") {
+            return Ok(Assertion::ColumnAllTrue {
+                column: column.as_str()?.into(),
+            });
+        }
+        if let Some(body) = json.get("grouped_less") {
+            let strings = |key: &str| -> Result<Vec<String>, String> {
+                body.require(key)?
+                    .as_arr()?
+                    .iter()
+                    .map(|s| s.as_str().map(String::from))
+                    .collect()
+            };
+            let mut filters = Vec::new();
+            for item in body.require("filters")?.as_arr()? {
+                let pair = item.as_arr()?;
+                if pair.len() != 2 {
+                    return Err("filter must be [column, value]".into());
+                }
+                filters.push((pair[0].as_str()?.into(), pair[1].as_str()?.into()));
+            }
+            return Ok(Assertion::GroupedLess {
+                keys: strings("keys")?,
+                pivot: body.require("pivot")?.as_str()?.into(),
+                lesser: body.require("lesser")?.as_str()?.into(),
+                greater: body.require("greater")?.as_str()?.into(),
+                column: body.require("column")?.as_str()?.into(),
+                filters,
+            });
+        }
+        Err(format!("unknown assertion {json:?}"))
+    }
+}
+
+/// A complete experiment matrix: the declarative half of a figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    /// Figure name ("fig06_synthetic").
+    pub name: String,
+    pub layouts: Vec<LayoutSpec>,
+    pub classes: Vec<LinkClass>,
+    pub candidates: Vec<CandidateSpec>,
+    /// When set, every candidate is evaluated once per scheme in the list
+    /// instead of its default scheme (the routing-isolation study).
+    pub scheme_override: Option<Vec<RoutingScheme>>,
+    /// Workload cells; an empty list runs one analytic cell per candidate.
+    pub workloads: Vec<WorkloadSpec>,
+    pub assertions: Vec<Assertion>,
+}
+
+impl ExperimentSpec {
+    /// A spec with no workloads or assertions for `name`.
+    pub fn new(name: &str) -> Self {
+        ExperimentSpec {
+            name: name.into(),
+            layouts: vec![LayoutSpec::Noi4x5],
+            classes: LinkClass::STANDARD.to_vec(),
+            candidates: Vec::new(),
+            scheme_override: None,
+            workloads: Vec::new(),
+            assertions: Vec::new(),
+        }
+    }
+
+    /// Encode as a JSON document.
+    pub fn to_json_string(&self) -> String {
+        let mut members = vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            (
+                "layouts".into(),
+                Json::Arr(
+                    self.layouts
+                        .iter()
+                        .map(|l| Json::Str(l.label().into()))
+                        .collect(),
+                ),
+            ),
+            (
+                "classes".into(),
+                Json::Arr(self.classes.iter().map(|c| Json::Str(c.name())).collect()),
+            ),
+            (
+                "candidates".into(),
+                Json::Arr(self.candidates.iter().map(|c| c.to_json()).collect()),
+            ),
+        ];
+        if let Some(schemes) = &self.scheme_override {
+            members.push((
+                "scheme_override".into(),
+                Json::Arr(
+                    schemes
+                        .iter()
+                        .map(|s| Json::Str(s.label().into()))
+                        .collect(),
+                ),
+            ));
+        }
+        members.push((
+            "workloads".into(),
+            Json::Arr(self.workloads.iter().map(|w| w.to_json()).collect()),
+        ));
+        members.push((
+            "assertions".into(),
+            Json::Arr(self.assertions.iter().map(|a| a.to_json()).collect()),
+        ));
+        Json::Obj(members).to_string()
+    }
+
+    /// Decode a JSON document produced by [`ExperimentSpec::to_json_string`].
+    pub fn from_json_str(text: &str) -> Result<Self, String> {
+        let json = Json::parse(text)?;
+        let mut layouts = Vec::new();
+        for l in json.require("layouts")?.as_arr()? {
+            layouts.push(LayoutSpec::from_label(l.as_str()?)?);
+        }
+        let mut classes = Vec::new();
+        for c in json.require("classes")?.as_arr()? {
+            classes.push(class_from_name(c.as_str()?)?);
+        }
+        let mut candidates = Vec::new();
+        for c in json.require("candidates")?.as_arr()? {
+            candidates.push(CandidateSpec::from_json(c)?);
+        }
+        let scheme_override = match json.get("scheme_override") {
+            None => None,
+            Some(schemes) => {
+                let mut out = Vec::new();
+                for s in schemes.as_arr()? {
+                    out.push(match s.as_str()? {
+                        "MCLB" => RoutingScheme::Mclb,
+                        "NDBT" => RoutingScheme::Ndbt,
+                        other => return Err(format!("unknown scheme {other:?}")),
+                    });
+                }
+                Some(out)
+            }
+        };
+        let mut workloads = Vec::new();
+        for w in json.require("workloads")?.as_arr()? {
+            workloads.push(WorkloadSpec::from_json(w)?);
+        }
+        let mut assertions = Vec::new();
+        for a in json.require("assertions")?.as_arr()? {
+            assertions.push(Assertion::from_json(a)?);
+        }
+        Ok(ExperimentSpec {
+            name: json.require("name")?.as_str()?.into(),
+            layouts,
+            classes,
+            candidates,
+            scheme_override,
+            workloads,
+            assertions,
+        })
+    }
+}
+
+fn class_from_name(name: &str) -> Result<LinkClass, String> {
+    match name {
+        "small" => Ok(LinkClass::Small),
+        "medium" => Ok(LinkClass::Medium),
+        "large" => Ok(LinkClass::Large),
+        other => Err(format!("unknown link class {other:?}")),
+    }
+}
+
+fn pattern_to_json(pattern: &TrafficPattern) -> Json {
+    match pattern {
+        TrafficPattern::UniformRandom => Json::Str("uniform_random".into()),
+        TrafficPattern::Shuffle => Json::Str("shuffle".into()),
+        TrafficPattern::Transpose => Json::Str("transpose".into()),
+        TrafficPattern::Memory => Json::Str("memory".into()),
+        TrafficPattern::Coherence => Json::Str("coherence".into()),
+        TrafficPattern::BitComplement => Json::Str("bit_complement".into()),
+        TrafficPattern::Tornado => Json::Str("tornado".into()),
+        TrafficPattern::Hotspot { targets, fraction } => Json::Obj(vec![
+            (
+                "hotspot".into(),
+                Json::Arr(targets.iter().map(|&t| Json::Num(t as f64)).collect()),
+            ),
+            ("fraction".into(), Json::Num(*fraction)),
+        ]),
+    }
+}
+
+fn pattern_from_json(json: &Json) -> Result<TrafficPattern, String> {
+    if let Ok(tag) = json.as_str() {
+        return match tag {
+            "uniform_random" => Ok(TrafficPattern::UniformRandom),
+            "shuffle" => Ok(TrafficPattern::Shuffle),
+            "transpose" => Ok(TrafficPattern::Transpose),
+            "memory" => Ok(TrafficPattern::Memory),
+            "coherence" => Ok(TrafficPattern::Coherence),
+            "bit_complement" => Ok(TrafficPattern::BitComplement),
+            "tornado" => Ok(TrafficPattern::Tornado),
+            other => Err(format!("unknown traffic pattern {other:?}")),
+        };
+    }
+    Ok(TrafficPattern::Hotspot {
+        targets: json
+            .require("hotspot")?
+            .as_arr()?
+            .iter()
+            .map(|t| t.as_usize())
+            .collect::<Result<_, _>>()?,
+        fraction: json.require("fraction")?.as_f64()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spec() -> ExperimentSpec {
+        ExperimentSpec {
+            name: "fig_test".into(),
+            layouts: vec![LayoutSpec::Noi4x5, LayoutSpec::Noi8x6],
+            classes: vec![LinkClass::Medium, LinkClass::Large],
+            candidates: vec![
+                CandidateSpec::ExpertBaselines,
+                CandidateSpec::expert_in("mesh", LinkClass::Small),
+                CandidateSpec::synth(ObjectiveSpec::LatOp),
+                CandidateSpec::Synth {
+                    objective: ObjectiveSpec::Composite {
+                        parts: vec![
+                            (1.0, ObjectiveSpec::LatOp),
+                            (0.25, ObjectiveSpec::EnergyOp { edp_weight: 5.0 }),
+                        ],
+                    },
+                    symmetric: true,
+                },
+                CandidateSpec::synth(ObjectiveSpec::PatternLatOp {
+                    pattern: TrafficPattern::Shuffle,
+                }),
+            ],
+            scheme_override: Some(vec![RoutingScheme::Ndbt, RoutingScheme::Mclb]),
+            workloads: vec![
+                WorkloadSpec::new(
+                    TrafficPattern::UniformRandom,
+                    vec![0.05, 0.3],
+                    SimProfile::QuickClassClock,
+                )
+                .labeled("coherence"),
+                WorkloadSpec::new(
+                    TrafficPattern::Hotspot {
+                        targets: vec![2, 17],
+                        fraction: 0.6,
+                    },
+                    vec![0.02],
+                    SimProfile::ClassWithWindows {
+                        warmup: 500,
+                        measure: 3_000,
+                        drain: 1_500,
+                    },
+                ),
+            ],
+            assertions: vec![
+                Assertion::MinRows { count: 4 },
+                Assertion::ColumnPositive {
+                    column: "latency_ns".into(),
+                },
+                Assertion::GroupedLess {
+                    keys: vec!["class".into(), "topology".into()],
+                    pivot: "policy".into(),
+                    lesser: "link_sleep".into(),
+                    greater: "always_on".into(),
+                    column: "total_mw".into(),
+                    filters: vec![("load".into(), "0.02".into())],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = sample_spec();
+        let text = spec.to_json_string();
+        let back = ExperimentSpec::from_json_str(&text).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn composite_objective_folds_shared_terms() {
+        let layout = Layout::noi_4x5();
+        let spec = ObjectiveSpec::Composite {
+            parts: vec![(1.0, ObjectiveSpec::LatOp), (0.5, ObjectiveSpec::FaultOp)],
+        };
+        // LatOp contributes Hops(1.0) and FaultOp contributes Hops(0.5), so
+        // the folded composite has a single Hops term of weight 1.5.
+        let decomposition = spec.resolve(&layout).decomposition();
+        let hops: Vec<_> = decomposition
+            .iter()
+            .filter(|wt| wt.term == netsmith::gen::Term::Hops)
+            .collect();
+        assert_eq!(hops.len(), 1);
+        assert!((hops[0].weight - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corner_composites_share_the_axis_decomposition() {
+        // A pure corner resolves to exactly the axis objective's
+        // decomposition — the property that makes corner discoveries cache
+        // hits against the single-objective candidates.
+        let layout = Layout::noi_4x5();
+        let corner = ObjectiveSpec::Composite {
+            parts: vec![(1.0, ObjectiveSpec::FaultOp)],
+        };
+        assert_eq!(
+            corner.resolve(&layout).decomposition(),
+            Objective::fault_op_default().decomposition()
+        );
+    }
+
+    #[test]
+    fn expert_names_resolve() {
+        let layout = Layout::noi_4x5();
+        for name in [
+            "mesh",
+            "folded-torus",
+            "kite-small",
+            "kite-medium",
+            "kite-large",
+            "butter-donut",
+            "double-butterfly",
+            "lpbt-hops",
+            "lpbt-power",
+        ] {
+            expert_by_name(name, &layout).unwrap();
+        }
+        assert!(expert_by_name("hypercube", &layout).is_err());
+    }
+}

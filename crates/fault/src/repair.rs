@@ -15,7 +15,7 @@ use crate::inject::DegradedTopology;
 use netsmith_route::paths::all_shortest_paths;
 use netsmith_route::vc::verify_deadlock_free;
 use netsmith_route::{allocate_vcs, mclb_route, MclbConfig, RoutingTable, VcAllocation};
-use netsmith_topo::{RouterId, Topology};
+use netsmith_topo::{PipelineError, RouterId, Topology};
 use serde::{Deserialize, Serialize};
 
 /// Parameters shared by repair policies.
@@ -82,16 +82,21 @@ pub trait RepairPolicy {
     /// Label used in reports and CSV output.
     fn name(&self) -> String;
 
-    /// Attempt to repair; `None` when the surviving fabric cannot serve
-    /// every surviving pair deadlock-free within the budget (a partitioned
-    /// network, or one whose escape layering no longer fits the VCs).
+    /// Attempt to repair; the error names why the surviving fabric cannot
+    /// serve every surviving pair deadlock-free within the budget
+    /// ([`PipelineError::Disconnected`] for a partitioned network,
+    /// [`PipelineError::VcBudgetExceeded`] when the escape layering no
+    /// longer fits the VCs, …).
     ///
     /// Contract: a returned network must satisfy
-    /// [`RepairedNetwork::verify`] — `assess_resilience` counts every
-    /// `Some` as a successful repair and measures traffic on it without
+    /// [`RepairedNetwork::verify`] — `assess_resilience` counts every `Ok`
+    /// as a successful repair and measures traffic on it without
     /// re-checking.
-    fn repair(&self, degraded: &DegradedTopology, config: &RepairConfig)
-        -> Option<RepairedNetwork>;
+    fn repair(
+        &self,
+        degraded: &DegradedTopology,
+        config: &RepairConfig,
+    ) -> Result<RepairedNetwork, PipelineError>;
 }
 
 /// The default repair policy: full recomputation of paths, MCLB routing
@@ -108,10 +113,12 @@ impl RepairPolicy for RerouteRepair {
         &self,
         degraded: &DegradedTopology,
         config: &RepairConfig,
-    ) -> Option<RepairedNetwork> {
+    ) -> Result<RepairedNetwork, PipelineError> {
         // Cheap strong-connectivity gate before the expensive path work.
         if !degraded.is_connected() {
-            return None;
+            return Err(PipelineError::Disconnected {
+                pairs: degraded.unreachable_pairs(),
+            });
         }
         let paths = all_shortest_paths(&degraded.topology);
         let routing = mclb_route(
@@ -121,15 +128,17 @@ impl RepairPolicy for RerouteRepair {
                 ..Default::default()
             },
         );
-        let k = degraded.num_alive();
-        if routing.num_routed_flows() != k * k.saturating_sub(1) {
-            return None;
-        }
+        routing.require_complete_among(degraded.num_alive())?;
         let vcs = allocate_vcs(&routing, config.vc_budget, config.seed)?;
         if !verify_deadlock_free(&routing, &vcs) {
-            return None;
+            // The balancing pass never violates per-VC acyclicity, so this
+            // is a defensive re-check; surface it as a budget failure.
+            return Err(PipelineError::VcBudgetExceeded {
+                needed: vcs.escape_layers,
+                budget: config.vc_budget,
+            });
         }
-        Some(RepairedNetwork {
+        Ok(RepairedNetwork {
             topology: degraded.topology.clone(),
             routing,
             vcs,
@@ -151,7 +160,7 @@ mod tests {
         for scenario in single_link_scenarios(&mesh) {
             let repaired = RerouteRepair
                 .repair(&scenario.apply(&mesh), &config)
-                .unwrap_or_else(|| panic!("scenario {} must repair", scenario.label()));
+                .unwrap_or_else(|e| panic!("scenario {} must repair: {e}", scenario.label()));
             assert!(repaired.verify(), "scenario {}", scenario.label());
         }
     }
@@ -161,9 +170,13 @@ mod tests {
         // Killing both links of corner router 0 partitions it off.
         let mesh = expert::mesh(&Layout::noi_4x5());
         let scenario = FaultScenario::new(vec![Fault::link(0, 1), Fault::link(0, 5)]);
-        assert!(RerouteRepair
-            .repair(&scenario.apply(&mesh), &RepairConfig::default())
-            .is_none());
+        match RerouteRepair.repair(&scenario.apply(&mesh), &RepairConfig::default()) {
+            Err(PipelineError::Disconnected { pairs }) => {
+                // Router 0 can neither reach nor be reached by the other 19.
+                assert_eq!(pairs, 38);
+            }
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
     }
 
     #[test]

@@ -216,7 +216,9 @@ pub fn assess_resilience(
 ) -> ResilienceReport {
     let sweep_options = SweepOptions::early_exit();
     let (baseline_saturation, baseline_latency) = if config.simulate {
-        let healthy = policy.repair(&FaultScenario::healthy().apply(topo), &config.repair);
+        let healthy = policy
+            .repair(&FaultScenario::healthy().apply(topo), &config.repair)
+            .ok();
         let (table, alloc) = healthy
             .as_ref()
             .map(|h| (&h.routing, &h.vcs))
@@ -237,11 +239,13 @@ pub fn assess_resilience(
     for scenario in scenarios {
         let degraded = scenario.apply(topo);
         let unreachable = degraded.unreachable_pairs();
-        // A policy returning `Some` guarantees a verified repair (see the
+        // A policy returning `Ok` guarantees a verified repair (see the
         // RepairPolicy contract; RerouteRepair checks completeness and
-        // deadlock freedom before returning), so `Some` is both the
-        // repaired flag and the gate for the degraded measurement.
-        let repaired = policy.repair(&degraded, &config.repair);
+        // deadlock freedom before returning), so success is both the
+        // repaired flag and the gate for the degraded measurement; the
+        // aggregate report only needs the boolean, so the typed reason is
+        // dropped here.
+        let repaired = policy.repair(&degraded, &config.repair).ok();
         let (saturation, latency) = match (&repaired, config.simulate) {
             (Some(network), true) => {
                 let sim = NetworkSim::new(

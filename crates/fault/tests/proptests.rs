@@ -46,7 +46,7 @@ proptest! {
         let config = RepairConfig::default();
         for scenario in model.sample_scenarios(topo, 4) {
             let degraded = scenario.apply(topo);
-            if let Some(repaired) = RerouteRepair.repair(&degraded, &config) {
+            if let Ok(repaired) = RerouteRepair.repair(&degraded, &config) {
                 prop_assert!(
                     repaired.routes_all_surviving_pairs(),
                     "{}: incomplete repair", scenario.label()

@@ -5,7 +5,7 @@ use crate::anneal::{anneal, AnnealConfig, AnnealResult};
 use crate::objective::{Objective, ObjectiveValue};
 use crate::problem::GenerationProblem;
 use crate::progress::SolverProgress;
-use netsmith_topo::{Layout, LinkClass, Topology};
+use netsmith_topo::{Layout, LinkClass, PipelineError, Topology};
 use std::time::Duration;
 
 /// Result of a topology discovery run.
@@ -131,8 +131,20 @@ impl NetSmith {
     }
 
     /// Run the discovery: `workers` independent annealing searches in
-    /// parallel (scoped threads), merged into a single result.
+    /// parallel (scoped threads), merged into a single result.  Panics when
+    /// the search fails outright; use [`NetSmith::try_discover`] to handle
+    /// that case as a typed [`PipelineError`].
     pub fn discover(&self) -> DiscoveryResult {
+        self.try_discover()
+            .unwrap_or_else(|e| panic!("topology discovery failed: {e}"))
+    }
+
+    /// Fallible discovery: fails with [`PipelineError::DiscoveryFailed`]
+    /// when no worker produced a strongly connected incumbent within the
+    /// evaluation budget (the annealer's disconnection penalty makes any
+    /// connected candidate beat every disconnected one, so this only
+    /// happens under pathological budgets or constraints).
+    pub fn try_discover(&self) -> Result<DiscoveryResult, PipelineError> {
         let bound = self.bound();
         let results: Vec<AnnealResult> = if self.workers == 1 {
             vec![anneal(&self.problem, &self.config, bound)]
@@ -168,19 +180,27 @@ impl NetSmith {
             .into_iter()
             .min_by(|a, b| a.objective.score.partial_cmp(&b.objective.score).unwrap())
             .expect("at least one worker");
+        if !best.objective.connected {
+            return Err(PipelineError::DiscoveryFailed {
+                objective: self.problem.objective.short_name(),
+                reason: format!(
+                    "no worker produced a connected incumbent within {evaluations} evaluations"
+                ),
+            });
+        }
         let gap = if best.objective.score.abs() < 1e-12 {
             0.0
         } else {
             ((best.objective.score - bound).abs() / best.objective.score.abs()).max(0.0)
         };
-        DiscoveryResult {
+        Ok(DiscoveryResult {
             topology: best.topology,
             objective: best.objective,
             bound,
             gap,
             progress,
             evaluations,
-        }
+        })
     }
 }
 
@@ -197,6 +217,14 @@ mod tests {
             .workers(2)
             .seed(123)
             .time_budget(Duration::from_secs(20))
+    }
+
+    #[test]
+    fn try_discover_succeeds_on_sane_budgets() {
+        let result = quick(LinkClass::Medium, Objective::LatOp)
+            .try_discover()
+            .expect("a connected incumbent exists at this budget");
+        assert!(result.objective.connected);
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub use netsmith_topo as topo;
 
 pub mod pipeline;
 
+pub use netsmith_topo::PipelineError;
 pub use pipeline::{EvaluatedNetwork, RoutingScheme};
 
 /// Commonly used items, re-exported for examples and downstream users.
@@ -81,5 +82,6 @@ pub mod prelude {
     pub use netsmith_system::{evaluate_topology, parsec_suite, FullSystemConfig};
     pub use netsmith_topo::prelude::*;
     pub use netsmith_topo::Layout;
+    pub use netsmith_topo::PipelineError;
     pub use netsmith_topo::{expert, LinkClass};
 }

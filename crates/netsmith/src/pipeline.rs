@@ -10,9 +10,9 @@ use netsmith_route::{
     allocate_vcs, mclb_route, ndbt_route, MclbConfig, RoutingTable, VcAllocation,
 };
 use netsmith_sim::{sweep_injection_rates, LatencyCurve, NetworkSim, SimConfig, SimReport};
-use netsmith_topo::metrics::TopologyMetrics;
+use netsmith_topo::metrics::{unreachable_pairs, TopologyMetrics};
 use netsmith_topo::traffic::TrafficPattern;
-use netsmith_topo::Topology;
+use netsmith_topo::{PipelineError, Topology};
 use serde::{Deserialize, Serialize};
 
 /// Which routing scheme to apply to a topology.
@@ -49,14 +49,21 @@ pub struct EvaluatedNetwork {
 impl EvaluatedNetwork {
     /// Route `topology` with the requested scheme, allocate deadlock-free
     /// escape VCs within `total_vcs`, and compute the analytical metrics.
-    /// Returns `None` when the topology cannot be routed within the VC
-    /// budget.
+    /// The error names exactly why the topology cannot be served:
+    /// [`PipelineError::Disconnected`] for an unreachable pair,
+    /// [`PipelineError::IncompleteRouting`] when the scheme left pairs
+    /// unrouted, [`PipelineError::VcBudgetExceeded`] when deadlock freedom
+    /// needs more VCs than `total_vcs`.
     pub fn prepare(
         topology: &Topology,
         scheme: RoutingScheme,
         total_vcs: usize,
         seed: u64,
-    ) -> Option<Self> {
+    ) -> Result<Self, PipelineError> {
+        let pairs = unreachable_pairs(topology);
+        if pairs > 0 {
+            return Err(PipelineError::Disconnected { pairs });
+        }
         let paths = all_shortest_paths(topology);
         let routing = match scheme {
             RoutingScheme::Mclb => mclb_route(
@@ -68,12 +75,10 @@ impl EvaluatedNetwork {
             ),
             RoutingScheme::Ndbt => ndbt_route(topology.layout(), &paths, seed).0,
         };
-        if !routing.is_complete() {
-            return None;
-        }
+        routing.require_complete()?;
         let vcs = allocate_vcs(&routing, total_vcs, seed)?;
         let metrics = TopologyMetrics::compute(topology);
-        Some(EvaluatedNetwork {
+        Ok(EvaluatedNetwork {
             topology: topology.clone(),
             routing,
             vcs,
@@ -154,16 +159,23 @@ impl EvaluatedNetwork {
     }
 
     /// Repair a fault scenario with a [`RepairPolicy`]: re-route and
-    /// re-allocate escape VCs on the surviving sub-topology.  `None` when
-    /// the degraded fabric cannot serve every surviving pair deadlock-free
-    /// within the policy's budget.
+    /// re-allocate escape VCs on the surviving sub-topology.  When the
+    /// degraded fabric cannot serve every surviving pair deadlock-free
+    /// within the policy's budget, the error is
+    /// [`PipelineError::RepairInfeasible`], wrapping the scenario label and
+    /// the underlying pipeline failure.
     pub fn repair(
         &self,
         scenario: &FaultScenario,
         policy: &dyn RepairPolicy,
         config: &netsmith_fault::RepairConfig,
-    ) -> Option<RepairedNetwork> {
-        policy.repair(&self.degrade(scenario), config)
+    ) -> Result<RepairedNetwork, PipelineError> {
+        policy
+            .repair(&self.degrade(scenario), config)
+            .map_err(|reason| PipelineError::RepairInfeasible {
+                scenario: scenario.label(),
+                reason: Box::new(reason),
+            })
     }
 
     /// Assess resilience against a scenario set: repair every scenario
@@ -200,7 +212,7 @@ mod tests {
         for topo in [expert::mesh(&layout), expert::kite_medium(&layout)] {
             for scheme in [RoutingScheme::Mclb, RoutingScheme::Ndbt] {
                 let network = EvaluatedNetwork::prepare(&topo, scheme, 6, 3)
-                    .unwrap_or_else(|| panic!("{} should prepare", topo.name()));
+                    .unwrap_or_else(|e| panic!("{} should prepare: {e}", topo.name()));
                 assert!(network.routing.is_complete());
                 assert!(netsmith_route::vc::verify_deadlock_free(
                     &network.routing,
@@ -280,6 +292,54 @@ mod tests {
             )
             .expect("single link failure repairs");
         assert!(repaired.verify());
+    }
+
+    #[test]
+    fn prepare_reports_typed_failures() {
+        let layout = Layout::noi_4x5();
+        // An empty topology is disconnected: every ordered pair unreachable.
+        let empty = netsmith_topo::Topology::empty(
+            "empty",
+            layout.clone(),
+            netsmith_topo::LinkClass::Small,
+        );
+        match EvaluatedNetwork::prepare(&empty, RoutingScheme::Mclb, 6, 3) {
+            Err(PipelineError::Disconnected { pairs }) => assert_eq!(pairs, 380),
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
+        // A 1-VC budget on the folded torus fails with the exact need.
+        let torus = expert::folded_torus(&layout);
+        match EvaluatedNetwork::prepare(&torus, RoutingScheme::Mclb, 1, 3) {
+            Err(PipelineError::VcBudgetExceeded { needed, budget }) => {
+                assert!(needed > 1);
+                assert_eq!(budget, 1);
+            }
+            other => panic!("expected VcBudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repair_wraps_failures_with_the_scenario() {
+        use netsmith_fault::Fault;
+        let layout = Layout::noi_4x5();
+        let mesh = expert::mesh(&layout);
+        let network = EvaluatedNetwork::prepare(&mesh, RoutingScheme::Mclb, 6, 3).unwrap();
+        // Severing both links of corner router 0 partitions it off.
+        let scenario = FaultScenario::new(vec![Fault::link(0, 1), Fault::link(0, 5)]);
+        match network.repair(
+            &scenario,
+            &netsmith_fault::RerouteRepair,
+            &netsmith_fault::RepairConfig::default(),
+        ) {
+            Err(PipelineError::RepairInfeasible {
+                scenario: s,
+                reason,
+            }) => {
+                assert_eq!(s, scenario.label());
+                assert!(matches!(*reason, PipelineError::Disconnected { .. }));
+            }
+            other => panic!("expected RepairInfeasible, got {other:?}"),
+        }
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod vc;
 pub use cdg::ChannelDependencyGraph;
 pub use mclb::{mclb_route, mclb_route_milp, MclbConfig};
 pub use ndbt::ndbt_route;
+pub use netsmith_topo::PipelineError;
 pub use paths::{all_shortest_paths, PathSet};
 pub use table::{ChannelLoadReport, Flow, RoutingTable};
 pub use vc::{allocate_vcs, VcAllocation};

@@ -9,7 +9,7 @@
 
 use crate::paths::{path_length, path_links};
 use netsmith_topo::traffic::DemandMatrix;
-use netsmith_topo::{RouterId, Topology};
+use netsmith_topo::{PipelineError, RouterId, Topology};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -109,6 +109,35 @@ impl RoutingTable {
     /// True when every ordered pair of distinct routers has a route.
     pub fn is_complete(&self) -> bool {
         self.num_routed_flows() == self.n * (self.n - 1)
+    }
+
+    /// Typed completeness check: fails with
+    /// [`PipelineError::IncompleteRouting`] carrying the number of ordered
+    /// pairs left without a route.
+    pub fn require_complete(&self) -> Result<(), PipelineError> {
+        let missing = self.n * (self.n - 1) - self.num_routed_flows();
+        if missing == 0 {
+            Ok(())
+        } else {
+            Err(PipelineError::IncompleteRouting {
+                missing_pairs: missing,
+            })
+        }
+    }
+
+    /// Completeness check over a surviving subset of routers (the degraded
+    /// analogue of [`RoutingTable::require_complete`]): `alive_routers`
+    /// routers must be fully connected pairwise.
+    pub fn require_complete_among(&self, alive_routers: usize) -> Result<(), PipelineError> {
+        let expected = alive_routers * alive_routers.saturating_sub(1);
+        let missing = expected.saturating_sub(self.num_routed_flows());
+        if missing == 0 {
+            Ok(())
+        } else {
+            Err(PipelineError::IncompleteRouting {
+                missing_pairs: missing,
+            })
+        }
     }
 
     /// Average routed hop count over all flows.
@@ -250,8 +279,23 @@ mod tests {
     fn table_is_complete_and_valid() {
         let (mesh, table) = simple_table();
         assert!(table.is_complete());
+        table.require_complete().unwrap();
         assert_eq!(table.num_routed_flows(), 380);
         table.validate(&mesh).unwrap();
+    }
+
+    #[test]
+    fn require_complete_counts_missing_pairs() {
+        let table = RoutingTable::new(4, "empty");
+        assert_eq!(
+            table.require_complete(),
+            Err(PipelineError::IncompleteRouting { missing_pairs: 12 })
+        );
+        assert_eq!(
+            table.require_complete_among(3),
+            Err(PipelineError::IncompleteRouting { missing_pairs: 6 })
+        );
+        assert_eq!(table.require_complete_among(0), Ok(()));
     }
 
     #[test]

@@ -18,6 +18,7 @@
 
 use crate::cdg::ChannelDependencyGraph;
 use crate::table::{Flow, RoutingTable};
+use netsmith_topo::PipelineError;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -59,9 +60,14 @@ impl VcAllocation {
 }
 
 /// Partition the flows of a routing table into acyclic layers and balance
-/// them over `total_vcs` virtual channels.  Returns `None` when the number
-/// of required escape layers exceeds `total_vcs`.
-pub fn allocate_vcs(table: &RoutingTable, total_vcs: usize, seed: u64) -> Option<VcAllocation> {
+/// them over `total_vcs` virtual channels.  Fails with
+/// [`PipelineError::VcBudgetExceeded`] — carrying the exact number of escape
+/// layers the partition required — when they exceed `total_vcs`.
+pub fn allocate_vcs(
+    table: &RoutingTable,
+    total_vcs: usize,
+    seed: u64,
+) -> Result<VcAllocation, PipelineError> {
     assert!(total_vcs >= 1);
     let mut rng = SmallRng::seed_from_u64(seed);
 
@@ -106,7 +112,10 @@ pub fn allocate_vcs(table: &RoutingTable, total_vcs: usize, seed: u64) -> Option
     let num_layers = layer_cdgs.len();
 
     if num_layers > total_vcs {
-        return None;
+        return Err(PipelineError::VcBudgetExceeded {
+            needed: num_layers,
+            budget: total_vcs,
+        });
     }
 
     // Balance: flows may move from their escape layer to any *higher* VC
@@ -172,7 +181,7 @@ pub fn allocate_vcs(table: &RoutingTable, total_vcs: usize, seed: u64) -> Option
     }
 
     let num_vcs = assignment.values().copied().max().unwrap_or(0) + 1;
-    Some(VcAllocation {
+    Ok(VcAllocation {
         assignment: assignment.into_iter().collect::<HashMap<_, _>>(),
         num_vcs,
         escape_layers: num_layers,
@@ -264,8 +273,8 @@ mod tests {
         ] {
             let ps = all_shortest_paths(&topo);
             let table = mclb_route(&ps, &MclbConfig::default());
-            let alloc = allocate_vcs(&table, 6, 5)
-                .unwrap_or_else(|| panic!("{} needs more than 6 VCs", topo.name()));
+            let alloc =
+                allocate_vcs(&table, 6, 5).unwrap_or_else(|e| panic!("{}: {e}", topo.name()));
             assert!(
                 verify_deadlock_free(&table, &alloc),
                 "{} allocation has a cyclic VC",
@@ -276,18 +285,23 @@ mod tests {
     }
 
     #[test]
-    fn allocation_fails_gracefully_when_vc_budget_is_too_small() {
-        // With a single VC, topologies whose shortest-path CDG is cyclic
-        // cannot be made deadlock free.
+    fn single_vc_budget_reports_the_exact_escape_layer_need() {
+        // The folded torus's shortest-path CDG is cyclic, so one VC cannot
+        // be made deadlock free; the error must carry the exact number of
+        // escape layers the partition required (which a roomy allocation of
+        // the same seed reports as `escape_layers`).
         let layout = Layout::noi_4x5();
         let torus = expert::folded_torus(&layout);
         let ps = all_shortest_paths(&torus);
         let table = mclb_route(&ps, &MclbConfig::default());
-        let single = allocate_vcs(&table, 1, 5);
-        // Either it fits in one VC (already acyclic) or it must return None.
-        if let Some(alloc) = single {
-            assert!(verify_deadlock_free(&table, &alloc));
-            assert_eq!(alloc.num_vcs, 1);
+        let roomy = allocate_vcs(&table, 6, 5).expect("fits in 6 VCs");
+        assert!(roomy.escape_layers > 1, "torus CDG must be cyclic");
+        match allocate_vcs(&table, 1, 5) {
+            Err(PipelineError::VcBudgetExceeded { needed, budget }) => {
+                assert_eq!(needed, roomy.escape_layers);
+                assert_eq!(budget, 1);
+            }
+            other => panic!("expected VcBudgetExceeded, got {other:?}"),
         }
     }
 

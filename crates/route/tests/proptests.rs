@@ -70,7 +70,7 @@ proptest! {
         let topo = random_topology(seed, 16);
         let paths = all_shortest_paths(&topo);
         let table = mclb_route(&paths, &MclbConfig { seed, restarts: 1, ..Default::default() });
-        if let Some(alloc) = allocate_vcs(&table, 8, seed) {
+        if let Ok(alloc) = allocate_vcs(&table, 8, seed) {
             prop_assert!(verify_deadlock_free(&table, &alloc));
             prop_assert_eq!(alloc.assignment.len(), table.num_routed_flows());
             prop_assert!(alloc.escape_layers <= alloc.num_vcs.max(8));

@@ -34,6 +34,7 @@
 pub mod analysis;
 pub mod bounds;
 pub mod cuts;
+pub mod error;
 pub mod expert;
 pub mod layout;
 pub mod linkclass;
@@ -47,6 +48,7 @@ pub mod viz;
 pub use analysis::TopoAnalysis;
 pub use bounds::{cut_throughput_bound, occupancy_throughput_bound, ThroughputBounds};
 pub use cuts::{bisection_bandwidth, sparsest_cut, CutReport};
+pub use error::PipelineError;
 pub use layout::{Layout, NodeKind, RouterId};
 pub use linkclass::{LinkClass, LinkSpan};
 pub use metrics::{all_pairs_hops, average_hops, diameter, is_strongly_connected, TopologyMetrics};
@@ -61,6 +63,7 @@ pub use traffic::{DemandMatrix, TrafficPattern};
 pub mod prelude {
     pub use crate::bounds::ThroughputBounds;
     pub use crate::cuts::CutReport;
+    pub use crate::error::PipelineError;
     pub use crate::layout::{Layout, NodeKind, RouterId};
     pub use crate::linkclass::{LinkClass, LinkSpan};
     pub use crate::metrics::TopologyMetrics;

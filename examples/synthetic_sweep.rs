@@ -24,7 +24,7 @@ fn main() {
         expert::kite_large(&layout),
         expert::butter_donut(&layout),
     ] {
-        if let Some(n) = EvaluatedNetwork::prepare(&baseline, RoutingScheme::Ndbt, 6, 11) {
+        if let Ok(n) = EvaluatedNetwork::prepare(&baseline, RoutingScheme::Ndbt, 6, 11) {
             networks.push(n);
         }
     }

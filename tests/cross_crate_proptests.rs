@@ -30,7 +30,7 @@ proptest! {
 
         let paths = all_shortest_paths(&result.topology);
         let network = EvaluatedNetwork::prepare(&result.topology, RoutingScheme::Mclb, 6, seed);
-        prop_assert!(network.is_some(), "must be routable in 6 VCs");
+        prop_assert!(network.is_ok(), "must be routable in 6 VCs: {:?}", network.as_ref().err());
         let network = network.unwrap();
         prop_assert!(verify_deadlock_free(&network.routing, &network.vcs));
         // Every routed path is a shortest path.

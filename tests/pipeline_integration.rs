@@ -40,7 +40,7 @@ fn expert_baselines_flow_through_the_pipeline_with_ndbt() {
     let layout = Layout::noi_4x5();
     for topo in expert::all_baselines(&layout) {
         let network = EvaluatedNetwork::prepare(&topo, RoutingScheme::Ndbt, 6, 3)
-            .unwrap_or_else(|| panic!("{} must prepare", topo.name()));
+            .unwrap_or_else(|e| panic!("{} must prepare: {e}", topo.name()));
         assert!(verify_deadlock_free(&network.routing, &network.vcs));
         assert!(network.metrics.average_hops.is_finite());
         assert!(network.metrics.bisection_bandwidth > 0.0);
