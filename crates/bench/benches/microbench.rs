@@ -188,13 +188,11 @@ fn bench_simulator(c: &mut Criterion) {
             drain_cycles: 500,
             ..SimConfig::default()
         };
-        let sim = NetworkSim::new(
-            &kite,
-            &table,
-            Some(&alloc),
-            TrafficPattern::UniformRandom,
-            config,
-        );
+        let sim = NetworkSim::builder(&kite, &table)
+            .vcs(&alloc)
+            .pattern(TrafficPattern::UniformRandom)
+            .config(config)
+            .compile();
         b.iter(|| sim.run(0.3))
     });
     group.finish();

@@ -1,0 +1,330 @@
+//! The tracked performance target (`BENCH_6.json`).
+//!
+//! Measures simulator throughput on the fig08/fig11 simulation
+//! configurations, the `sim_5000_cycles_midload` criterion scenario
+//! (medians computed here, over the same 15-sample protocol used to
+//! record the pre-rework baseline), and `suite --quick` wall-clock, then
+//! writes everything — alongside the frozen pre-rework baseline — to
+//! `BENCH_6.json` at the workspace root.
+//!
+//! Modes:
+//! * default / `--record` — measure and rewrite `BENCH_6.json`.
+//! * `--check` — parse the committed `BENCH_6.json`, re-run
+//!   `suite --quick`, and fail when wall-clock regresses more than
+//!   `PERF_CHECK_TOLERANCE` (default 1.25×) over the recorded value.
+//!
+//! The sibling `suite` binary must already be built; CI builds the whole
+//! workspace in release before invoking this target.
+
+use netsmith_exp::json::Json;
+use netsmith_route::paths::all_shortest_paths;
+use netsmith_route::{allocate_vcs, mclb_route, MclbConfig};
+use netsmith_sim::{NetworkSim, SimConfig};
+use netsmith_topo::traffic::TrafficPattern;
+use netsmith_topo::{expert, Layout, LinkClass, Topology};
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::Instant;
+
+/// Pre-rework numbers, measured with this exact harness at the commit
+/// before the compiled flat-state engine landed (1-core container; only
+/// ratios against `current` are meaningful across machines).
+const BASELINE_FIG08_FLITS_PER_SEC: f64 = 9_452_136.0;
+const BASELINE_FIG11_FLITS_PER_SEC: f64 = 4_376_432.0;
+const BASELINE_SIM5000_MEDIAN_MS: f64 = 4.425;
+const BASELINE_SUITE_QUICK_SECONDS: f64 = 25.4;
+
+const MEDIAN_SAMPLES: usize = 15;
+
+fn bench_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_6.json")
+}
+
+struct SimBenchResult {
+    flits: u64,
+    seconds: f64,
+}
+
+impl SimBenchResult {
+    fn flits_per_sec(&self) -> f64 {
+        self.flits as f64 / self.seconds
+    }
+}
+
+/// Route + allocate each topology, then time construction and all runs
+/// (identical protocol to the recorded baseline: preparation outside the
+/// clock, `NetworkSim` construction and every load point inside it).
+fn sim_bench(topos: &[Topology], loads: &[f64], config: &SimConfig) -> SimBenchResult {
+    let mut prepared = Vec::new();
+    for topo in topos {
+        let paths = all_shortest_paths(topo);
+        let table = mclb_route(&paths, &MclbConfig::default());
+        let alloc = allocate_vcs(&table, 6, 42).expect("fits in 6 VCs");
+        prepared.push((topo, table, alloc));
+    }
+    let mut flits = 0u64;
+    let start = Instant::now();
+    for (topo, table, alloc) in &prepared {
+        let sim = NetworkSim::builder(topo, table)
+            .vcs(alloc)
+            .pattern(TrafficPattern::UniformRandom)
+            .config(config.clone())
+            .compile();
+        for &load in loads {
+            let report = sim.run(load);
+            flits += report.activity.total_link_flits();
+        }
+    }
+    SimBenchResult {
+        flits,
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Median run time of the criterion `sim_5000_cycles_midload` scenario.
+fn sim5000_median_ms() -> f64 {
+    let layout = Layout::noi_4x5();
+    let kite = expert::kite_medium(&layout);
+    let paths = all_shortest_paths(&kite);
+    let table = mclb_route(&paths, &MclbConfig::default());
+    let alloc = allocate_vcs(&table, 6, 3).unwrap();
+    let config = SimConfig {
+        warmup_cycles: 500,
+        measure_cycles: 4_000,
+        drain_cycles: 500,
+        ..SimConfig::default()
+    };
+    let sim = NetworkSim::builder(&kite, &table)
+        .vcs(&alloc)
+        .pattern(TrafficPattern::UniformRandom)
+        .config(config)
+        .compile();
+    let mut samples: Vec<f64> = (0..MEDIAN_SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(sim.run(0.3));
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[MEDIAN_SAMPLES / 2]
+}
+
+/// Wall-clock of a full `suite --quick` run (stdout discarded; stderr — the
+/// per-figure progress log — passes through).
+fn suite_quick_seconds() -> f64 {
+    let suite = std::env::current_exe()
+        .expect("current_exe")
+        .with_file_name("suite");
+    let start = Instant::now();
+    let status = Command::new(&suite)
+        .arg("--quick")
+        .stdout(Stdio::null())
+        .status()
+        .unwrap_or_else(|e| panic!("failed to launch {}: {e}", suite.display()));
+    assert!(status.success(), "suite --quick failed: {status}");
+    start.elapsed().as_secs_f64()
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1e3).round() / 1e3
+}
+
+fn obj(members: Vec<(&str, Json)>) -> Json {
+    Json::Obj(members.into_iter().map(|(k, v)| (k.into(), v)).collect())
+}
+
+/// Indented printer for the committed artifact (the compact `Display`
+/// form parses identically; this one diffs better).
+fn pretty(json: &Json, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match json {
+        Json::Obj(members) if !members.is_empty() => {
+            out.push_str("{\n");
+            for (i, (key, value)) in members.iter().enumerate() {
+                out.push_str(&pad);
+                out.push_str("  ");
+                out.push_str(&Json::Str(key.clone()).to_string());
+                out.push_str(": ");
+                pretty(value, indent + 1, out);
+                if i + 1 < members.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+        other => out.push_str(&other.to_string()),
+    }
+}
+
+fn record() {
+    let layout = Layout::noi_4x5();
+    let config = SimConfig::for_class(LinkClass::Medium);
+
+    eprintln!("# perf: fig08_sim");
+    let fig08 = sim_bench(
+        &[expert::mesh(&layout), expert::folded_torus(&layout)],
+        &[0.05, 0.1, 0.2, 0.3],
+        &config,
+    );
+    eprintln!(
+        "fig08_sim: {} flits in {:.3}s = {:.0} flits/sec ({:.1}x baseline)",
+        fig08.flits,
+        fig08.seconds,
+        fig08.flits_per_sec(),
+        fig08.flits_per_sec() / BASELINE_FIG08_FLITS_PER_SEC,
+    );
+
+    eprintln!("# perf: fig11_sim");
+    let fig11 = sim_bench(
+        &[expert::folded_torus(&Layout::noi_8x6())],
+        &netsmith_sim::sweep::default_load_grid(),
+        &config,
+    );
+    eprintln!(
+        "fig11_sim: {} flits in {:.3}s = {:.0} flits/sec ({:.1}x baseline)",
+        fig11.flits,
+        fig11.seconds,
+        fig11.flits_per_sec(),
+        fig11.flits_per_sec() / BASELINE_FIG11_FLITS_PER_SEC,
+    );
+
+    eprintln!("# perf: sim_5000_cycles_midload");
+    let median_ms = sim5000_median_ms();
+    eprintln!(
+        "sim_5000_cycles_midload median: {median_ms:.3} ms ({:.1}x baseline)",
+        BASELINE_SIM5000_MEDIAN_MS / median_ms,
+    );
+
+    eprintln!("# perf: suite --quick");
+    let suite_seconds = suite_quick_seconds();
+    eprintln!(
+        "suite --quick: {suite_seconds:.1}s ({:.1}x baseline)",
+        BASELINE_SUITE_QUICK_SECONDS / suite_seconds,
+    );
+
+    let sim_section = |r: &SimBenchResult, baseline: f64| {
+        obj(vec![
+            ("flits", Json::Num(r.flits as f64)),
+            ("seconds", Json::Num(round3(r.seconds))),
+            ("flits_per_sec", Json::Num(r.flits_per_sec().round())),
+            (
+                "speedup_vs_baseline",
+                Json::Num(round3(r.flits_per_sec() / baseline)),
+            ),
+        ])
+    };
+    let doc = obj(vec![
+        ("bench", Json::Num(6.0)),
+        (
+            "note",
+            Json::Str(
+                "throughput baseline for the compiled flat-state simulator; \
+                 regenerate with `cargo run --release -p netsmith-bench --bin perf`"
+                    .into(),
+            ),
+        ),
+        (
+            "baseline",
+            obj(vec![
+                (
+                    "fig08_sim_flits_per_sec",
+                    Json::Num(BASELINE_FIG08_FLITS_PER_SEC),
+                ),
+                (
+                    "fig11_sim_flits_per_sec",
+                    Json::Num(BASELINE_FIG11_FLITS_PER_SEC),
+                ),
+                (
+                    "sim_5000_cycles_midload_median_ms",
+                    Json::Num(BASELINE_SIM5000_MEDIAN_MS),
+                ),
+                (
+                    "suite_quick_seconds",
+                    Json::Num(BASELINE_SUITE_QUICK_SECONDS),
+                ),
+            ]),
+        ),
+        (
+            "current",
+            obj(vec![
+                (
+                    "fig08_sim",
+                    sim_section(&fig08, BASELINE_FIG08_FLITS_PER_SEC),
+                ),
+                (
+                    "fig11_sim",
+                    sim_section(&fig11, BASELINE_FIG11_FLITS_PER_SEC),
+                ),
+                (
+                    "sim_5000_cycles_midload",
+                    obj(vec![
+                        ("median_ms", Json::Num(round3(median_ms))),
+                        ("samples", Json::Num(MEDIAN_SAMPLES as f64)),
+                        (
+                            "speedup_vs_baseline",
+                            Json::Num(round3(BASELINE_SIM5000_MEDIAN_MS / median_ms)),
+                        ),
+                    ]),
+                ),
+                (
+                    "suite_quick",
+                    obj(vec![
+                        ("seconds", Json::Num(round3(suite_seconds))),
+                        (
+                            "speedup_vs_baseline",
+                            Json::Num(round3(BASELINE_SUITE_QUICK_SECONDS / suite_seconds)),
+                        ),
+                    ]),
+                ),
+            ]),
+        ),
+    ]);
+    let mut text = String::new();
+    pretty(&doc, 0, &mut text);
+    text.push('\n');
+    Json::parse(&text).expect("emitted BENCH_6.json must parse");
+    let path = bench_path();
+    std::fs::write(&path, text).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    eprintln!("# perf: wrote {}", path.display());
+}
+
+fn check() {
+    let path = bench_path();
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let doc = Json::parse(&text).expect("BENCH_6.json must parse");
+    let recorded = doc
+        .require("current")
+        .and_then(|c| c.require("suite_quick"))
+        .and_then(|s| s.require("seconds"))
+        .and_then(Json::as_f64)
+        .expect("BENCH_6.json: current.suite_quick.seconds");
+    let tolerance = std::env::var("PERF_CHECK_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(1.25);
+    eprintln!("# perf --check: recorded suite --quick {recorded:.1}s, tolerance {tolerance}x");
+    let measured = suite_quick_seconds();
+    let limit = recorded * tolerance;
+    assert!(
+        measured <= limit,
+        "suite --quick regressed: {measured:.1}s > {limit:.1}s \
+         ({recorded:.1}s recorded x {tolerance} tolerance)"
+    );
+    eprintln!("# perf --check: suite --quick {measured:.1}s <= {limit:.1}s, ok");
+}
+
+fn main() {
+    let mode = std::env::args().nth(1);
+    match mode.as_deref() {
+        None | Some("--record") => record(),
+        Some("--check") => check(),
+        Some(other) => {
+            eprintln!("usage: perf [--record | --check]  (unknown argument {other:?})");
+            std::process::exit(2);
+        }
+    }
+}

@@ -501,14 +501,12 @@ mod tests {
         let table = mclb_route(&paths, &MclbConfig::default());
         let vcs = allocate_vcs(&table, 6, 42).expect("fits in 6 VCs");
         let sim = SimConfig::quick();
-        let report = NetworkSim::new(
-            topo,
-            &table,
-            Some(&vcs),
-            TrafficPattern::UniformRandom,
-            sim.clone(),
-        )
-        .run(load);
+        let report = NetworkSim::builder(topo, &table)
+            .vcs(&vcs)
+            .pattern(TrafficPattern::UniformRandom)
+            .config(sim.clone())
+            .build()
+            .run(load);
         (table, vcs, sim, report)
     }
 

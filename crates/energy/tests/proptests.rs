@@ -37,14 +37,12 @@ fn run(
     seed: u64,
     load: f64,
 ) -> SimReport {
-    NetworkSim::new(
-        topo,
-        table,
-        Some(vcs),
-        TrafficPattern::UniformRandom,
-        quick_config(seed),
-    )
-    .run(load)
+    NetworkSim::builder(topo, table)
+        .vcs(vcs)
+        .pattern(TrafficPattern::UniformRandom)
+        .config(quick_config(seed))
+        .build()
+        .run(load)
 }
 
 proptest! {

@@ -9,6 +9,7 @@ use crate::spec::{
 };
 use netsmith::gen::DiscoveryResult;
 use netsmith::pipeline::{EvaluatedNetwork, RoutingScheme};
+use netsmith_pool::WorkerPool;
 use netsmith_sim::SimConfig;
 use netsmith_topo::{expert, Layout, LinkClass, PipelineError, Topology};
 use std::sync::{Arc, OnceLock};
@@ -350,8 +351,8 @@ impl<'c> Runner<'c> {
 
         let mut row_groups: Vec<Vec<Row>> = Vec::with_capacity(cells.len());
         for batch in cells.chunks(self.parallelism.max(1)) {
-            let batch_rows = std::thread::scope(|scope| {
-                let handles: Vec<_> = batch
+            let batch_rows: Vec<Vec<Row>> = if batch.len() == 1 || self.parallelism <= 1 {
+                batch
                     .iter()
                     .map(|&(c, w)| {
                         let cell = Cell {
@@ -361,15 +362,28 @@ impl<'c> Runner<'c> {
                             candidate_index: c,
                             workload_index: w,
                         };
-                        let measure = &figure.measure;
-                        scope.spawn(move || measure(&cell))
+                        (figure.measure)(&cell)
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("cell measurement panicked"))
-                    .collect::<Vec<_>>()
-            });
+                    .collect()
+            } else {
+                WorkerPool::global().run(
+                    batch
+                        .iter()
+                        .map(|&(c, w)| {
+                            let cell = Cell {
+                                runner: self,
+                                candidate: candidates[c].clone(),
+                                workload: figure.spec.workloads.get(w).cloned(),
+                                candidate_index: c,
+                                workload_index: w,
+                            };
+                            let measure = &figure.measure;
+                            Box::new(move || measure(&cell))
+                                as Box<dyn FnOnce() -> Vec<Row> + Send + '_>
+                        })
+                        .collect(),
+                )
+            };
             row_groups.extend(batch_rows);
         }
         let mut rows: Vec<Row> = row_groups.into_iter().flatten().collect();

@@ -15,7 +15,7 @@
 use crate::inject::FaultScenario;
 use crate::repair::{RepairConfig, RepairPolicy};
 use netsmith_route::{RoutingTable, VcAllocation};
-use netsmith_sim::{sweep_sim, LatencyCurve, NetworkSim, SimConfig, SweepOptions};
+use netsmith_sim::{LatencyCurve, NetworkSim, SimConfig, Sweep, SweepOptions};
 use netsmith_topo::traffic::TrafficPattern;
 use netsmith_topo::Topology;
 use serde::{Deserialize, Serialize};
@@ -223,14 +223,16 @@ pub fn assess_resilience(
             .as_ref()
             .map(|h| (&h.routing, &h.vcs))
             .unwrap_or((routing, vcs));
-        let sim = NetworkSim::new(
-            topo,
-            table,
-            Some(alloc),
-            config.pattern.clone(),
-            config.sim.clone(),
-        );
-        curve_summary(&sweep_sim("baseline", &sim, &config.loads, &sweep_options))
+        let sim = NetworkSim::builder(topo, table)
+            .vcs(alloc)
+            .pattern(config.pattern.clone())
+            .config(config.sim.clone())
+            .build();
+        curve_summary(
+            &Sweep::new("baseline")
+                .options(sweep_options.clone())
+                .run(&sim, &config.loads),
+        )
     } else {
         (None, None)
     };
@@ -248,20 +250,17 @@ pub fn assess_resilience(
         let repaired = policy.repair(&degraded, &config.repair).ok();
         let (saturation, latency) = match (&repaired, config.simulate) {
             (Some(network), true) => {
-                let sim = NetworkSim::new(
-                    &network.topology,
-                    &network.routing,
-                    Some(&network.vcs),
-                    config.pattern.clone(),
-                    config.sim.clone(),
+                let sim = NetworkSim::builder(&network.topology, &network.routing)
+                    .vcs(&network.vcs)
+                    .pattern(config.pattern.clone())
+                    .config(config.sim.clone())
+                    .build()
+                    .with_failed_routers(&network.failed_routers());
+                curve_summary(
+                    &Sweep::new(scenario.label())
+                        .options(sweep_options.clone())
+                        .run(&sim, &config.loads),
                 )
-                .with_failed_routers(&network.failed_routers());
-                curve_summary(&sweep_sim(
-                    scenario.label(),
-                    &sim,
-                    &config.loads,
-                    &sweep_options,
-                ))
             }
             _ => (None, None),
         };

@@ -5,6 +5,7 @@ use crate::anneal::{anneal, AnnealConfig, AnnealResult};
 use crate::objective::{Objective, ObjectiveValue};
 use crate::problem::GenerationProblem;
 use crate::progress::SolverProgress;
+use netsmith_pool::WorkerPool;
 use netsmith_topo::{Layout, LinkClass, PipelineError, Topology};
 use std::time::Duration;
 
@@ -131,7 +132,8 @@ impl NetSmith {
     }
 
     /// Run the discovery: `workers` independent annealing searches in
-    /// parallel (scoped threads), merged into a single result.  Panics when
+    /// parallel (on the shared worker pool), merged into a single result.
+    /// Panics when
     /// the search fails outright; use [`NetSmith::try_discover`] to handle
     /// that case as a typed [`PipelineError`].
     pub fn discover(&self) -> DiscoveryResult {
@@ -155,19 +157,16 @@ impl NetSmith {
                 c.seed = self.config.seed.wrapping_add(w as u64 * 0x9E37_79B9);
                 configs.push(c);
             }
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = configs
+            let problem = &self.problem;
+            WorkerPool::global().run(
+                configs
                     .iter()
                     .map(|c| {
-                        let problem = &self.problem;
-                        scope.spawn(move || anneal(problem, c, bound))
+                        Box::new(move || anneal(problem, c, bound))
+                            as Box<dyn FnOnce() -> AnnealResult + Send + '_>
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker panicked"))
-                    .collect()
-            })
+                    .collect(),
+            )
         };
 
         let mut progress = SolverProgress::new();

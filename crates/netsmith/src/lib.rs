@@ -78,7 +78,7 @@ pub mod prelude {
     pub use netsmith_gen::{DiscoveryResult, NetSmith, Objective, Term, WeightedTerm};
     pub use netsmith_power::{area_report, power_report_from_activity, PowerConfig};
     pub use netsmith_route::{allocate_vcs, mclb_route, ndbt_route, MclbConfig, RoutingTable};
-    pub use netsmith_sim::{sweep_injection_rates, LatencyCurve, SimConfig};
+    pub use netsmith_sim::{LatencyCurve, SimConfig, Sweep, SweepOptions};
     pub use netsmith_system::{evaluate_topology, parsec_suite, FullSystemConfig};
     pub use netsmith_topo::prelude::*;
     pub use netsmith_topo::Layout;

@@ -9,7 +9,7 @@ use netsmith_route::paths::all_shortest_paths;
 use netsmith_route::{
     allocate_vcs, mclb_route, ndbt_route, MclbConfig, RoutingTable, VcAllocation,
 };
-use netsmith_sim::{sweep_injection_rates, LatencyCurve, NetworkSim, SimConfig, SimReport};
+use netsmith_sim::{LatencyCurve, NetworkSim, SimConfig, SimReport, Sweep};
 use netsmith_topo::metrics::{unreachable_pairs, TopologyMetrics};
 use netsmith_topo::traffic::TrafficPattern;
 use netsmith_topo::{PipelineError, Topology};
@@ -99,8 +99,7 @@ impl EvaluatedNetwork {
         config: &SimConfig,
         loads: &[f64],
     ) -> LatencyCurve {
-        sweep_injection_rates(
-            self.label(),
+        Sweep::new(self.label()).run_network(
             &self.topology,
             &self.routing,
             Some(&self.vcs),
@@ -122,14 +121,12 @@ impl EvaluatedNetwork {
     ///
     /// [`ActivityProfile`]: netsmith_sim::ActivityProfile
     pub fn measure(&self, pattern: TrafficPattern, config: &SimConfig, load: f64) -> SimReport {
-        NetworkSim::new(
-            &self.topology,
-            &self.routing,
-            Some(&self.vcs),
-            pattern,
-            config.clone(),
-        )
-        .run(load)
+        NetworkSim::builder(&self.topology, &self.routing)
+            .vcs(&self.vcs)
+            .pattern(pattern)
+            .config(config.clone())
+            .build()
+            .run(load)
     }
 
     /// Evaluate an energy-management policy against a measured operating

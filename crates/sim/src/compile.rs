@@ -1,0 +1,921 @@
+//! The compiled flat-state simulation engine.
+//!
+//! [`NetworkSim::run`](crate::NetworkSim::run) used to spend most of its
+//! time in two places: a per-link scan over *all* of a router's resident
+//! packets (each probing `RoutingTable::next_hop`, a linear search along
+//! the flow's path vector), and a `HashMap` lookup per injected packet for
+//! the VC assignment.  [`CompiledNetwork`] removes both by compiling the
+//! routing table and VC allocation into dense arrays once per
+//! `(topology, table, vcs)`:
+//!
+//! * every flow's path is lowered to a CSR-packed sequence of *link ids*
+//!   (`path_offsets` / `hops`), so "where does this packet go next" is one
+//!   indexed load instead of a path search;
+//! * the VC of every flow is a dense `vc_of_flow` array;
+//! * at run time each output link keeps a *candidate list* of the resident
+//!   packets that want it, so allocation touches only eligible packets —
+//!   plus a one-bit-per-link `active` set, letting the per-cycle allocation
+//!   pass skip links with no candidates entirely;
+//! * once traffic generation stops (the drain phase), cycles in which
+//!   provably nothing can move — every candidate still in flight, every
+//!   contended link still busy — are skipped in one jump to the next
+//!   ready/free threshold.
+//!
+//! The engine replays the exact event sequence of the scan-based loop
+//! ([`NetworkSim::run_reference`](crate::NetworkSim::run_reference)): the
+//! same RNG draws in the same order, the same winner for every output link
+//! (oldest-first with the same scan-order tie-breaking, source queues
+//! losing ties), the same mid-cycle visibility of earlier links' commits.
+//! Reports are bit-identical; the `compiled_equivalence` proptests assert
+//! that across random topologies, patterns, loads and failure masks.
+
+use crate::activity::{ActivityProfile, LinkActivity, RouterActivity};
+use crate::config::{PacketClass, SimConfig};
+use crate::network::{point_seed, NetworkSim, SimReport};
+use crate::stats::LatencyStats;
+use netsmith_route::{Flow, RoutingTable, VcAllocation};
+use netsmith_topo::{Layout, RouterId, Topology};
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+use std::collections::VecDeque;
+
+/// Sentinel for "no link": an unrouted flow, an empty source queue, a
+/// resident with no physical output (packets on such flows block forever,
+/// exactly as under the reference scan).
+const NONE: u32 = u32::MAX;
+
+/// The routing table, VC allocation and link structure of one network,
+/// lowered to dense index arrays.  Owned (no borrows), built once per
+/// `(topology, table, vcs)` and reused across every load point of a sweep.
+#[derive(Debug, Clone)]
+pub struct CompiledNetwork {
+    n: usize,
+    /// Directed links in `Topology::links` iteration order; positions are
+    /// the link ids every other array is keyed by.
+    links: Vec<(RouterId, RouterId)>,
+    /// CSR offsets into `hops`, one slot per flow (`src * n + dst`), plus a
+    /// final end sentinel.  An empty range means the flow is unrouted.
+    path_offsets: Vec<u32>,
+    /// Concatenated per-flow paths as link ids.  A `NONE` entry marks a
+    /// table hop with no physical link (an invalid table): packets reaching
+    /// it stall forever, matching the reference scan.
+    hops: Vec<u32>,
+    /// Per-flow virtual channel, already clamped to `num_vcs - 1`.
+    vc_of_flow: Vec<u32>,
+    num_vcs: usize,
+}
+
+impl CompiledNetwork {
+    /// Lower `(topology, table, vcs)` into the flat representation.
+    pub(crate) fn compile(
+        topo: &Topology,
+        table: &RoutingTable,
+        vcs: Option<&VcAllocation>,
+        config: &SimConfig,
+    ) -> Self {
+        let n = topo.num_routers();
+        let links: Vec<(RouterId, RouterId)> = topo.links().collect();
+        let mut link_id = vec![NONE; n * n];
+        for (idx, &(from, to)) in links.iter().enumerate() {
+            link_id[from * n + to] = idx as u32;
+        }
+        let mut path_offsets = Vec::with_capacity(n * n + 1);
+        let mut hops = Vec::new();
+        let mut vc_of_flow = vec![0u32; n * n];
+        path_offsets.push(0u32);
+        for src in 0..n {
+            for dst in 0..n {
+                if let Some(path) = table.path(src, dst) {
+                    for pair in path.windows(2) {
+                        hops.push(link_id[pair[0] * n + pair[1]]);
+                    }
+                }
+                path_offsets.push(hops.len() as u32);
+                vc_of_flow[src * n + dst] = vcs
+                    .and_then(|a| a.assignment.get(&Flow::new(src, dst)).copied())
+                    .unwrap_or(0)
+                    .min(config.num_vcs - 1) as u32;
+            }
+        }
+        CompiledNetwork {
+            n,
+            links,
+            path_offsets,
+            hops,
+            vc_of_flow,
+            num_vcs: config.num_vcs,
+        }
+    }
+
+    /// Number of directed links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Number of routed flows.
+    pub fn num_routed_flows(&self) -> usize {
+        self.path_offsets.windows(2).filter(|w| w[1] > w[0]).count()
+    }
+
+    /// Total compiled hop entries across all flows.
+    pub fn num_hops(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// First-hop link of a flow (`NONE` when unrouted).
+    #[inline]
+    fn first_hop(&self, flow: u32) -> u32 {
+        let off = self.path_offsets[flow as usize] as usize;
+        let end = self.path_offsets[flow as usize + 1] as usize;
+        if off == end {
+            NONE
+        } else {
+            self.hops[off]
+        }
+    }
+}
+
+/// A packet resident in a router's input buffer, flat form.  Slab-stored
+/// per router; `cand_pos` back-points into the candidate list of
+/// `out_link` so both sides update in O(1) under `swap_remove`.
+#[derive(Debug, Clone)]
+struct FlatResident {
+    created: u64,
+    ready_at: u64,
+    flits: u32,
+    vc: u32,
+    flow: u32,
+    /// Index (within the flow's hop sequence) of the next link to take.
+    next_idx: u32,
+    /// Link whose downstream VC buffer the packet occupies.
+    in_link: u32,
+    /// The next link to take (`hops[off + next_idx]`), or `NONE` when the
+    /// table has no physical link there (the packet stalls forever).
+    out_link: u32,
+    /// Position of this resident's entry in `cands[out_link]`.
+    cand_pos: u32,
+}
+
+/// A freshly injected packet waiting in a source queue.
+#[derive(Debug, Clone)]
+struct FlatPacket {
+    created: u64,
+    flits: u32,
+    vc: u32,
+    flow: u32,
+}
+
+/// A candidate entry in an output link's list: the resident's slab slot
+/// plus the two immutable fields arbitration reads, inlined so the winner
+/// scan walks one contiguous array instead of chasing into the slab.
+#[derive(Debug, Clone, Copy)]
+struct Cand {
+    slot: u32,
+    created: u64,
+    ready_at: u64,
+}
+
+/// Hot per-link state: the cycle the link is serializing until, plus the
+/// measurement-window activity counters, packed so a commit touches one
+/// location per link.  `free_at` is monotone — a link only ever gets
+/// busier — which is what makes busy-aware wake-ups (see [`wake`]) exact.
+#[derive(Debug, Clone, Copy)]
+struct LinkState {
+    free_at: u64,
+    flits: u64,
+    busy_cycles: u64,
+}
+
+impl LinkState {
+    const IDLE: LinkState = LinkState {
+        free_at: 0,
+        flits: 0,
+        busy_cycles: 0,
+    };
+}
+
+/// Per-router buffered-flit occupancy, integrated lazily: the reference
+/// loop samples `buffered` once per measurement cycle (before that cycle's
+/// commits), so a value set during cycle `c` counts for sample cycles
+/// `c + 1 ..`.  `accrue` settles the closed interval since the previous
+/// change; called at every change point and once at the end, it reproduces
+/// the per-cycle sum exactly without an O(routers) pass per cycle.
+#[derive(Debug, Clone, Copy)]
+struct RouterBuf {
+    buffered: u64,
+    /// First sample cycle the current `buffered` value applies to.
+    since: u64,
+    flit_cycles: u64,
+}
+
+impl RouterBuf {
+    #[inline]
+    fn accrue(&mut self, change_cycle: u64, measure_start: u64, measure_end: u64) {
+        let lo = self.since.max(measure_start);
+        let hi = (change_cycle + 1).min(measure_end);
+        if hi > lo {
+            self.flit_cycles += self.buffered * (hi - lo);
+        }
+        self.since = change_cycle + 1;
+    }
+}
+
+/// Windowed per-router activity accounting, packed so a commit's updates
+/// (forwarded flits, active-cycle edge detection, buffer accrual) land on
+/// one cache line per router instead of four parallel arrays.
+#[derive(Debug, Clone, Copy)]
+struct RouterState {
+    /// Flits forwarded during the measurement window.
+    flits: u64,
+    /// Measurement cycles with at least one commit out of this router.
+    active_cycles: u64,
+    /// Last cycle counted in `active_cycles` (edge detector).
+    last_active: u64,
+    buf: RouterBuf,
+}
+
+#[inline]
+fn set_bit(active: &mut [u64], link: u32) {
+    active[(link / 64) as usize] |= 1u64 << (link % 64);
+}
+
+#[inline]
+fn clear_bit(active: &mut [u64], link: u32) {
+    active[(link / 64) as usize] &= !(1u64 << (link % 64));
+}
+
+/// Make `link` get examined again as soon as examining it could matter:
+/// immediately when the link is idle, otherwise at `free_at` through the
+/// ring — a busy link cannot commit before it frees, and `free_at` only
+/// grows through the link's own commits (which re-arm it themselves), so
+/// deferring the visit is exact and skips every pointless busy-check in
+/// between.  Duplicate wake-ups are harmless: a visit that finds nothing
+/// to do parks the link again.
+#[inline]
+fn wake(
+    lstate: &[LinkState],
+    active: &mut [u64],
+    ring: &mut [Vec<u32>],
+    ring_mask: u64,
+    cycle: u64,
+    link: u32,
+) {
+    let free_at = lstate[link as usize].free_at;
+    if free_at > cycle {
+        let t = free_at.min(cycle + ring_mask);
+        ring[(t & ring_mask) as usize].push(link);
+    } else {
+        set_bit(active, link);
+    }
+}
+
+/// Insert a resident into router `to`'s slab and register it with its
+/// output link's candidate list.  The output link is woken through the
+/// ring at `max(ready_at, free_at)` rather than immediately: the new
+/// candidate cannot move before it arrives, the link cannot commit before
+/// it frees, and every earlier visit would find nothing — waking at the
+/// later of the two is exact and skips all of those visits.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn add_resident(
+    residents: &mut [Vec<FlatResident>],
+    cands: &mut [Vec<Cand>],
+    lstate: &[LinkState],
+    ring: &mut [Vec<u32>],
+    ring_mask: u64,
+    cycle: u64,
+    to: usize,
+    mut r: FlatResident,
+) {
+    let slot = residents[to].len() as u32;
+    if r.out_link != NONE {
+        let list = &mut cands[r.out_link as usize];
+        r.cand_pos = list.len() as u32;
+        list.push(Cand {
+            slot,
+            created: r.created,
+            ready_at: r.ready_at,
+        });
+        let t = r
+            .ready_at
+            .max(lstate[r.out_link as usize].free_at)
+            .min(cycle + ring_mask);
+        ring[(t & ring_mask) as usize].push(r.out_link);
+    } else {
+        r.cand_pos = NONE;
+    }
+    residents[to].push(r);
+}
+
+/// Remove slot `ri` from router `from`'s slab, keeping every surviving
+/// resident's slot/candidate cross-references consistent under the two
+/// `swap_remove`s.  The caller parks the committed link; a link whose
+/// candidate got renumbered is re-armed here (its tie-break key changed,
+/// which can change the winner a parked link was blocked on).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn remove_resident(
+    residents: &mut [Vec<FlatResident>],
+    cands: &mut [Vec<Cand>],
+    lstate: &[LinkState],
+    active: &mut [u64],
+    ring: &mut [Vec<u32>],
+    ring_mask: u64,
+    cycle: u64,
+    from: usize,
+    ri: u32,
+) {
+    let ri_us = ri as usize;
+    let (out, pos) = {
+        let r = &residents[from][ri_us];
+        (r.out_link, r.cand_pos)
+    };
+    if out != NONE {
+        let list = &mut cands[out as usize];
+        list.swap_remove(pos as usize);
+        if (pos as usize) < list.len() {
+            // The entry moved into `pos` belongs to another resident:
+            // repair its back-pointer.
+            let moved_slot = list[pos as usize].slot as usize;
+            residents[from][moved_slot].cand_pos = pos;
+        }
+    }
+    residents[from].swap_remove(ri_us);
+    if ri_us < residents[from].len() {
+        // The slab's last resident moved into `ri`: repair its candidate
+        // entry (its `cand_pos` is already correct, possibly fixed above)
+        // and re-arm that link — slot renumbering changes the
+        // `(created, slot)` tie-break key, which can change the winner a
+        // parked link was blocked on.
+        let moved = &residents[from][ri_us];
+        if moved.cand_pos != NONE {
+            let out = moved.out_link;
+            cands[out as usize][moved.cand_pos as usize].slot = ri;
+            wake(lstate, active, ring, ring_mask, cycle, out);
+        }
+    }
+}
+
+/// Injection counters advanced by [`inject_packet`] and folded into the
+/// final [`SimReport`].
+struct InjectCounts {
+    packets: u64,
+    window_flits: u64,
+    outstanding: u64,
+}
+
+/// The rare injection-hit path, outlined from the per-source coin loop in
+/// [`run_flat`].  Kept out of line deliberately: inlined, the queue and
+/// wake machinery forces the RNG state and loop bounds into the stack on
+/// every coin draw, and the common *miss* path pays for it (~2 ns/draw on
+/// the fig08 configs, where misses outnumber hits ~30:1).
+#[cold]
+#[inline(never)]
+#[allow(clippy::too_many_arguments)]
+fn inject_packet(
+    sim: &NetworkSim<'_>,
+    net: &CompiledNetwork,
+    layout: &Layout,
+    rng: &mut SmallRng,
+    data_thr: u64,
+    data_flits: u32,
+    ctrl_flits: u32,
+    cycle: u64,
+    in_window: bool,
+    src: usize,
+    counts: &mut InjectCounts,
+    source_queues: &mut [VecDeque<FlatPacket>],
+    head_out: &mut [u32],
+    lstate: &[LinkState],
+    active: &mut [u64],
+    ring: &mut [Vec<u32>],
+    ring_mask: u64,
+) {
+    // RNG draw order matches the reference loop exactly: the destination
+    // sample happens here, and the class coin only if the destination is
+    // routable and alive.
+    let Some(dst) = sim.pattern.sample_destination(layout, src, rng) else {
+        return;
+    };
+    if !sim.alive[dst] {
+        return;
+    }
+    let flits = if (rng.next_u64() >> 11) < data_thr {
+        data_flits
+    } else {
+        ctrl_flits
+    };
+    let flow = (src * net.n + dst) as u32;
+    if in_window {
+        counts.packets += 1;
+        counts.window_flits += flits as u64;
+        counts.outstanding += 1;
+    }
+    let queue = &mut source_queues[src];
+    queue.push_back(FlatPacket {
+        created: cycle,
+        flits,
+        vc: net.vc_of_flow[flow as usize],
+        flow,
+    });
+    if queue.len() == 1 {
+        let first = net.first_hop(flow);
+        head_out[src] = first;
+        if first != NONE {
+            wake(lstate, active, ring, ring_mask, cycle, first);
+        }
+    }
+}
+
+/// Run one simulation at `offered_flits_per_node_cycle` on the compiled
+/// representation.  Bit-identical to
+/// [`NetworkSim::run_reference`](crate::NetworkSim::run_reference).
+pub(crate) fn run_flat(
+    sim: &NetworkSim<'_>,
+    net: &CompiledNetwork,
+    offered_flits_per_node_cycle: f64,
+) -> SimReport {
+    let cfg = sim.config();
+    let n = net.n;
+    let num_vcs = net.num_vcs;
+    let links = &net.links;
+    let l = links.len();
+    let layout = sim.topo.layout().clone();
+    let mut rng = SmallRng::seed_from_u64(point_seed(cfg.seed, offered_flits_per_node_cycle));
+    let packets_per_cycle = (offered_flits_per_node_cycle / cfg.average_flits()).clamp(0.0, 1.0);
+
+    let mut lstate: Vec<LinkState> = vec![LinkState::IDLE; l];
+    // Windowed activity accounting (measurement cycles only), one struct
+    // per router so a commit touches a single cache line of it.
+    let mut routers: Vec<RouterState> = vec![
+        RouterState {
+            flits: 0,
+            active_cycles: 0,
+            last_active: u64::MAX,
+            buf: RouterBuf {
+                buffered: 0,
+                since: 0,
+                flit_cycles: 0,
+            },
+        };
+        n
+    ];
+
+    // Injection and class coins as exact integer compares: `gen_bool(p)`
+    // draws a 53-bit unit float and tests `u < p`, which is equivalent to
+    // `(bits >> 11) < ceil(p * 2^53)` — both sides of that compare are
+    // exactly representable, so one u64 comparison replaces the
+    // int-to-float conversion on the hottest RNG path while consuming the
+    // identical draw sequence.
+    const F53: f64 = 9_007_199_254_740_992.0; // 2^53
+    let inject_thr = (packets_per_cycle * F53).ceil() as u64;
+    let data_thr = (cfg.data_fraction * F53).ceil() as u64;
+    let data_flits = cfg.flits(PacketClass::Data) as u32;
+    let ctrl_flits = cfg.flits(PacketClass::Control) as u32;
+
+    // Parking calendar: a link with provably nothing to do until a known
+    // cycle leaves the active set and re-arms through this ring.  Wake-ups
+    // past the horizon are clamped inward — an early wake is harmless (the
+    // visit just re-parks), a missed one would not be.
+    let max_flits = data_flits.max(ctrl_flits) as u64;
+    let horizon = max_flits + cfg.link_latency + cfg.router_latency + 2;
+    let ring_len = (horizon as usize + 1).next_power_of_two().max(16);
+    let ring_mask = ring_len as u64 - 1;
+    let mut ring: Vec<Vec<u32>> = vec![Vec::new(); ring_len];
+
+    // Flat per-(link, VC) buffer occupancy in flits.
+    let mut vc_occ: Vec<u32> = vec![0; l * num_vcs];
+    // Per-router resident slabs; slot order matches the reference loop's
+    // `swap_remove` order exactly (tie-breaking depends on it).
+    let mut residents: Vec<Vec<FlatResident>> = vec![Vec::new(); n];
+    // Per-output-link candidate lists (slots into the driving router's
+    // slab), cached arbitration results, and the one-bit-per-link active
+    // set over them.
+    let mut cands: Vec<Vec<Cand>> = vec![Vec::new(); l];
+    let mut active: Vec<u64> = vec![0; l.div_ceil(64)];
+    // Source (injection) queues plus the out-link of each queue's head.
+    let mut source_queues: Vec<VecDeque<FlatPacket>> = vec![VecDeque::new(); n];
+    let mut head_out: Vec<u32> = vec![NONE; n];
+
+    let total_cycles = cfg.warmup_cycles + cfg.measure_cycles + cfg.drain_cycles;
+    let measure_start = cfg.warmup_cycles;
+    let measure_end = cfg.warmup_cycles + cfg.measure_cycles;
+
+    let mut stats = LatencyStats::new();
+    let mut inj = InjectCounts {
+        packets: 0,
+        window_flits: 0,
+        outstanding: 0,
+    };
+    let mut packets_ejected = 0u64;
+    let mut flits_ejected_in_window = 0u64;
+
+    let mut cycle: u64 = 0;
+    while cycle < total_cycles {
+        let in_window = cycle >= measure_start && cycle < measure_end;
+        // 0a. Wake parked links whose scheduled cycle has arrived.
+        {
+            let bucket = &mut ring[(cycle & ring_mask) as usize];
+            for &link in bucket.iter() {
+                active[(link / 64) as usize] |= 1u64 << (link % 64);
+            }
+            bucket.clear();
+        }
+        // (Buffer occupancy for the router activity profile is integrated
+        // lazily at change points — see `RouterBuf::accrue` — instead of
+        // the reference loop's per-cycle sampling pass.)
+        // 1. Traffic generation — the RNG draw sequence (injection coin,
+        //    destination sample, class coin) matches the reference loop
+        //    call for call.
+        if cycle < measure_end {
+            for (src, &alive) in sim.alive.iter().enumerate() {
+                if alive && (rng.next_u64() >> 11) < inject_thr {
+                    inject_packet(
+                        sim,
+                        net,
+                        &layout,
+                        &mut rng,
+                        data_thr,
+                        data_flits,
+                        ctrl_flits,
+                        cycle,
+                        in_window,
+                        src,
+                        &mut inj,
+                        &mut source_queues,
+                        &mut head_out,
+                        &lstate,
+                        &mut active,
+                        &mut ring,
+                        ring_mask,
+                    );
+                }
+            }
+        }
+
+        // 2. Link/switch allocation: visit links with candidates in
+        //    ascending id order (the reference loop's iteration order),
+        //    reading the active set live so commits at earlier links are
+        //    visible to later ones within the same cycle.
+        let mut committed = false;
+        let mut scan = 0usize;
+        while scan < l {
+            let word = active[scan / 64] & (!0u64 << (scan % 64));
+            if word == 0 {
+                scan = (scan / 64 + 1) * 64;
+                continue;
+            }
+            let o = (scan / 64) * 64 + word.trailing_zeros() as usize;
+            scan = o + 1;
+            let free_at = lstate[o].free_at;
+            if free_at > cycle {
+                // Still serializing: park until the link frees.
+                clear_bit(&mut active, o as u32);
+                let t = free_at.min(cycle + ring_mask);
+                ring[(t & ring_mask) as usize].push(o as u32);
+                continue;
+            }
+            let (from, to) = links[o];
+            // Oldest eligible resident; ties go to the lowest slot, which
+            // is exactly the reference scan's first-strictly-older rule.
+            let mut best_created = u64::MAX;
+            let mut best_slot = NONE;
+            let mut next_ready = u64::MAX;
+            for c in &cands[o] {
+                if c.ready_at > cycle {
+                    next_ready = next_ready.min(c.ready_at);
+                    continue;
+                }
+                if c.created < best_created || (c.created == best_created && c.slot < best_slot) {
+                    best_created = c.created;
+                    best_slot = c.slot;
+                }
+            }
+            // The source-queue head loses ties to residents, as in the
+            // reference loop.
+            let from_source = head_out[from] == o as u32
+                && source_queues[from]
+                    .front()
+                    .is_some_and(|h| h.created < best_created);
+            if !from_source && best_slot == NONE {
+                // Nothing can move.  With no candidate at all the link goes
+                // dark until an add or a new source head re-arms it;
+                // otherwise everything is still in flight — re-arm at the
+                // earliest arrival.
+                clear_bit(&mut active, o as u32);
+                if next_ready != u64::MAX {
+                    let t = next_ready.min(cycle + ring_mask);
+                    ring[(t & ring_mask) as usize].push(o as u32);
+                }
+                continue;
+            }
+            let (created, flits, vc, flow, next_idx, in_link) = if from_source {
+                let h = source_queues[from].front().unwrap();
+                (h.created, h.flits, h.vc, h.flow, 0u32, NONE)
+            } else {
+                let r = &residents[from][best_slot as usize];
+                (r.created, r.flits, r.vc, r.flow, r.next_idx, r.in_link)
+            };
+            let off = net.path_offsets[flow as usize] as usize;
+            let path_len = net.path_offsets[flow as usize + 1] as usize - off;
+            let ejecting = next_idx as usize + 1 == path_len;
+            if !ejecting {
+                // The packet will occupy the VC buffer at the downstream
+                // end of *this* link.
+                let occ = vc_occ[o * num_vcs + vc as usize];
+                if (occ + flits) as usize > cfg.vc_buffer_flits {
+                    // No credits downstream: park.  Every event that can
+                    // change this outcome re-arms the link — a credit
+                    // release on it (the departing resident's `in_link`
+                    // wake below), a candidate add/renumber, a new source
+                    // head, or the next in-flight arrival via the ring.
+                    clear_bit(&mut active, o as u32);
+                    if next_ready != u64::MAX {
+                        let t = next_ready.min(cycle + ring_mask);
+                        ring[(t & ring_mask) as usize].push(o as u32);
+                    }
+                    continue;
+                }
+            }
+            // Commit the move.
+            committed = true;
+            if from_source {
+                source_queues[from].pop_front();
+                let next_head = match source_queues[from].front() {
+                    Some(p) => net.first_hop(p.flow),
+                    None => NONE,
+                };
+                head_out[from] = next_head;
+                if next_head != NONE && next_head != o as u32 {
+                    wake(&lstate, &mut active, &mut ring, ring_mask, cycle, next_head);
+                }
+            } else {
+                remove_resident(
+                    &mut residents,
+                    &mut cands,
+                    &lstate,
+                    &mut active,
+                    &mut ring,
+                    ring_mask,
+                    cycle,
+                    from,
+                    best_slot,
+                );
+                let occ = &mut vc_occ[in_link as usize * num_vcs + vc as usize];
+                let occ_old = *occ;
+                *occ = occ.saturating_sub(flits);
+                // Credit release: the upstream link may be parked on this
+                // VC's buffer being full.  A packet of `w <= max_flits`
+                // flits was blocked iff `occ_old + w > capacity`, so when
+                // even the largest class fit there was nothing to unblock
+                // and the wake can be skipped exactly.
+                if occ_old as usize + max_flits as usize > cfg.vc_buffer_flits {
+                    wake(&lstate, &mut active, &mut ring, ring_mask, cycle, in_link);
+                }
+                let rb = &mut routers[from].buf;
+                rb.accrue(cycle, measure_start, measure_end);
+                rb.buffered = rb.buffered.saturating_sub(flits as u64);
+            }
+            // The link now serializes this packet: park it, re-arming at
+            // `free_at` only when it could have work then (a remaining
+            // candidate or a source head) — if it goes dark, every later
+            // add/head/renumber wake is busy-aware and re-arms it itself.
+            let serialization = flits as u64;
+            let free_at = cycle + serialization;
+            clear_bit(&mut active, o as u32);
+            if !cands[o].is_empty() || head_out[from] == o as u32 {
+                ring[((free_at.min(cycle + ring_mask)) & ring_mask) as usize].push(o as u32);
+            }
+            {
+                let s = &mut lstate[o];
+                s.free_at = free_at;
+                if in_window {
+                    s.flits += serialization;
+                    s.busy_cycles += serialization.min(measure_end - cycle);
+                }
+            }
+            if in_window {
+                let rs = &mut routers[from];
+                rs.flits += serialization;
+                if rs.last_active != cycle {
+                    rs.last_active = cycle;
+                    rs.active_cycles += 1;
+                }
+            }
+            let arrival = cycle + cfg.link_latency + serialization + cfg.router_latency;
+            if ejecting {
+                // Ejected at the destination.
+                let latency = (arrival - created) as f64;
+                let measured = created >= measure_start && created < measure_end;
+                if measured {
+                    stats.record(latency);
+                    packets_ejected += 1;
+                    inj.outstanding = inj.outstanding.saturating_sub(1);
+                }
+                if arrival >= measure_start && arrival < measure_end {
+                    flits_ejected_in_window += flits as u64;
+                }
+            } else {
+                vc_occ[o * num_vcs + vc as usize] += flits;
+                let rb = &mut routers[to].buf;
+                rb.accrue(cycle, measure_start, measure_end);
+                rb.buffered += flits as u64;
+                let next_idx = next_idx + 1;
+                add_resident(
+                    &mut residents,
+                    &mut cands,
+                    &lstate,
+                    &mut ring,
+                    ring_mask,
+                    cycle,
+                    to,
+                    FlatResident {
+                        created,
+                        ready_at: arrival,
+                        flits,
+                        vc,
+                        flow,
+                        next_idx,
+                        in_link: o as u32,
+                        out_link: net.hops[off + next_idx as usize],
+                        cand_pos: NONE,
+                    },
+                );
+            }
+        }
+
+        // 3. Quiescence skip.  Once generation has stopped, a cycle with
+        //    zero commits means the state can only change again at the
+        //    next ready/free threshold: jump there (or stop when there is
+        //    none — only permanently stalled packets remain, and the
+        //    report no longer changes).  Exact, because between thresholds
+        //    the eligibility sets the allocation pass reads are constant.
+        if cycle >= measure_end && !committed {
+            let mut next_event = u64::MAX;
+            for slab in &residents {
+                for r in slab {
+                    if r.out_link != NONE && r.ready_at > cycle {
+                        next_event = next_event.min(r.ready_at);
+                    }
+                }
+            }
+            let mut scan = 0usize;
+            while scan < l {
+                let word = active[scan / 64] & (!0u64 << (scan % 64));
+                if word == 0 {
+                    scan = (scan / 64 + 1) * 64;
+                    continue;
+                }
+                let o = (scan / 64) * 64 + word.trailing_zeros() as usize;
+                scan = o + 1;
+                if lstate[o].free_at > cycle {
+                    next_event = next_event.min(lstate[o].free_at);
+                }
+            }
+            // Parked links re-arm through the calendar: every pending wake
+            // is a threshold too.  All entries are strictly in the future
+            // and less than one ring length away, so bucket index recovers
+            // the absolute cycle exactly.
+            for (b, bucket) in ring.iter().enumerate() {
+                if !bucket.is_empty() {
+                    let delta = (b as u64).wrapping_sub(cycle + 1) & ring_mask;
+                    next_event = next_event.min(cycle + 1 + delta);
+                }
+            }
+            if next_event == u64::MAX {
+                break;
+            }
+            cycle = next_event;
+        } else {
+            cycle += 1;
+        }
+    }
+
+    // Settle the lazily integrated buffer occupancies up to the end of the
+    // measurement window.
+    for rs in routers.iter_mut() {
+        rs.buf.accrue(measure_end, measure_start, measure_end);
+    }
+    let measure_cycles = cfg.measure_cycles as f64;
+    let injected = inj.window_flits as f64 / (n as f64 * measure_cycles);
+    let accepted = flits_ejected_in_window as f64 / (n as f64 * measure_cycles);
+    let activity = ActivityProfile {
+        measured_cycles: cfg.measure_cycles,
+        links: links
+            .iter()
+            .enumerate()
+            .map(|(idx, &(from, to))| LinkActivity {
+                from,
+                to,
+                flits: lstate[idx].flits,
+                busy_cycles: lstate[idx].busy_cycles,
+            })
+            .collect(),
+        routers: (0..n)
+            .map(|r| RouterActivity {
+                router: r,
+                flits_forwarded: routers[r].flits,
+                active_cycles: routers[r].active_cycles,
+                buffer_flit_cycles: routers[r].buf.flit_cycles,
+            })
+            .collect(),
+    };
+    let avg_latency_cycles = stats.mean();
+    SimReport {
+        offered_flits_per_node_cycle,
+        injected_flits_per_node_cycle: injected,
+        accepted_flits_per_node_cycle: accepted,
+        avg_latency_cycles,
+        p99_latency_cycles: stats.percentile(0.99),
+        avg_latency_ns: cfg.cycles_to_ns(avg_latency_cycles),
+        packets_injected: inj.packets,
+        packets_ejected,
+        packets_unfinished: inj.outstanding,
+        avg_link_utilization: activity.avg_link_utilization(),
+        activity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsmith_route::paths::all_shortest_paths;
+    use netsmith_route::{allocate_vcs, mclb_route, MclbConfig};
+    use netsmith_topo::expert;
+    use netsmith_topo::Layout;
+
+    #[test]
+    fn compiled_tables_cover_every_routed_flow() {
+        let mesh = expert::mesh(&Layout::noi_4x5());
+        let ps = all_shortest_paths(&mesh);
+        let table = mclb_route(&ps, &MclbConfig::default());
+        let alloc = allocate_vcs(&table, 6, 42).unwrap();
+        let net = CompiledNetwork::compile(&mesh, &table, Some(&alloc), &SimConfig::quick());
+        assert_eq!(net.num_links(), mesh.num_directed_links());
+        assert_eq!(net.num_routed_flows(), table.num_routed_flows());
+        // Total hop entries = sum of per-flow hop counts.
+        let expected_hops: usize = table.flows().map(|(_, p)| p.len() - 1).sum();
+        assert_eq!(net.num_hops(), expected_hops);
+        // Every compiled hop refers to a real link, in path order.
+        for (flow, path) in table.flows() {
+            let fi = flow.src * 20 + flow.dst;
+            let off = net.path_offsets[fi] as usize;
+            let end = net.path_offsets[fi + 1] as usize;
+            assert_eq!(end - off, path.len() - 1);
+            for (k, pair) in path.windows(2).enumerate() {
+                let link = net.hops[off + k];
+                assert_ne!(link, NONE);
+                assert_eq!(net.links[link as usize], (pair[0], pair[1]));
+            }
+            assert_eq!(net.first_hop(fi as u32), net.hops[off]);
+        }
+    }
+
+    #[test]
+    fn unrouted_flows_compile_to_empty_ranges() {
+        let mesh = expert::mesh(&Layout::noi_4x5());
+        let table = RoutingTable::new(20, "empty");
+        let net = CompiledNetwork::compile(&mesh, &table, None, &SimConfig::quick());
+        assert_eq!(net.num_routed_flows(), 0);
+        assert_eq!(net.num_hops(), 0);
+        assert_eq!(net.first_hop(0), NONE);
+    }
+
+    #[test]
+    fn flat_run_matches_reference_on_a_mesh() {
+        let mesh = expert::mesh(&Layout::noi_4x5());
+        let ps = all_shortest_paths(&mesh);
+        let table = mclb_route(&ps, &MclbConfig::default());
+        let alloc = allocate_vcs(&table, 6, 42).unwrap();
+        let sim = NetworkSim::builder(&mesh, &table)
+            .vcs(&alloc)
+            .config(SimConfig::quick())
+            .build();
+        for load in [0.02, 0.3, 0.9] {
+            assert_eq!(sim.run(load), sim.run_reference(load), "load {load}");
+        }
+    }
+
+    #[test]
+    fn quiescence_skip_preserves_full_drain_semantics() {
+        // A drain window far longer than the traffic needs: the skip path
+        // must cut straight to the end without changing any statistic.
+        let mesh = expert::mesh(&Layout::noi_4x5());
+        let ps = all_shortest_paths(&mesh);
+        let table = mclb_route(&ps, &MclbConfig::default());
+        let alloc = allocate_vcs(&table, 6, 42).unwrap();
+        let config = SimConfig {
+            warmup_cycles: 100,
+            measure_cycles: 500,
+            drain_cycles: 100_000,
+            ..SimConfig::default()
+        };
+        let sim = NetworkSim::builder(&mesh, &table)
+            .vcs(&alloc)
+            .config(config)
+            .build();
+        let report = sim.run(0.1);
+        assert_eq!(report, sim.run_reference(0.1));
+        assert_eq!(report.packets_unfinished, 0);
+    }
+}

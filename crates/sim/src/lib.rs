@@ -32,16 +32,19 @@
 //! first, by roughly what factor — are preserved.
 
 pub mod activity;
+pub mod compile;
 pub mod config;
 pub mod network;
 pub mod stats;
 pub mod sweep;
 
 pub use activity::{ActivityProfile, LinkActivity, RouterActivity};
+pub use compile::CompiledNetwork;
 pub use config::{PacketClass, SimConfig};
-pub use network::{NetworkSim, SimReport};
+pub use network::{point_seed, splitmix64, NetworkSim, NetworkSimBuilder, SimReport};
 pub use stats::LatencyStats;
+#[allow(deprecated)]
 pub use sweep::{
     saturation_throughput, sweep_injection_rates, sweep_injection_rates_with, sweep_sim,
-    LatencyCurve, SweepOptions, SweepPoint,
+    LatencyCurve, Sweep, SweepOptions, SweepPoint,
 };

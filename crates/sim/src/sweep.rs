@@ -2,13 +2,19 @@
 //!
 //! The paper's Figures 6, 10 and 11 plot average packet latency against the
 //! achieved throughput while sweeping the offered injection rate of
-//! synthetic traffic.  [`sweep_injection_rates`] reproduces exactly that
-//! curve for one topology + routing + VC allocation, and
-//! [`saturation_throughput`] extracts the saturation point (the highest
-//! load the network still delivers without the latency blowing up).
+//! synthetic traffic.  [`Sweep`] reproduces exactly that curve for one
+//! topology + routing + VC allocation, and [`saturation_throughput`]
+//! extracts the saturation point (the highest load the network still
+//! delivers without the latency blowing up).
+//!
+//! Load points are independent simulations, so a sweep submits them as one
+//! batch to the process-wide [`WorkerPool`]; the per-point results are
+//! deterministic regardless of threading because every run seeds its RNG
+//! from the offered load (see [`crate::network::point_seed`]).
 
 use crate::config::SimConfig;
 use crate::network::{NetworkSim, SimReport};
+use netsmith_pool::WorkerPool;
 use netsmith_route::{RoutingTable, VcAllocation};
 use netsmith_topo::traffic::TrafficPattern;
 use netsmith_topo::Topology;
@@ -96,8 +102,8 @@ impl LatencyCurve {
 /// its own state), so they parallelize trivially.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SweepOptions {
-    /// Number of load points simulated concurrently (scoped threads).
-    /// `1` reproduces the old sequential behaviour exactly; either way the
+    /// Number of load points submitted to the worker pool at once.  `1`
+    /// reproduces the old sequential behaviour exactly; either way the
     /// per-point results are deterministic, because every run seeds its
     /// RNG from the offered load.
     pub max_threads: usize,
@@ -130,10 +136,113 @@ impl SweepOptions {
     }
 }
 
+/// An injection-rate sweep: the single entry point that replaced the old
+/// `sweep_injection_rates` / `sweep_injection_rates_with` / `sweep_sim`
+/// trio.  Configure it with [`SweepOptions`], then run it either over a
+/// pre-built simulator ([`Sweep::run`] — which may carry failed routers,
+/// see [`NetworkSim::with_failed_routers`]) or directly over network parts
+/// ([`Sweep::run_network`]).
+///
+/// ```ignore
+/// let curve = Sweep::new("mesh / MCLB")
+///     .options(SweepOptions::early_exit())
+///     .run(&sim, &loads);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    label: String,
+    options: SweepOptions,
+}
+
+impl Sweep {
+    /// A sweep with default [`SweepOptions`] (fully parallel, no early
+    /// exit).
+    pub fn new(label: impl Into<String>) -> Self {
+        Sweep {
+            label: label.into(),
+            options: SweepOptions::default(),
+        }
+    }
+
+    /// Replace the execution options.
+    pub fn options(mut self, options: SweepOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Sweep a pre-built simulator over `loads` (flits/node/cycle).
+    /// Batches of [`SweepOptions::max_threads`] points run on the shared
+    /// [`WorkerPool`]; each `run` call owns its state, so results are
+    /// identical to a sequential sweep and the returned points stay in
+    /// load order.
+    pub fn run(&self, sim: &NetworkSim<'_>, loads: &[f64]) -> LatencyCurve {
+        let config = sim.config().clone();
+        let zero = sim.zero_load_latency_cycles();
+        let threads = self.options.max_threads.max(1);
+        let mut points = Vec::with_capacity(loads.len());
+        'sweep: for batch in loads.chunks(threads) {
+            let reports: Vec<SimReport> = if batch.len() == 1 || threads == 1 {
+                batch.iter().map(|&load| sim.run(load)).collect()
+            } else {
+                WorkerPool::global().run(
+                    batch
+                        .iter()
+                        .map(|&load| {
+                            Box::new(move || sim.run(load))
+                                as Box<dyn FnOnce() -> SimReport + Send + '_>
+                        })
+                        .collect(),
+                )
+            };
+            for (report, &load) in reports.iter().zip(batch) {
+                points.push(SweepPoint {
+                    offered: load,
+                    accepted: report.accepted_flits_per_node_cycle,
+                    accepted_packets_per_ns: config
+                        .flit_rate_to_packets_per_ns(report.accepted_flits_per_node_cycle),
+                    latency_cycles: report.avg_latency_cycles,
+                    latency_ns: report.avg_latency_ns,
+                    saturated: report.is_saturated(zero),
+                });
+                if let Some(limit) = self.options.early_exit_saturated {
+                    let trailing = points.iter().rev().take_while(|p| p.saturated).count();
+                    if trailing >= limit.max(1) {
+                        break 'sweep;
+                    }
+                }
+            }
+        }
+        LatencyCurve {
+            label: self.label.clone(),
+            points,
+            zero_load_latency_cycles: zero,
+        }
+    }
+
+    /// Build a simulator for `(topo, table, vcs, pattern, config)` and
+    /// sweep it over `loads`.
+    pub fn run_network(
+        &self,
+        topo: &Topology,
+        table: &RoutingTable,
+        vcs: Option<&VcAllocation>,
+        pattern: TrafficPattern,
+        config: &SimConfig,
+        loads: &[f64],
+    ) -> LatencyCurve {
+        let mut builder = NetworkSim::builder(topo, table)
+            .pattern(pattern)
+            .config(config.clone());
+        if let Some(vcs) = vcs {
+            builder = builder.vcs(vcs);
+        }
+        self.run(&builder.build(), loads)
+    }
+}
+
 /// Sweep the offered injection rate over `loads` (flits/node/cycle) and
-/// collect the latency curve.  Load points run in parallel (see
-/// [`SweepOptions::max_threads`]); use [`sweep_injection_rates_with`] to
-/// control threading or enable early exit.
+/// collect the latency curve.
+#[deprecated(since = "0.1.0", note = "use `Sweep::new(label).run_network(..)`")]
 pub fn sweep_injection_rates(
     label: impl Into<String>,
     topo: &Topology,
@@ -143,19 +252,14 @@ pub fn sweep_injection_rates(
     config: &SimConfig,
     loads: &[f64],
 ) -> LatencyCurve {
-    sweep_injection_rates_with(
-        label,
-        topo,
-        table,
-        vcs,
-        pattern,
-        config,
-        loads,
-        &SweepOptions::default(),
-    )
+    Sweep::new(label).run_network(topo, table, vcs, pattern, config, loads)
 }
 
 /// [`sweep_injection_rates`] with explicit [`SweepOptions`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Sweep::new(label).options(..).run_network(..)`"
+)]
 #[allow(clippy::too_many_arguments)]
 pub fn sweep_injection_rates_with(
     label: impl Into<String>,
@@ -167,63 +271,20 @@ pub fn sweep_injection_rates_with(
     loads: &[f64],
     options: &SweepOptions,
 ) -> LatencyCurve {
-    let sim = NetworkSim::new(topo, table, vcs, pattern, config.clone());
-    sweep_sim(label, &sim, loads, options)
+    Sweep::new(label)
+        .options(options.clone())
+        .run_network(topo, table, vcs, pattern, config, loads)
 }
 
-/// Sweep a pre-built simulator (which may carry failed routers — see
-/// [`NetworkSim::with_failed_routers`]) over `loads`.  Points within a
-/// batch of [`SweepOptions::max_threads`] run on scoped threads; each
-/// `run` call owns its state, so results are identical to a sequential
-/// sweep and the returned points stay in load order.
+/// Sweep a pre-built simulator over `loads`.
+#[deprecated(since = "0.1.0", note = "use `Sweep::new(label).options(..).run(..)`")]
 pub fn sweep_sim(
     label: impl Into<String>,
     sim: &NetworkSim<'_>,
     loads: &[f64],
     options: &SweepOptions,
 ) -> LatencyCurve {
-    let config = sim.config().clone();
-    let zero = sim.zero_load_latency_cycles();
-    let threads = options.max_threads.max(1);
-    let mut points = Vec::with_capacity(loads.len());
-    'sweep: for batch in loads.chunks(threads) {
-        let reports: Vec<SimReport> = if batch.len() == 1 || threads == 1 {
-            batch.iter().map(|&load| sim.run(load)).collect()
-        } else {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = batch
-                    .iter()
-                    .map(|&load| scope.spawn(move || sim.run(load)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("sweep worker panicked"))
-                    .collect()
-            })
-        };
-        for (report, &load) in reports.iter().zip(batch) {
-            points.push(SweepPoint {
-                offered: load,
-                accepted: report.accepted_flits_per_node_cycle,
-                accepted_packets_per_ns: config
-                    .flit_rate_to_packets_per_ns(report.accepted_flits_per_node_cycle),
-                latency_cycles: report.avg_latency_cycles,
-                latency_ns: report.avg_latency_ns,
-                saturated: report.is_saturated(zero),
-            });
-            if let Some(limit) = options.early_exit_saturated {
-                let trailing = points.iter().rev().take_while(|p| p.saturated).count();
-                if trailing >= limit.max(1) {
-                    break 'sweep;
-                }
-            }
-        }
-    }
-    LatencyCurve {
-        label: label.into(),
-        points,
-        zero_load_latency_cycles: zero,
-    }
+    Sweep::new(label).options(options.clone()).run(sim, loads)
 }
 
 /// Default load grid used by the benchmark harness (flits/node/cycle).
@@ -251,7 +312,13 @@ pub fn saturation_throughput(
     hi: f64,
     iterations: usize,
 ) -> f64 {
-    let sim = NetworkSim::new(topo, table, vcs, pattern, config.clone());
+    let mut builder = NetworkSim::builder(topo, table)
+        .pattern(pattern)
+        .config(config.clone());
+    if let Some(vcs) = vcs {
+        builder = builder.vcs(vcs);
+    }
+    let sim = builder.build();
     let zero = sim.zero_load_latency_cycles();
     let mut lo = lo.max(0.0);
     let mut hi = hi.max(lo + 1e-6);
@@ -283,8 +350,7 @@ mod tests {
         let table = mclb_route(&ps, &MclbConfig::default());
         let alloc = allocate_vcs(&table, 6, 9).unwrap();
         let config = SimConfig::quick();
-        let curve = sweep_injection_rates(
-            topo.name(),
+        let curve = Sweep::new(topo.name()).run_network(
             topo,
             &table,
             Some(&alloc),
@@ -364,25 +430,115 @@ mod tests {
         let alloc = allocate_vcs(&table, 6, 9).unwrap();
         let config = SimConfig::quick();
         let loads = [0.05, 0.2, 0.4, 0.6];
+        let sim = NetworkSim::builder(&mesh, &table)
+            .vcs(&alloc)
+            .config(config)
+            .build();
         let run = |threads: usize| {
-            sweep_injection_rates_with(
-                "mesh",
-                &mesh,
-                &table,
-                Some(&alloc),
-                TrafficPattern::UniformRandom,
-                &config,
-                &loads,
-                &SweepOptions {
+            Sweep::new("mesh")
+                .options(SweepOptions {
                     max_threads: threads,
                     early_exit_saturated: None,
-                },
-            )
+                })
+                .run(&sim, &loads)
         };
         let sequential = run(1);
         let parallel = run(4);
         assert_eq!(sequential, parallel);
         assert_eq!(parallel.points.len(), loads.len());
+    }
+
+    #[test]
+    fn pooled_sweeps_nested_inside_pool_tasks_match_sequential() {
+        // The suite runner executes sweeps from inside worker-pool tasks
+        // (experiment cells), so a sweep's own pool submission nests.  The
+        // helping submitter must keep that deadlock-free, and results must
+        // still match a sequential sweep point for point.
+        let mesh = expert::mesh(&Layout::noi_4x5());
+        let ps = all_shortest_paths(&mesh);
+        let table = mclb_route(&ps, &MclbConfig::default());
+        let alloc = allocate_vcs(&table, 6, 9).unwrap();
+        let config = SimConfig::quick();
+        let loads = [0.05, 0.2, 0.4];
+        let sim = NetworkSim::builder(&mesh, &table)
+            .vcs(&alloc)
+            .config(config)
+            .build();
+        let sequential = Sweep::new("mesh")
+            .options(SweepOptions {
+                max_threads: 1,
+                early_exit_saturated: None,
+            })
+            .run(&sim, &loads);
+        let nested: Vec<LatencyCurve> = netsmith_pool::WorkerPool::global().run(
+            (0..2)
+                .map(|_| {
+                    let sim = &sim;
+                    let loads = &loads;
+                    Box::new(move || {
+                        Sweep::new("mesh")
+                            .options(SweepOptions {
+                                max_threads: 4,
+                                early_exit_saturated: None,
+                            })
+                            .run(sim, loads)
+                    }) as Box<dyn FnOnce() -> LatencyCurve + Send + '_>
+                })
+                .collect(),
+        );
+        for curve in nested {
+            assert_eq!(curve, sequential);
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_sweep_entry_point() {
+        let mesh = expert::mesh(&Layout::noi_4x5());
+        let ps = all_shortest_paths(&mesh);
+        let table = mclb_route(&ps, &MclbConfig::default());
+        let alloc = allocate_vcs(&table, 6, 9).unwrap();
+        let config = SimConfig::quick();
+        let loads = [0.05, 0.3];
+        let via_sweep = Sweep::new("mesh").run_network(
+            &mesh,
+            &table,
+            Some(&alloc),
+            TrafficPattern::UniformRandom,
+            &config,
+            &loads,
+        );
+        let via_rates = sweep_injection_rates(
+            "mesh",
+            &mesh,
+            &table,
+            Some(&alloc),
+            TrafficPattern::UniformRandom,
+            &config,
+            &loads,
+        );
+        assert_eq!(via_sweep, via_rates);
+        let options = SweepOptions {
+            max_threads: 2,
+            early_exit_saturated: None,
+        };
+        let via_rates_with = sweep_injection_rates_with(
+            "mesh",
+            &mesh,
+            &table,
+            Some(&alloc),
+            TrafficPattern::UniformRandom,
+            &config,
+            &loads,
+            &options,
+        );
+        assert_eq!(via_sweep, via_rates_with);
+        let sim = NetworkSim::builder(&mesh, &table)
+            .vcs(&alloc)
+            .config(config)
+            .build();
+        let via_sim = sweep_sim("mesh", &sim, &loads, &options);
+        assert_eq!(via_sweep, via_sim);
     }
 
     #[test]
@@ -395,32 +551,22 @@ mod tests {
         // The mesh saturates well below 0.8: the tail of this grid must be
         // skipped once two consecutive points report saturation.
         let loads = [0.05, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 1.2];
-        let full = sweep_injection_rates_with(
-            "mesh",
-            &mesh,
-            &table,
-            Some(&alloc),
-            TrafficPattern::UniformRandom,
-            &config,
-            &loads,
-            &SweepOptions {
+        let sim = NetworkSim::builder(&mesh, &table)
+            .vcs(&alloc)
+            .config(config)
+            .build();
+        let full = Sweep::new("mesh")
+            .options(SweepOptions {
                 max_threads: 1,
                 early_exit_saturated: None,
-            },
-        );
-        let early = sweep_injection_rates_with(
-            "mesh",
-            &mesh,
-            &table,
-            Some(&alloc),
-            TrafficPattern::UniformRandom,
-            &config,
-            &loads,
-            &SweepOptions {
+            })
+            .run(&sim, &loads);
+        let early = Sweep::new("mesh")
+            .options(SweepOptions {
                 max_threads: 1,
                 early_exit_saturated: Some(2),
-            },
-        );
+            })
+            .run(&sim, &loads);
         assert!(early.points.len() < full.points.len());
         // The tail it did measure ends with exactly the trigger: two
         // consecutive saturated points.

@@ -1,0 +1,115 @@
+//! Equivalence proptests: the compiled flat-state engine
+//! (`NetworkSim::run`) must produce bit-identical `SimReport`s —
+//! including the full `ActivityProfile` — to the pre-rework scan-based
+//! loop (`NetworkSim::run_reference`) across random topologies, traffic
+//! patterns, loads and failed-router masks.  `SimReport`'s derived
+//! `PartialEq` compares every counter and every float exactly, so any
+//! divergence in event order, tie-breaking or arithmetic shows up here.
+
+use netsmith_route::paths::all_shortest_paths;
+use netsmith_route::{allocate_vcs, mclb_route, MclbConfig};
+use netsmith_sim::{NetworkSim, SimConfig};
+use netsmith_topo::traffic::TrafficPattern;
+use netsmith_topo::{expert, Layout, Topology};
+use proptest::prelude::*;
+
+fn equivalence_config(seed: u64) -> SimConfig {
+    SimConfig {
+        warmup_cycles: 150,
+        measure_cycles: 700,
+        drain_cycles: 400,
+        seed,
+        ..SimConfig::default()
+    }
+}
+
+/// One of the expert topologies, optionally densified with extra links so
+/// the sweep isn't limited to the hand-designed link sets.
+fn topology(choice: u8, extra_links: &[(usize, usize)]) -> Topology {
+    let layout = Layout::noi_4x5();
+    let mut topo = match choice % 5 {
+        0 => expert::mesh(&layout),
+        1 => expert::folded_torus(&layout),
+        2 => expert::kite_medium(&layout),
+        3 => expert::lpbt_power(&layout),
+        _ => expert::butter_donut(&layout),
+    };
+    for &(i, j) in extra_links {
+        if i != j {
+            topo.add_link(i % 20, j % 20);
+        }
+    }
+    topo
+}
+
+fn pattern(choice: u8) -> TrafficPattern {
+    match choice % 5 {
+        0 => TrafficPattern::UniformRandom,
+        1 => TrafficPattern::Shuffle,
+        2 => TrafficPattern::Transpose,
+        3 => TrafficPattern::BitComplement,
+        _ => TrafficPattern::Tornado,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(14))]
+
+    /// Healthy networks: random topology × pattern × load.
+    #[test]
+    fn compiled_run_is_bit_identical_to_reference(
+        topo_choice in 0u8..5,
+        extra in proptest::collection::vec((0usize..20, 0usize..20), 0..4),
+        pattern_choice in 0u8..5,
+        seed in 0u64..100_000,
+        load in 0.02f64..1.0,
+    ) {
+        let topo = topology(topo_choice, &extra);
+        let paths = all_shortest_paths(&topo);
+        let table = mclb_route(&paths, &MclbConfig::default());
+        let alloc = allocate_vcs(&table, 6, 11).unwrap();
+        let sim = NetworkSim::builder(&topo, &table)
+            .vcs(&alloc)
+            .pattern(pattern(pattern_choice))
+            .config(equivalence_config(seed))
+            .build();
+        prop_assert_eq!(sim.run(load), sim.run_reference(load));
+    }
+
+    /// Degraded networks: up to two failed routers mask traffic at the
+    /// sources while their links keep forwarding.
+    #[test]
+    fn compiled_run_matches_reference_with_failed_routers(
+        topo_choice in 0u8..5,
+        seed in 0u64..100_000,
+        load in 0.05f64..0.6,
+        failures in proptest::collection::vec(0usize..20, 0..3),
+    ) {
+        let topo = topology(topo_choice, &[]);
+        let paths = all_shortest_paths(&topo);
+        let table = mclb_route(&paths, &MclbConfig::default());
+        let alloc = allocate_vcs(&table, 6, 11).unwrap();
+        let sim = NetworkSim::builder(&topo, &table)
+            .vcs(&alloc)
+            .config(equivalence_config(seed))
+            .failed_routers(&failures)
+            .build();
+        prop_assert_eq!(sim.run(load), sim.run_reference(load));
+    }
+
+    /// Without a VC allocation every packet uses VC 0; the compiled
+    /// vc_of_flow table must reproduce that too.
+    #[test]
+    fn compiled_run_matches_reference_without_vc_allocation(
+        seed in 0u64..100_000,
+        load in 0.02f64..0.4,
+    ) {
+        let topo = expert::folded_torus(&Layout::noi_4x5());
+        let paths = all_shortest_paths(&topo);
+        let table = mclb_route(&paths, &MclbConfig::default());
+        let sim = NetworkSim::builder(&topo, &table)
+            .config(equivalence_config(seed))
+            .build();
+        prop_assert_eq!(sim.run(load), sim.run_reference(load));
+    }
+}

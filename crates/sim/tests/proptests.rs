@@ -4,7 +4,6 @@
 use netsmith_route::paths::all_shortest_paths;
 use netsmith_route::{allocate_vcs, mclb_route, MclbConfig};
 use netsmith_sim::{NetworkSim, SimConfig};
-use netsmith_topo::traffic::TrafficPattern;
 use netsmith_topo::{expert, Layout};
 use proptest::prelude::*;
 
@@ -30,7 +29,7 @@ proptest! {
         let paths = all_shortest_paths(&topo);
         let table = mclb_route(&paths, &MclbConfig::default());
         let alloc = allocate_vcs(&table, 6, 7).unwrap();
-        let sim = NetworkSim::new(&topo, &table, Some(&alloc), TrafficPattern::UniformRandom, quick_config(seed));
+        let sim = NetworkSim::builder(&topo, &table).vcs(&alloc).config(quick_config(seed)).build();
         let report = sim.run(load);
         prop_assert_eq!(report.packets_ejected + report.packets_unfinished, report.packets_injected);
         prop_assert_eq!(report.packets_unfinished, 0);
@@ -51,8 +50,8 @@ proptest! {
         let alloc = allocate_vcs(&table, 6, 7).unwrap();
         let slow = SimConfig { clock_ghz: 2.7, ..quick_config(seed) };
         let fast = SimConfig { clock_ghz: 3.6, ..quick_config(seed) };
-        let slow_report = NetworkSim::new(&topo, &table, Some(&alloc), TrafficPattern::UniformRandom, slow.clone()).run(0.1);
-        let fast_report = NetworkSim::new(&topo, &table, Some(&alloc), TrafficPattern::UniformRandom, fast.clone()).run(0.1);
+        let slow_report = NetworkSim::builder(&topo, &table).vcs(&alloc).config(slow.clone()).build().run(0.1);
+        let fast_report = NetworkSim::builder(&topo, &table).vcs(&alloc).config(fast.clone()).build().run(0.1);
         prop_assert!((slow_report.avg_latency_ns - slow.cycles_to_ns(slow_report.avg_latency_cycles)).abs() < 1e-9);
         // Same seed, same cycle-level behaviour: cycle latencies match, so
         // the faster clock strictly reduces wall-clock latency.

@@ -111,7 +111,13 @@ pub fn evaluate_topology(
     sim_config.data_fraction = 0.5;
     let load = implied_injection_rate(profile, config, sim_config.clock_ghz);
     let pattern = TrafficPattern::UniformRandom;
-    let sim = NetworkSim::new(topo, table, vcs, pattern, sim_config.clone());
+    let mut sim_builder = NetworkSim::builder(topo, table)
+        .pattern(pattern)
+        .config(sim_config.clone());
+    if let Some(vcs) = vcs {
+        sim_builder = sim_builder.vcs(vcs);
+    }
+    let sim = sim_builder.build();
     let report = sim.run(load.max(0.01));
     // If the workload saturates this NoI, latency already reflects the
     // queueing explosion; the CPI model simply inherits it.

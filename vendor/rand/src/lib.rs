@@ -132,6 +132,7 @@ pub mod rngs {
     }
 
     impl RngCore for SmallRng {
+        #[inline]
         fn next_u64(&mut self) -> u64 {
             // SplitMix64 (Steele, Lea & Flood): passes BigCrush, one u64 of
             // state, and seed_from_u64(s) trivially decorrelates seeds.
