@@ -1,0 +1,7 @@
+//! Thin wrapper: runs the `fig15_trace` experiment spec (see
+//! `netsmith_bench::figures::fig15_trace`) with the uniform
+//! `--quick` / `--json` / `--seed` CLI.
+
+fn main() {
+    netsmith_exp::cli::run_figure(netsmith_bench::figures::fig15_trace::figure);
+}

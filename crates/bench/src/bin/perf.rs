@@ -1,15 +1,17 @@
-//! The tracked performance target (`BENCH_6.json`).
+//! The tracked performance target (`BENCH_7.json`).
 //!
 //! Measures simulator throughput on the fig08/fig11 simulation
-//! configurations, the `sim_5000_cycles_midload` criterion scenario
-//! (medians computed here, over the same 15-sample protocol used to
-//! record the pre-rework baseline), and `suite --quick` wall-clock, then
-//! writes everything — alongside the frozen pre-rework baseline — to
-//! `BENCH_6.json` at the workspace root.
+//! configurations, a trace-replay throughput probe (the fig15 workload:
+//! an ON/OFF hotspot trace replayed across the load grid), the
+//! `sim_5000_cycles_midload` criterion scenario (medians computed here,
+//! over the same 15-sample protocol used to record the pre-rework
+//! baseline), and `suite --quick` wall-clock, then writes everything —
+//! alongside the frozen pre-rework baseline — to `BENCH_7.json` at the
+//! workspace root.
 //!
 //! Modes:
-//! * default / `--record` — measure and rewrite `BENCH_6.json`.
-//! * `--check` — parse the committed `BENCH_6.json`, re-run
+//! * default / `--record` — measure and rewrite `BENCH_7.json`.
+//! * `--check` — parse the committed `BENCH_7.json`, re-run
 //!   `suite --quick`, and fail when wall-clock regresses more than
 //!   `PERF_CHECK_TOLERANCE` (default 1.25×) over the recorded value.
 //!
@@ -37,7 +39,7 @@ const BASELINE_SUITE_QUICK_SECONDS: f64 = 25.4;
 const MEDIAN_SAMPLES: usize = 15;
 
 fn bench_path() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_6.json")
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_7.json")
 }
 
 struct SimBenchResult {
@@ -74,6 +76,38 @@ fn sim_bench(topos: &[Topology], loads: &[f64], config: &SimConfig) -> SimBenchR
             let report = sim.run(load);
             flits += report.activity.total_link_flits();
         }
+    }
+    SimBenchResult {
+        flits,
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Trace-replay throughput: the fig15 bursty-hotspot trace replayed on
+/// the folded torus across the default load grid, timed with the same
+/// protocol as `sim_bench` (preparation outside the clock, construction
+/// and every load point inside it).  Replay is RNG-free, so the flit
+/// count is a fixed function of the trace and grid.
+fn trace_replay_bench(config: &SimConfig) -> SimBenchResult {
+    let layout = Layout::noi_4x5();
+    let torus = expert::folded_torus(&layout);
+    let paths = all_shortest_paths(&torus);
+    let table = mclb_route(&paths, &MclbConfig::default());
+    let alloc = allocate_vcs(&table, 6, 42).expect("fits in 6 VCs");
+    let trace = std::sync::Arc::new(
+        netsmith_trace::generate_named("onoff-hotspot", 20, 4_096, 15).unwrap(),
+    );
+    let loads = netsmith_sim::sweep::default_load_grid();
+    let mut flits = 0u64;
+    let start = Instant::now();
+    let sim = NetworkSim::builder(&torus, &table)
+        .vcs(&alloc)
+        .trace(trace)
+        .config(config.clone())
+        .compile();
+    for &load in &loads {
+        let report = sim.run(load);
+        flits += report.activity.total_link_flits();
     }
     SimBenchResult {
         flits,
@@ -191,6 +225,15 @@ fn record() {
         fig11.flits_per_sec() / BASELINE_FIG11_FLITS_PER_SEC,
     );
 
+    eprintln!("# perf: trace_replay");
+    let trace = trace_replay_bench(&config);
+    eprintln!(
+        "trace_replay: {} flits in {:.3}s = {:.0} flits/sec",
+        trace.flits,
+        trace.seconds,
+        trace.flits_per_sec(),
+    );
+
     eprintln!("# perf: sim_5000_cycles_midload");
     let median_ms = sim5000_median_ms();
     eprintln!(
@@ -217,7 +260,7 @@ fn record() {
         ])
     };
     let doc = obj(vec![
-        ("bench", Json::Num(6.0)),
+        ("bench", Json::Num(7.0)),
         (
             "note",
             Json::Str(
@@ -259,6 +302,16 @@ fn record() {
                     sim_section(&fig11, BASELINE_FIG11_FLITS_PER_SEC),
                 ),
                 (
+                    // New probe in bench 7 (trace replay landed with it), so
+                    // there is no pre-rework baseline to compare against.
+                    "trace_replay",
+                    obj(vec![
+                        ("flits", Json::Num(trace.flits as f64)),
+                        ("seconds", Json::Num(round3(trace.seconds))),
+                        ("flits_per_sec", Json::Num(trace.flits_per_sec().round())),
+                    ]),
+                ),
+                (
                     "sim_5000_cycles_midload",
                     obj(vec![
                         ("median_ms", Json::Num(round3(median_ms))),
@@ -285,7 +338,7 @@ fn record() {
     let mut text = String::new();
     pretty(&doc, 0, &mut text);
     text.push('\n');
-    Json::parse(&text).expect("emitted BENCH_6.json must parse");
+    Json::parse(&text).expect("emitted BENCH_7.json must parse");
     let path = bench_path();
     std::fs::write(&path, text).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
     eprintln!("# perf: wrote {}", path.display());
@@ -295,13 +348,13 @@ fn check() {
     let path = bench_path();
     let text =
         std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
-    let doc = Json::parse(&text).expect("BENCH_6.json must parse");
+    let doc = Json::parse(&text).expect("BENCH_7.json must parse");
     let recorded = doc
         .require("current")
         .and_then(|c| c.require("suite_quick"))
         .and_then(|s| s.require("seconds"))
         .and_then(Json::as_f64)
-        .expect("BENCH_6.json: current.suite_quick.seconds");
+        .expect("BENCH_7.json: current.suite_quick.seconds");
     let tolerance = std::env::var("PERF_CHECK_TOLERANCE")
         .ok()
         .and_then(|v| v.parse::<f64>().ok())

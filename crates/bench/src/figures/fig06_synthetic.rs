@@ -42,7 +42,7 @@ fn sweep_cell(cell: &Cell<'_>) -> Vec<Row> {
     let network = cell.candidate.network();
     let workload = cell.workload.as_ref().expect("sweep workload");
     let config = cell.sim_config();
-    let curve = network.sweep(workload.pattern.clone(), &config, &workload.loads);
+    let curve = network.sweep(workload.pattern().clone(), &config, &workload.loads);
     eprintln!(
         "# {}/{}/{}: saturation {:.3} packets/node/ns",
         workload.name(),

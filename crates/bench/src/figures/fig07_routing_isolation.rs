@@ -48,7 +48,7 @@ pub fn figure(profile: &RunProfile) -> Figure {
         let workload = cell.workload.as_ref().expect("sweep workload");
         let bounds = ThroughputBounds::compute(&network.topology);
         let config = cell.sim_config();
-        let curve = network.sweep(workload.pattern.clone(), &config, &workload.loads);
+        let curve = network.sweep(workload.pattern().clone(), &config, &workload.loads);
         let expected = network
             .routing
             .uniform_channel_loads()

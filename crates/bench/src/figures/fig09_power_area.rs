@@ -75,7 +75,7 @@ pub fn figure(profile: &RunProfile) -> Figure {
         });
         let network = cell.candidate.network();
         let cfg = cell.sim_config();
-        let report = network.measure(workload.pattern.clone(), &cfg, OPERATING_LOAD);
+        let report = network.measure(workload.pattern().clone(), &cfg, OPERATING_LOAD);
         let power =
             power_report_from_activity(&network.topology, &power_cfg, &cfg, &report.activity);
         let area = area_report(&network.topology, &power_cfg);

@@ -44,7 +44,7 @@ pub fn figure(profile: &RunProfile) -> Figure {
         let network = cell.candidate.network();
         let workload = cell.workload.as_ref().expect("sweep workload");
         let config = cell.sim_config();
-        let curve = network.sweep(workload.pattern.clone(), &config, &workload.loads);
+        let curve = network.sweep(workload.pattern().clone(), &config, &workload.loads);
         eprintln!(
             "# 48-router {}/{}: saturation {:.3} packets/node/ns",
             cell.candidate.class.name(),

@@ -95,7 +95,7 @@ pub fn figure(profile: &RunProfile) -> Figure {
         let energy_cfg = EnergyConfig::default();
         let mut rows = Vec::new();
         for &load in &workload.loads {
-            let report = network.measure(workload.pattern.clone(), &sim_cfg, load);
+            let report = network.measure(workload.pattern().clone(), &sim_cfg, load);
             for policy in standard_policies(IDLE_THRESHOLD) {
                 let energy = network.energy_report(policy.as_ref(), &sim_cfg, &report, &energy_cfg);
                 rows.push(

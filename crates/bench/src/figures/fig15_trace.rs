@@ -1,0 +1,135 @@
+//! Figure 15: trace-driven workloads for the 20-router NoIs.  Two
+//! generated traces — GC/pointer-chasing phases and ON/OFF bursty hotspot
+//! traffic — are replayed deterministically (stretched to each offered
+//! load) through an expert baseline, NS-LatOp, and NS-TraceLatOp, a
+//! topology synthesized against the demand matrix extracted from the
+//! bursty trace itself.  Columns report tail latency (p95/p99) and the
+//! delivered fraction alongside the mean, because bursty traffic degrades
+//! the tail long before the mean saturates.
+
+use super::{classes, sweep_loads};
+use netsmith_exp::prelude::*;
+use netsmith_trace::TraceStats;
+use std::sync::Arc;
+
+pub const HEADER: &str = "workload,class,topology,routing,offered,injected,\
+delivered_fraction,latency_ns,p95_ns,p99_ns,saturated";
+
+/// The trace horizon: long enough for multiple ON/OFF epochs and GC
+/// phases, short enough that every sweep window wraps through several
+/// replay waves.
+const HORIZON: u64 = 4_096;
+
+/// Seed for the generated traces (independent of the discovery seed so
+/// the workload does not drift when `--seed` changes the synthesis).
+const TRACE_SEED: u64 = 15;
+
+/// The bursty hotspot trace: also the synthesis target of NS-TraceLatOp.
+fn onoff_trace() -> TraceSpec {
+    TraceSpec::generator("onoff-hotspot", HORIZON, TRACE_SEED)
+}
+
+fn pointer_chase_trace() -> TraceSpec {
+    TraceSpec::generator("pointer-chase", HORIZON, TRACE_SEED)
+}
+
+pub fn figure(profile: &RunProfile) -> Figure {
+    let mut spec = ExperimentSpec::new("fig15_trace");
+    spec.classes = classes(profile);
+    spec.candidates = vec![
+        CandidateSpec::expert("folded-torus"),
+        CandidateSpec::synth(ObjectiveSpec::LatOp),
+        CandidateSpec::synth(ObjectiveSpec::TraceLatOp {
+            trace: onoff_trace(),
+        }),
+    ];
+    let sim = if profile.quick {
+        SimProfile::QuickClassClock
+    } else {
+        SimProfile::ClassDefault
+    };
+    let loads = sweep_loads(profile);
+    spec.workloads = vec![
+        WorkloadSpec::trace(pointer_chase_trace(), loads.clone(), sim),
+        WorkloadSpec::trace(onoff_trace(), loads, sim),
+    ];
+    spec.assertions = vec![
+        Assertion::MinRows { count: 12 },
+        Assertion::ColumnPositive {
+            column: "latency_ns".into(),
+        },
+        Assertion::ColumnPositive {
+            column: "p99_ns".into(),
+        },
+    ];
+    Figure::new(spec, HEADER, measure)
+        .with_order(CellOrder::WorkloadMajor)
+        .with_check(|_, _| {
+            // The synthesis target must actually be skewed: the hottest
+            // decile of destinations draws at least 3x its uniform share
+            // (2 of 20 routers, uniform share 10%).  If the generator ever
+            // regresses to near-uniform traffic, NS-TraceLatOp would
+            // silently collapse into NS-LatOp.
+            let trace = onoff_trace().resolve(20)?;
+            let skew = TraceStats::of(&trace).top_decile_destination_share;
+            if skew < 0.3 {
+                return Err(format!(
+                    "onoff-hotspot trace is not skewed enough: top-decile \
+                     destination share {skew:.3} < 0.3"
+                ));
+            }
+            Ok(())
+        })
+}
+
+fn measure(cell: &Cell<'_>) -> Vec<Row> {
+    let network = cell.candidate.network();
+    // A trace-weighted objective resolves to `Objective::PatternLatOp`
+    // (whose generated topologies are canonically named NS-ShufOpt after
+    // the paper's pattern study), so label the trace-targeted candidate
+    // by its spec instead.
+    let topology = match &cell.candidate.objective {
+        Some(ObjectiveSpec::TraceLatOp { .. }) => {
+            format!("NS-TraceOpt-{}", cell.candidate.class.name())
+        }
+        _ => network.topology.name().to_string(),
+    };
+    let workload = cell.workload.as_ref().expect("trace workload");
+    let trace_spec = workload.trace_spec().expect("fig15 workloads are traces");
+    let trace = trace_spec
+        .resolve(cell.candidate.layout.num_routers())
+        .unwrap_or_else(|e| panic!("fig15_trace: {e}"));
+    let config = cell.sim_config();
+    let sim = network
+        .sim_builder()
+        .trace(Arc::new(trace))
+        .config(config.clone())
+        .build();
+    let zero = sim.zero_load_latency_cycles();
+    eprintln!(
+        "# {}/{}/{}: replaying {} loads",
+        workload.name(),
+        cell.candidate.class.name(),
+        network.label(),
+        workload.loads.len()
+    );
+    workload
+        .loads
+        .iter()
+        .map(|&load| {
+            let report = sim.run(load);
+            Row::new()
+                .str(workload.name())
+                .str(cell.candidate.class.name())
+                .str(&topology)
+                .str(network.scheme.label())
+                .float(load, 3)
+                .float(report.injected_flits_per_node_cycle, 4)
+                .float(report.delivered_fraction(), 4)
+                .float(report.avg_latency_ns, 2)
+                .float(config.cycles_to_ns(report.p95_latency_cycles), 2)
+                .float(config.cycles_to_ns(report.p99_latency_cycles), 2)
+                .bool(report.is_saturated(zero))
+        })
+        .collect()
+}

@@ -23,6 +23,7 @@ pub mod fig11_scale48;
 pub mod fig12_energy;
 pub mod fig13_resilience;
 pub mod fig14_pareto;
+pub mod fig15_trace;
 pub mod table02_metrics;
 
 /// Every registered figure, in run order.
@@ -39,6 +40,7 @@ pub const ALL: &[FigureEntry] = &[
     ("fig12_energy", fig12_energy::figure),
     ("fig13_resilience", fig13_resilience::figure),
     ("fig14_pareto", fig14_pareto::figure),
+    ("fig15_trace", fig15_trace::figure),
     ("table02_metrics", table02_metrics::figure),
     ("ablation_symmetry", ablation_symmetry::figure),
 ];

@@ -59,6 +59,10 @@ const GOLDEN_HEADERS: &[(&str, &str)] = &[
         "class,topology,routing,pattern,fault_set,scenarios,coverage,unreachable_pairs,baseline_sat,worst_sat,mean_sat,worst_retention,mean_latency_inflation,worst_latency_inflation",
     ),
     (
+        "fig15_trace",
+        "workload,class,topology,routing,offered,injected,delivered_fraction,latency_ns,p95_ns,p99_ns,saturated",
+    ),
+    (
         "fig14_pareto",
         "w_lat,w_energy,w_fault,topology,links,avg_hops,lat_score,energy_score,fault_score,critical_links,min_dir_degree,on_front",
     ),

@@ -8,8 +8,9 @@
 //! data:
 //!
 //! * [`ExperimentSpec`] declares candidates (expert topologies by name, or
-//!   synthesis objectives), workloads (pattern × loads × [`SimProfile`])
-//!   and declarative [`Assertion`]s, and round-trips through JSON.
+//!   synthesis objectives), workloads (a pattern or a replayed trace ×
+//!   loads × [`SimProfile`]) and declarative [`Assertion`]s, and
+//!   round-trips through JSON.
 //! * [`Runner`] resolves candidates through a shared [`SuiteCache`] — each
 //!   synthesis spec is discovered at most once per suite run, keyed by its
 //!   objective decomposition, layout, class, seed and budget — prepares
@@ -19,15 +20,17 @@
 //!   `--seed` handling, with `NETSMITH_EVALS` / `NETSMITH_WORKERS` as
 //!   environment fallbacks via [`RunProfile`].
 //!
-//! ## Example: a 2-candidate × 2-pattern experiment
+//! ## Example: a 2-candidate × 3-workload experiment
 //!
 //! ```
 //! use netsmith_exp::prelude::*;
 //! use netsmith_topo::metrics::weighted_average_hops;
 //! use netsmith_topo::traffic::TrafficPattern;
+//! use netsmith_trace::TraceStats;
 //!
 //! // Declare the matrix: one expert baseline and one synthesized
-//! // candidate, each scored under two traffic patterns.
+//! // candidate, each scored under two traffic patterns and one
+//! // generated trace replayed deterministically.
 //! let mut spec = ExperimentSpec::new("doc_example");
 //! spec.classes = vec![LinkClass::Medium];
 //! spec.candidates = vec![
@@ -37,9 +40,14 @@
 //! spec.workloads = vec![
 //!     WorkloadSpec::new(TrafficPattern::UniformRandom, vec![], SimProfile::Quick),
 //!     WorkloadSpec::new(TrafficPattern::Shuffle, vec![], SimProfile::Quick),
+//!     WorkloadSpec::trace(
+//!         TraceSpec::generator("onoff-hotspot", 512, 7),
+//!         vec![],
+//!         SimProfile::Quick,
+//!     ),
 //! ];
 //! spec.assertions = vec![
-//!     Assertion::MinRows { count: 4 },
+//!     Assertion::MinRows { count: 6 },
 //!     Assertion::ColumnPositive { column: "weighted_hops".into() },
 //! ];
 //!
@@ -47,14 +55,26 @@
 //! let replayed = ExperimentSpec::from_json_str(&spec.to_json_string()).unwrap();
 //! assert_eq!(replayed, spec);
 //!
-//! // Attach the measurement (the code half of a figure) and run.
+//! // Attach the measurement (the code half of a figure) and run.  Both
+//! // workload sources yield a demand matrix: patterns analytically,
+//! // traces through their replay statistics.
 //! let figure = Figure::new(
 //!     spec,
-//!     "topology,pattern,weighted_hops",
+//!     "topology,workload,weighted_hops",
 //!     |cell: &Cell<'_>| {
 //!         let network = cell.candidate.network();
 //!         let workload = cell.workload.as_ref().unwrap();
-//!         let demand = workload.pattern.demand_matrix(&cell.candidate.layout);
+//!         let demand = match &workload.source {
+//!             WorkloadSource::Pattern(pattern) => {
+//!                 pattern.demand_matrix(&cell.candidate.layout)
+//!             }
+//!             WorkloadSource::Trace(trace) => {
+//!                 let trace = trace
+//!                     .resolve(cell.candidate.layout.num_routers())
+//!                     .unwrap();
+//!                 TraceStats::of(&trace).demand_matrix().clone()
+//!             }
+//!         };
 //!         vec![Row::new()
 //!             .str(network.topology.name())
 //!             .str(workload.name())
@@ -66,7 +86,7 @@
 //! let runner = Runner::new(profile, &cache);
 //! let output = runner.run(&figure).unwrap();
 //! runner.verify(&figure, &output).unwrap();
-//! assert_eq!(output.rows.len(), 4);
+//! assert_eq!(output.rows.len(), 6);
 //! assert_eq!(cache.discoveries(), 1); // NS-LatOp discovered once, reused
 //! assert!(output.float(0, "weighted_hops").unwrap() > 1.0);
 //! ```
@@ -75,19 +95,21 @@
 
 pub mod cache;
 pub mod cli;
-pub mod json;
 pub mod row;
 pub mod runner;
 pub mod spec;
 
 pub use cache::{DiscoveryRequest, SuiteCache};
 pub use cli::{CliOptions, RunProfile, DEFAULT_SEED};
-pub use json::Json;
+/// The shared JSON tree (now home in `netsmith-topo`; re-exported so
+/// `netsmith_exp::json::Json` keeps working).
+pub use netsmith_topo::json;
+pub use netsmith_topo::json::Json;
 pub use row::{OutputMode, Row, Value};
 pub use runner::{Cell, CellOrder, Figure, ResolvedCandidate, RunOutput, Runner, VC_BUDGET};
 pub use spec::{
     expert_by_name, Assertion, CandidateSpec, ExperimentSpec, LayoutSpec, ObjectiveSpec,
-    SimProfile, WorkloadSpec,
+    SimProfile, TraceSpec, WorkloadSource, WorkloadSpec,
 };
 
 /// Commonly used items for figure definitions.
@@ -97,8 +119,8 @@ pub mod prelude {
     pub use crate::row::{OutputMode, Row, Value};
     pub use crate::runner::{Cell, CellOrder, Figure, RunOutput, Runner, VC_BUDGET};
     pub use crate::spec::{
-        Assertion, CandidateSpec, ExperimentSpec, LayoutSpec, ObjectiveSpec, SimProfile,
-        WorkloadSpec,
+        Assertion, CandidateSpec, ExperimentSpec, LayoutSpec, ObjectiveSpec, SimProfile, TraceSpec,
+        WorkloadSource, WorkloadSpec,
     };
     pub use netsmith_topo::{LinkClass, PipelineError};
 }

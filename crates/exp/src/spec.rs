@@ -2,9 +2,9 @@
 //!
 //! An [`ExperimentSpec`] names the *matrix* a figure evaluates — candidate
 //! topologies (expert designs by name, or synthesis specs as objective
-//! descriptions), workloads (traffic pattern × offered loads × simulator
-//! profile) and declarative assertions over the emitted rows — as plain
-//! data.  Specs round-trip through JSON ([`ExperimentSpec::to_json_string`]
+//! descriptions), workloads (a traffic pattern or a replayed trace ×
+//! offered loads × simulator profile) and declarative assertions over the
+//! emitted rows — as plain data.  Specs round-trip through JSON ([`ExperimentSpec::to_json_string`]
 //! / [`ExperimentSpec::from_json_str`]) so a figure can be stored, diffed
 //! and replayed; the figure-specific *measurement* (which columns a cell
 //! produces) stays code, attached by the harness as a closure next to the
@@ -16,6 +16,7 @@ use netsmith::prelude::RoutingScheme;
 use netsmith_sim::SimConfig;
 use netsmith_topo::traffic::TrafficPattern;
 use netsmith_topo::{expert, Layout, LinkClass, Topology};
+use netsmith_trace::{generate_named, Trace, TraceStats};
 use serde::{Deserialize, Serialize};
 
 /// The interposer layouts of the paper's evaluation.
@@ -74,6 +75,12 @@ pub enum ObjectiveSpec {
     PatternLatOp {
         pattern: TrafficPattern,
     },
+    /// Trace-weighted latency: the flit-weighted demand matrix extracted
+    /// from a replayed trace ([`TraceStats`]), so synthesis can target a
+    /// recorded or generated workload instead of an analytic pattern.
+    TraceLatOp {
+        trace: TraceSpec,
+    },
     /// An arbitrary non-negative weighted combination of the axis
     /// objectives above, folded term-by-term (shared terms collapse).
     Composite {
@@ -83,6 +90,11 @@ pub enum ObjectiveSpec {
 
 impl ObjectiveSpec {
     /// Resolve to a concrete [`Objective`] for a layout.
+    ///
+    /// Panics when a [`ObjectiveSpec::TraceLatOp`] trace cannot be
+    /// materialized (missing file, router-count mismatch, unknown model) —
+    /// the runner treats an unservable candidate as fatal, exactly like an
+    /// unpreparable topology.
     pub fn resolve(&self, layout: &Layout) -> Objective {
         match self {
             ObjectiveSpec::LatOp => Objective::LatOp,
@@ -93,6 +105,12 @@ impl ObjectiveSpec {
             ObjectiveSpec::FaultOp => Objective::fault_op_default(),
             ObjectiveSpec::PatternLatOp { pattern } => {
                 Objective::PatternLatOp(pattern.demand_matrix(layout))
+            }
+            ObjectiveSpec::TraceLatOp { trace } => {
+                let resolved = trace
+                    .resolve(layout.num_routers())
+                    .unwrap_or_else(|e| panic!("trace objective cannot be resolved: {e}"));
+                Objective::PatternLatOp(TraceStats::of(&resolved).demand_matrix().clone())
             }
             ObjectiveSpec::Composite { parts } => {
                 // Fold by term so axes sharing a term (Hops appears in both
@@ -124,6 +142,10 @@ impl ObjectiveSpec {
                 ("objective".into(), Json::Str("pattern-lat-op".into())),
                 ("pattern".into(), pattern_to_json(pattern)),
             ]),
+            ObjectiveSpec::TraceLatOp { trace } => Json::Obj(vec![
+                ("objective".into(), Json::Str("trace-lat-op".into())),
+                ("trace".into(), trace.to_json()),
+            ]),
             ObjectiveSpec::Composite { parts } => Json::Obj(vec![
                 ("objective".into(), Json::Str("composite".into())),
                 (
@@ -154,6 +176,9 @@ impl ObjectiveSpec {
             }),
             "pattern-lat-op" => Ok(ObjectiveSpec::PatternLatOp {
                 pattern: pattern_from_json(json.require("pattern")?)?,
+            }),
+            "trace-lat-op" => Ok(ObjectiveSpec::TraceLatOp {
+                trace: TraceSpec::from_json(json.require("trace")?)?,
             }),
             "composite" => {
                 let mut parts = Vec::new();
@@ -363,23 +388,148 @@ impl SimProfile {
     }
 }
 
-/// A workload cell: traffic pattern × offered loads × simulator profile.
+/// Where a trace workload's messages come from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceSpec {
+    /// A trace file on disk: the `netsmith-trace` binary format, or the
+    /// JSON encoding when the path ends in `.json`.
+    File { path: String },
+    /// A named generator model ([`netsmith_trace::TraceModel::by_name`]),
+    /// materialized for the cell's router count at resolution time so one
+    /// spec serves every layout.
+    Generator {
+        model: String,
+        horizon: u64,
+        seed: u64,
+    },
+}
+
+impl TraceSpec {
+    /// Shorthand for a generator-backed trace.
+    pub fn generator(model: &str, horizon: u64, seed: u64) -> Self {
+        TraceSpec::Generator {
+            model: model.into(),
+            horizon,
+            seed,
+        }
+    }
+
+    /// Label printed in rows ("trace:onoff-hotspot", "trace:parsec_x264").
+    pub fn label(&self) -> String {
+        match self {
+            TraceSpec::File { path } => {
+                let stem = std::path::Path::new(path)
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| path.clone());
+                format!("trace:{stem}")
+            }
+            TraceSpec::Generator { model, .. } => format!("trace:{model}"),
+        }
+    }
+
+    /// Materialize the trace for a network of `routers` routers.  File
+    /// traces must match the router count exactly; generator traces are
+    /// produced for it.
+    pub fn resolve(&self, routers: usize) -> Result<Trace, String> {
+        let trace = match self {
+            TraceSpec::File { path } => {
+                let bytes = std::fs::read(path).map_err(|e| format!("trace file {path:?}: {e}"))?;
+                let trace = if path.ends_with(".json") {
+                    Trace::from_json_str(
+                        std::str::from_utf8(&bytes)
+                            .map_err(|e| format!("trace file {path:?}: {e}"))?,
+                    )
+                } else {
+                    Trace::read_binary(&mut bytes.as_slice())
+                }
+                .map_err(|e| format!("trace file {path:?}: {e}"))?;
+                if trace.header.routers as usize != routers {
+                    return Err(format!(
+                        "trace file {path:?} has {} routers, cell needs {routers}",
+                        trace.header.routers
+                    ));
+                }
+                trace
+            }
+            TraceSpec::Generator {
+                model,
+                horizon,
+                seed,
+            } => generate_named(model, routers as u32, *horizon, *seed)
+                .ok_or_else(|| format!("unknown trace model {model:?}"))?,
+        };
+        trace.validate().map_err(|e| format!("trace: {e}"))?;
+        Ok(trace)
+    }
+
+    fn to_json(&self) -> Json {
+        match self {
+            TraceSpec::File { path } => Json::Obj(vec![("file".into(), Json::Str(path.clone()))]),
+            TraceSpec::Generator {
+                model,
+                horizon,
+                seed,
+            } => Json::Obj(vec![
+                ("generator".into(), Json::Str(model.clone())),
+                ("horizon".into(), Json::Num(*horizon as f64)),
+                ("seed".into(), Json::Num(*seed as f64)),
+            ]),
+        }
+    }
+
+    fn from_json(json: &Json) -> Result<Self, String> {
+        if let Some(path) = json.get("file") {
+            return Ok(TraceSpec::File {
+                path: path.as_str()?.into(),
+            });
+        }
+        if let Some(model) = json.get("generator") {
+            return Ok(TraceSpec::Generator {
+                model: model.as_str()?.into(),
+                horizon: json.require("horizon")?.as_u64()?,
+                seed: json.require("seed")?.as_u64()?,
+            });
+        }
+        Err(format!("unknown trace spec {json:?}"))
+    }
+}
+
+/// What a workload injects: a synthetic pattern sampled per cycle, or a
+/// trace replayed deterministically (stretched to the offered load).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadSource {
+    Pattern(TrafficPattern),
+    Trace(TraceSpec),
+}
+
+/// A workload cell: traffic source × offered loads × simulator profile.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WorkloadSpec {
-    /// Label printed in rows; defaults to the pattern's own name.
+    /// Label printed in rows; defaults to the source's own name.
     pub label: Option<String>,
-    pub pattern: TrafficPattern,
+    pub source: WorkloadSource,
     /// Offered loads in flits/node/cycle.
     pub loads: Vec<f64>,
     pub sim: SimProfile,
 }
 
 impl WorkloadSpec {
-    /// A uniform-random workload over `loads` with a sim profile.
+    /// A pattern-driven workload over `loads` with a sim profile.
     pub fn new(pattern: TrafficPattern, loads: Vec<f64>, sim: SimProfile) -> Self {
         WorkloadSpec {
             label: None,
-            pattern,
+            source: WorkloadSource::Pattern(pattern),
+            loads,
+            sim,
+        }
+    }
+
+    /// A trace-driven workload over `loads` with a sim profile.
+    pub fn trace(trace: TraceSpec, loads: Vec<f64>, sim: SimProfile) -> Self {
+        WorkloadSpec {
+            label: None,
+            source: WorkloadSource::Trace(trace),
             loads,
             sim,
         }
@@ -391,9 +541,36 @@ impl WorkloadSpec {
         self
     }
 
+    /// The traffic pattern of a pattern-driven workload.  Panics for
+    /// trace-driven cells — figures that declare only pattern workloads
+    /// use this accessor; trace-aware measurements match on
+    /// [`WorkloadSpec::source`] instead.
+    pub fn pattern(&self) -> &TrafficPattern {
+        match &self.source {
+            WorkloadSource::Pattern(pattern) => pattern,
+            WorkloadSource::Trace(trace) => {
+                panic!(
+                    "workload {} is trace-driven, not pattern-driven",
+                    trace.label()
+                )
+            }
+        }
+    }
+
+    /// The trace spec of a trace-driven workload, if any.
+    pub fn trace_spec(&self) -> Option<&TraceSpec> {
+        match &self.source {
+            WorkloadSource::Pattern(_) => None,
+            WorkloadSource::Trace(trace) => Some(trace),
+        }
+    }
+
     /// The label printed in rows.
     pub fn name(&self) -> String {
-        self.label.clone().unwrap_or_else(|| self.pattern.name())
+        self.label.clone().unwrap_or_else(|| match &self.source {
+            WorkloadSource::Pattern(pattern) => pattern.name(),
+            WorkloadSource::Trace(trace) => trace.label(),
+        })
     }
 
     fn to_json(&self) -> Json {
@@ -401,7 +578,14 @@ impl WorkloadSpec {
         if let Some(label) = &self.label {
             members.push(("label".into(), Json::Str(label.clone())));
         }
-        members.push(("pattern".into(), pattern_to_json(&self.pattern)));
+        match &self.source {
+            WorkloadSource::Pattern(pattern) => {
+                members.push(("pattern".into(), pattern_to_json(pattern)));
+            }
+            WorkloadSource::Trace(trace) => {
+                members.push(("trace".into(), trace.to_json()));
+            }
+        }
         members.push((
             "loads".into(),
             Json::Arr(self.loads.iter().map(|&l| Json::Num(l)).collect()),
@@ -411,12 +595,17 @@ impl WorkloadSpec {
     }
 
     fn from_json(json: &Json) -> Result<Self, String> {
+        let source = match (json.get("pattern"), json.get("trace")) {
+            (Some(pattern), None) => WorkloadSource::Pattern(pattern_from_json(pattern)?),
+            (None, Some(trace)) => WorkloadSource::Trace(TraceSpec::from_json(trace)?),
+            _ => return Err("workload needs exactly one of \"pattern\" or \"trace\"".into()),
+        };
         Ok(WorkloadSpec {
             label: match json.get("label") {
                 Some(label) => Some(label.as_str()?.into()),
                 None => None,
             },
-            pattern: pattern_from_json(json.require("pattern")?)?,
+            source,
             loads: json
                 .require("loads")?
                 .as_arr()?
@@ -744,6 +933,9 @@ mod tests {
                 CandidateSpec::synth(ObjectiveSpec::PatternLatOp {
                     pattern: TrafficPattern::Shuffle,
                 }),
+                CandidateSpec::synth(ObjectiveSpec::TraceLatOp {
+                    trace: TraceSpec::generator("onoff-hotspot", 4_096, 11),
+                }),
             ],
             scheme_override: Some(vec![RoutingScheme::Ndbt, RoutingScheme::Mclb]),
             workloads: vec![
@@ -765,6 +957,19 @@ mod tests {
                         drain: 1_500,
                     },
                 ),
+                WorkloadSpec::trace(
+                    TraceSpec::generator("pointer-chase", 2_048, 7),
+                    vec![0.05, 0.1],
+                    SimProfile::Quick,
+                ),
+                WorkloadSpec::trace(
+                    TraceSpec::File {
+                        path: "traces/parsec_x264.nstr".into(),
+                    },
+                    vec![0.08],
+                    SimProfile::QuickClassClock,
+                )
+                .labeled("x264"),
             ],
             assertions: vec![
                 Assertion::MinRows { count: 4 },
@@ -821,6 +1026,75 @@ mod tests {
             corner.resolve(&layout).decomposition(),
             Objective::fault_op_default().decomposition()
         );
+    }
+
+    #[test]
+    fn trace_objective_resolves_to_a_skewed_demand_matrix() {
+        let layout = Layout::noi_4x5();
+        let spec = ObjectiveSpec::TraceLatOp {
+            trace: TraceSpec::generator("onoff-hotspot", 4_096, 11),
+        };
+        match spec.resolve(&layout) {
+            Objective::PatternLatOp(demand) => {
+                assert_eq!(demand.num_nodes(), 20);
+                assert!((demand.total() - 1.0).abs() < 1e-9, "normalized demand");
+                // The hotspot generator concentrates traffic on a few
+                // destinations; uniform demand would give every column 5%.
+                let max = (0..20)
+                    .map(|d| (0..20).map(|s| demand.demand(s, d)).sum::<f64>())
+                    .fold(0.0, f64::max);
+                assert!(max > 0.15, "hottest destination draws {max}");
+            }
+            other => panic!("expected PatternLatOp, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_spec_resolution_reports_failures() {
+        assert!(TraceSpec::generator("no-such-model", 64, 0)
+            .resolve(20)
+            .unwrap_err()
+            .contains("unknown trace model"));
+        assert!(TraceSpec::File {
+            path: "/nonexistent/trace.nstr".into()
+        }
+        .resolve(20)
+        .unwrap_err()
+        .contains("trace file"));
+    }
+
+    #[test]
+    fn workload_names_cover_both_sources() {
+        let pattern =
+            WorkloadSpec::new(TrafficPattern::UniformRandom, vec![0.1], SimProfile::Quick);
+        assert_eq!(pattern.name(), "uniform_random");
+        assert!(pattern.trace_spec().is_none());
+        let trace = WorkloadSpec::trace(
+            TraceSpec::generator("pointer-chase", 1_024, 3),
+            vec![0.1],
+            SimProfile::Quick,
+        );
+        assert_eq!(trace.name(), "trace:pointer-chase");
+        assert!(trace.trace_spec().is_some());
+        let file = WorkloadSpec::trace(
+            TraceSpec::File {
+                path: "traces/parsec_x264.nstr".into(),
+            },
+            vec![0.1],
+            SimProfile::Quick,
+        );
+        assert_eq!(file.name(), "trace:parsec_x264");
+    }
+
+    #[test]
+    #[should_panic(expected = "trace-driven")]
+    fn pattern_accessor_rejects_trace_workloads() {
+        let w = WorkloadSpec::trace(
+            TraceSpec::generator("pointer-chase", 1_024, 3),
+            vec![0.1],
+            SimProfile::Quick,
+        );
+        let _ = w.pattern();
     }
 
     #[test]

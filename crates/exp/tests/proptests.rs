@@ -4,7 +4,8 @@
 //! patterns and nested composite objectives.
 
 use netsmith_exp::{
-    Assertion, CandidateSpec, ExperimentSpec, LayoutSpec, ObjectiveSpec, SimProfile, WorkloadSpec,
+    Assertion, CandidateSpec, ExperimentSpec, LayoutSpec, ObjectiveSpec, SimProfile, TraceSpec,
+    WorkloadSpec,
 };
 use netsmith_topo::traffic::TrafficPattern;
 use netsmith_topo::LinkClass;
@@ -30,8 +31,23 @@ fn random_pattern(rng: &mut SmallRng) -> TrafficPattern {
     }
 }
 
+fn random_trace(rng: &mut SmallRng) -> TraceSpec {
+    if rng.gen_bool(0.5) {
+        TraceSpec::File {
+            path: format!("traces/workload_{}.nstr", rng.gen_range(0..100)),
+        }
+    } else {
+        let models = ["pointer-chase", "onoff-hotspot"];
+        TraceSpec::Generator {
+            model: models[rng.gen_range(0usize..2)].into(),
+            horizon: rng.gen_range(1..1_000_000),
+            seed: rng.gen_range(0..1_000_000),
+        }
+    }
+}
+
 fn random_objective(rng: &mut SmallRng, depth: usize) -> ObjectiveSpec {
-    let variants = if depth == 0 { 6 } else { 5 };
+    let variants = if depth == 0 { 7 } else { 6 };
     match rng.gen_range(0..variants) {
         0 => ObjectiveSpec::LatOp,
         1 => ObjectiveSpec::SCOp,
@@ -41,6 +57,9 @@ fn random_objective(rng: &mut SmallRng, depth: usize) -> ObjectiveSpec {
         },
         4 => ObjectiveSpec::PatternLatOp {
             pattern: random_pattern(rng),
+        },
+        5 => ObjectiveSpec::TraceLatOp {
+            trace: random_trace(rng),
         },
         _ => ObjectiveSpec::Composite {
             parts: (0..rng.gen_range(1..4))
@@ -111,13 +130,15 @@ fn random_spec(seed: u64) -> ExperimentSpec {
         },
         workloads: (0..rng.gen_range(0..3))
             .map(|_| {
-                let mut w = WorkloadSpec::new(
-                    random_pattern(&mut rng),
-                    (0..rng.gen_range(0..5))
-                        .map(|_| rng.gen_range(0.0..1.2))
-                        .collect(),
-                    sims[rng.gen_range(0usize..sims.len())],
-                );
+                let loads: Vec<f64> = (0..rng.gen_range(0..5))
+                    .map(|_| rng.gen_range(0.0..1.2))
+                    .collect();
+                let sim = sims[rng.gen_range(0usize..sims.len())];
+                let mut w = if rng.gen_bool(0.3) {
+                    WorkloadSpec::trace(random_trace(&mut rng), loads, sim)
+                } else {
+                    WorkloadSpec::new(random_pattern(&mut rng), loads, sim)
+                };
                 if rng.gen_bool(0.5) {
                     w = w.labeled("custom \"label\" with, commas");
                 }

@@ -19,6 +19,7 @@
 //! | [`gen`] | the NetSmith generator: Table I MIP + annealing engines |
 //! | [`route`] | shortest paths, NDBT, MCLB routing, deadlock-free VC allocation |
 //! | [`sim`] | cycle-driven NoI simulator (gem5/HeteroGarnet substitute) |
+//! | [`trace`] | compact message traces: format, deterministic replay, workload generators |
 //! | [`system`] | PARSEC-style full-system speedup model |
 //! | [`power`] | DSENT-style area/power model |
 //! | [`energy`] | measured-activity energy policies (link sleep, DVFS) |
@@ -58,6 +59,7 @@ pub use netsmith_route as route;
 pub use netsmith_sim as sim;
 pub use netsmith_system as system;
 pub use netsmith_topo as topo;
+pub use netsmith_trace as trace;
 
 pub mod pipeline;
 
@@ -84,4 +86,5 @@ pub mod prelude {
     pub use netsmith_topo::Layout;
     pub use netsmith_topo::PipelineError;
     pub use netsmith_topo::{expert, LinkClass};
+    pub use netsmith_trace::{Trace, TraceCursor, TraceStats};
 }

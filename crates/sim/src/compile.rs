@@ -35,6 +35,7 @@ use crate::network::{point_seed, NetworkSim, SimReport};
 use crate::stats::LatencyStats;
 use netsmith_route::{Flow, RoutingTable, VcAllocation};
 use netsmith_topo::{Layout, RouterId, Topology};
+use netsmith_trace::TraceCursor;
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
 use std::collections::VecDeque;
@@ -443,6 +444,12 @@ pub(crate) fn run_flat(
     let layout = sim.topo.layout().clone();
     let mut rng = SmallRng::seed_from_u64(point_seed(cfg.seed, offered_flits_per_node_cycle));
     let packets_per_cycle = (offered_flits_per_node_cycle / cfg.average_flits()).clamp(0.0, 1.0);
+    // Trace replay schedule; identical construction to the reference loop,
+    // so both engines drain the exact same injection sequence.
+    let mut trace_cursor = sim
+        .trace
+        .as_deref()
+        .map(|t| TraceCursor::new(t, offered_flits_per_node_cycle));
 
     let mut lstate: Vec<LinkState> = vec![LinkState::IDLE; l];
     // Windowed activity accounting (measurement cycles only), one struct
@@ -476,8 +483,15 @@ pub(crate) fn run_flat(
     // Parking calendar: a link with provably nothing to do until a known
     // cycle leaves the active set and re-arms through this ring.  Wake-ups
     // past the horizon are clamped inward — an early wake is harmless (the
-    // visit just re-parks), a missed one would not be.
-    let max_flits = data_flits.max(ctrl_flits) as u64;
+    // visit just re-parks), a missed one would not be.  `max_flits` bounds
+    // the largest packet the run can carry; the credit-release wake skip
+    // below relies on it, so under trace replay the trace's largest
+    // message is folded in.
+    let mut max_flits = data_flits.max(ctrl_flits) as u64;
+    if let Some(t) = sim.trace.as_deref() {
+        let largest = t.messages.iter().map(|m| m.flits as u64).max();
+        max_flits = max_flits.max(largest.unwrap_or(0));
+    }
     let horizon = max_flits + cfg.link_latency + cfg.router_latency + 2;
     let ring_len = (horizon as usize + 1).next_power_of_two().max(16);
     let ring_mask = ring_len as u64 - 1;
@@ -528,27 +542,60 @@ pub(crate) fn run_flat(
         //    destination sample, class coin) matches the reference loop
         //    call for call.
         if cycle < measure_end {
-            for (src, &alive) in sim.alive.iter().enumerate() {
-                if alive && (rng.next_u64() >> 11) < inject_thr {
-                    inject_packet(
-                        sim,
-                        net,
-                        &layout,
-                        &mut rng,
-                        data_thr,
-                        data_flits,
-                        ctrl_flits,
-                        cycle,
-                        in_window,
-                        src,
-                        &mut inj,
-                        &mut source_queues,
-                        &mut head_out,
-                        &lstate,
-                        &mut active,
-                        &mut ring,
-                        ring_mask,
-                    );
+            if let Some(cursor) = trace_cursor.as_mut() {
+                // Trace replay: no coins, no RNG — drain every message due
+                // this cycle, mirroring the reference loop's trace branch
+                // (and `inject_packet`'s queue/wake tail) exactly.
+                while let Some(m) = cursor.pop_due(cycle) {
+                    let (src, dst) = (m.src as usize, m.dst as usize);
+                    if !sim.alive[src] || !sim.alive[dst] {
+                        continue;
+                    }
+                    let flits = m.flits;
+                    let flow = (src * net.n + dst) as u32;
+                    if in_window {
+                        inj.packets += 1;
+                        inj.window_flits += flits as u64;
+                        inj.outstanding += 1;
+                    }
+                    let queue = &mut source_queues[src];
+                    queue.push_back(FlatPacket {
+                        created: cycle,
+                        flits,
+                        vc: net.vc_of_flow[flow as usize],
+                        flow,
+                    });
+                    if queue.len() == 1 {
+                        let first = net.first_hop(flow);
+                        head_out[src] = first;
+                        if first != NONE {
+                            wake(&lstate, &mut active, &mut ring, ring_mask, cycle, first);
+                        }
+                    }
+                }
+            } else {
+                for (src, &alive) in sim.alive.iter().enumerate() {
+                    if alive && (rng.next_u64() >> 11) < inject_thr {
+                        inject_packet(
+                            sim,
+                            net,
+                            &layout,
+                            &mut rng,
+                            data_thr,
+                            data_flits,
+                            ctrl_flits,
+                            cycle,
+                            in_window,
+                            src,
+                            &mut inj,
+                            &mut source_queues,
+                            &mut head_out,
+                            &lstate,
+                            &mut active,
+                            &mut ring,
+                            ring_mask,
+                        );
+                    }
                 }
             }
         }
@@ -826,6 +873,7 @@ pub(crate) fn run_flat(
         injected_flits_per_node_cycle: injected,
         accepted_flits_per_node_cycle: accepted,
         avg_latency_cycles,
+        p95_latency_cycles: stats.percentile(0.95),
         p99_latency_cycles: stats.percentile(0.99),
         avg_latency_ns: cfg.cycles_to_ns(avg_latency_cycles),
         packets_injected: inj.packets,

@@ -41,10 +41,7 @@ pub mod sweep;
 pub use activity::{ActivityProfile, LinkActivity, RouterActivity};
 pub use compile::CompiledNetwork;
 pub use config::{PacketClass, SimConfig};
+pub use netsmith_trace::{Trace, TraceCursor};
 pub use network::{point_seed, splitmix64, NetworkSim, NetworkSimBuilder, SimReport};
 pub use stats::LatencyStats;
-#[allow(deprecated)]
-pub use sweep::{
-    saturation_throughput, sweep_injection_rates, sweep_injection_rates_with, sweep_sim,
-    LatencyCurve, Sweep, SweepOptions, SweepPoint,
-};
+pub use sweep::{saturation_throughput, LatencyCurve, Sweep, SweepOptions, SweepPoint};

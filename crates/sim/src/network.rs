@@ -15,11 +15,12 @@ use netsmith_route::Flow;
 use netsmith_route::{RoutingTable, VcAllocation};
 use netsmith_topo::traffic::TrafficPattern;
 use netsmith_topo::{RouterId, Topology};
+use netsmith_trace::{Trace, TraceCursor};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// A packet in flight (reference path only; the compiled path keeps flat
 /// per-field arrays instead).
@@ -71,19 +72,27 @@ pub fn point_seed(seed: u64, offered_flits_per_node_cycle: f64) -> u64 {
 /// Final report of a single simulation run at a fixed injection rate.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
-    /// Offered load in flits per node per cycle.
+    /// Offered load in flits per node per cycle.  Under Bernoulli
+    /// injection this is the generator's target probability; under trace
+    /// replay it is the *requested* replay rate the trace's issue cycles
+    /// were stretched to (see [`NetworkSimBuilder::trace`]), which the
+    /// discrete stretched schedule then tracks modulo rounding.
     pub offered_flits_per_node_cycle: f64,
     /// Traffic actually generated during the measurement window, in flits
     /// per node per cycle.  Tracks the offered load (modulo sampling
     /// noise) on a healthy network, but drops below it when routers are
     /// failed — their traffic disappears with them — or when a pattern
-    /// sends some sources nothing.
+    /// sends some sources nothing.  Under trace replay this is exact, not
+    /// sampled: the window's scheduled trace flits, minus any masked out
+    /// by failed endpoints.
     pub injected_flits_per_node_cycle: f64,
     /// Accepted throughput in flits per node per cycle (measured window).
     pub accepted_flits_per_node_cycle: f64,
     /// Average end-to-end packet latency in cycles (source-queue time
     /// included).
     pub avg_latency_cycles: f64,
+    /// 95th-percentile latency in cycles.
+    pub p95_latency_cycles: f64,
     /// 99th-percentile latency in cycles.
     pub p99_latency_cycles: f64,
     /// Average packet latency in nanoseconds at the configured clock.
@@ -122,6 +131,21 @@ impl SimReport {
         let latency_blowup = self.avg_latency_cycles > 6.0 * zero_load_latency_cycles.max(1.0);
         delivery_shortfall || latency_blowup
     }
+
+    /// Fraction of the traffic actually generated in the window that was
+    /// also delivered in it: `accepted / injected` (1.0 when nothing was
+    /// injected).  The denominator is the *injected* rate, not the offered
+    /// one, so the measure has the same meaning under Bernoulli injection
+    /// and under trace replay: traffic never generated (failed endpoints,
+    /// silent sources, a trace quieter than requested) does not count as
+    /// loss.  Sits near 1 below saturation and degrades past it.
+    pub fn delivered_fraction(&self) -> f64 {
+        if self.injected_flits_per_node_cycle <= 0.0 {
+            1.0
+        } else {
+            (self.accepted_flits_per_node_cycle / self.injected_flits_per_node_cycle).min(1.0)
+        }
+    }
 }
 
 /// Typed builder for [`NetworkSim`] (replaces the old positional
@@ -139,6 +163,7 @@ pub struct NetworkSimBuilder<'a> {
     table: &'a RoutingTable,
     vcs: Option<&'a VcAllocation>,
     pattern: TrafficPattern,
+    trace: Option<Arc<Trace>>,
     config: SimConfig,
     failed: Vec<RouterId>,
 }
@@ -152,8 +177,32 @@ impl<'a> NetworkSimBuilder<'a> {
     }
 
     /// Synthetic traffic pattern (default: [`TrafficPattern::UniformRandom`]).
+    /// Ignored when a [`NetworkSimBuilder::trace`] is set.
     pub fn pattern(mut self, pattern: TrafficPattern) -> Self {
         self.pattern = pattern;
+        self
+    }
+
+    /// Replay a recorded message trace instead of Bernoulli injection.
+    ///
+    /// The run's offered load selects the replay rate: the trace's issue
+    /// cycles are stretched by `native_load / offered_load` (preserving
+    /// burst structure rather than resampling it) and the schedule wraps
+    /// past the trace horizon, so any measurement window length works.
+    /// Trace injection draws no RNG: a run is fully determined by
+    /// `(trace, offered load)`, and the reference and compiled engines
+    /// stay bit-identical under replay.  The trace must be defined over
+    /// exactly this topology's router count, and messages wider than
+    /// [`SimConfig::vc_buffer_flits`](crate::SimConfig) can never obtain
+    /// credits at an intermediate hop — keep trace message sizes within
+    /// the VC buffer depth (the bundled generators do).
+    pub fn trace(mut self, trace: Arc<Trace>) -> Self {
+        assert_eq!(
+            trace.header.routers as usize,
+            self.topo.num_routers(),
+            "trace router count must match the topology"
+        );
+        self.trace = Some(trace);
         self
     }
 
@@ -184,6 +233,7 @@ impl<'a> NetworkSimBuilder<'a> {
             table: self.table,
             vcs: self.vcs,
             pattern: self.pattern,
+            trace: self.trace,
             config: self.config,
             alive,
             compiled: OnceLock::new(),
@@ -206,6 +256,9 @@ pub struct NetworkSim<'a> {
     pub(crate) table: &'a RoutingTable,
     pub(crate) vcs: Option<&'a VcAllocation>,
     pub(crate) pattern: TrafficPattern,
+    /// When set, traffic comes from replaying this trace instead of the
+    /// Bernoulli generator over `pattern` (see [`NetworkSimBuilder::trace`]).
+    pub(crate) trace: Option<Arc<Trace>>,
     pub(crate) config: SimConfig,
     /// Routers that inject and eject traffic.  Failed routers (cleared
     /// bits) neither source packets nor get sampled as destinations, which
@@ -228,6 +281,7 @@ impl<'a> NetworkSim<'a> {
             table,
             vcs: None,
             pattern: TrafficPattern::UniformRandom,
+            trace: None,
             config: SimConfig::default(),
             failed: Vec::new(),
         }
@@ -283,6 +337,12 @@ impl<'a> NetworkSim<'a> {
         // Packet injection probability per node per cycle.
         let packets_per_cycle =
             (offered_flits_per_node_cycle / cfg.average_flits()).clamp(0.0, 1.0);
+        // Trace replay schedule, when this run replays a trace instead of
+        // drawing Bernoulli coins.
+        let mut trace_cursor = self
+            .trace
+            .as_deref()
+            .map(|t| TraceCursor::new(t, offered_flits_per_node_cycle));
 
         let links: Vec<(RouterId, RouterId)> = self.topo.links().collect();
         let mut link_free_at: Vec<u64> = vec![0; links.len()];
@@ -327,38 +387,71 @@ impl<'a> NetworkSim<'a> {
             // 1. Traffic generation (stops after the measurement window so
             //    the drain phase can empty the network).
             if cycle < measure_end {
-                for (src, queue) in source_queues.iter_mut().enumerate() {
-                    if !self.alive[src] {
-                        continue;
+                if let Some(cursor) = trace_cursor.as_mut() {
+                    // Trace replay: drain every message due this cycle, in
+                    // trace order.  Messages whose endpoints are masked out
+                    // by failed routers are dropped at the source, exactly
+                    // like the Bernoulli path's alive checks.
+                    while let Some(m) = cursor.pop_due(cycle) {
+                        let (src, dst) = (m.src as usize, m.dst as usize);
+                        if !self.alive[src] || !self.alive[dst] {
+                            continue;
+                        }
+                        let vc = self
+                            .vcs
+                            .and_then(|a| a.assignment.get(&Flow::new(src, dst)).copied())
+                            .unwrap_or(0)
+                            .min(cfg.num_vcs - 1);
+                        let packet = Packet {
+                            src,
+                            dst,
+                            flits: m.flits as usize,
+                            vc,
+                            created: cycle,
+                        };
+                        if cycle >= measure_start {
+                            packets_injected += 1;
+                            flits_injected_in_window += packet.flits as u64;
+                            measured_outstanding += 1;
+                        }
+                        source_queues[src].push_back(packet);
                     }
-                    if rng.gen_bool(packets_per_cycle) {
-                        if let Some(dst) = self.pattern.sample_destination(&layout, src, &mut rng) {
-                            if !self.alive[dst] {
-                                continue;
+                } else {
+                    for (src, queue) in source_queues.iter_mut().enumerate() {
+                        if !self.alive[src] {
+                            continue;
+                        }
+                        if rng.gen_bool(packets_per_cycle) {
+                            if let Some(dst) =
+                                self.pattern.sample_destination(&layout, src, &mut rng)
+                            {
+                                if !self.alive[dst] {
+                                    continue;
+                                }
+                                let class = if rng.gen_bool(cfg.data_fraction) {
+                                    PacketClass::Data
+                                } else {
+                                    PacketClass::Control
+                                };
+                                let vc = self
+                                    .vcs
+                                    .and_then(|a| a.assignment.get(&Flow::new(src, dst)).copied())
+                                    .unwrap_or(0)
+                                    .min(cfg.num_vcs - 1);
+                                let packet = Packet {
+                                    src,
+                                    dst,
+                                    flits: cfg.flits(class),
+                                    vc,
+                                    created: cycle,
+                                };
+                                if cycle >= measure_start && cycle < measure_end {
+                                    packets_injected += 1;
+                                    flits_injected_in_window += packet.flits as u64;
+                                    measured_outstanding += 1;
+                                }
+                                queue.push_back(packet);
                             }
-                            let class = if rng.gen_bool(cfg.data_fraction) {
-                                PacketClass::Data
-                            } else {
-                                PacketClass::Control
-                            };
-                            let vc = self
-                                .vcs
-                                .and_then(|a| a.assignment.get(&Flow::new(src, dst)).copied())
-                                .unwrap_or(0)
-                                .min(cfg.num_vcs - 1);
-                            let packet = Packet {
-                                src,
-                                dst,
-                                flits: cfg.flits(class),
-                                vc,
-                                created: cycle,
-                            };
-                            if cycle >= measure_start && cycle < measure_end {
-                                packets_injected += 1;
-                                flits_injected_in_window += packet.flits as u64;
-                                measured_outstanding += 1;
-                            }
-                            queue.push_back(packet);
                         }
                     }
                 }
@@ -489,6 +582,7 @@ impl<'a> NetworkSim<'a> {
             injected_flits_per_node_cycle: injected,
             accepted_flits_per_node_cycle: accepted,
             avg_latency_cycles,
+            p95_latency_cycles: stats.percentile(0.95),
             p99_latency_cycles: stats.percentile(0.99),
             avg_latency_ns: cfg.cycles_to_ns(avg_latency_cycles),
             packets_injected,
@@ -721,6 +815,103 @@ mod tests {
             report.accepted_flits_per_node_cycle,
             report.offered_flits_per_node_cycle
         );
+    }
+
+    #[test]
+    fn delivered_fraction_degrades_past_saturation() {
+        let mesh = expert::mesh(&Layout::noi_4x5());
+        let (table, alloc) = setup(&mesh);
+        let sim = NetworkSim::builder(&mesh, &table)
+            .vcs(&alloc)
+            .config(SimConfig::quick())
+            .build();
+        // Low load: essentially everything injected is delivered.
+        let light = sim.run(0.05);
+        assert!(
+            light.delivered_fraction() > 0.95,
+            "{}",
+            light.delivered_fraction()
+        );
+        // Far past the mesh's saturation point the injected and accepted
+        // rates diverge, and the fraction must expose that divergence.
+        let heavy = sim.run(0.9);
+        assert!(
+            heavy.delivered_fraction() < 0.85,
+            "delivered {} at 0.9 offered",
+            heavy.delivered_fraction()
+        );
+        assert!(heavy.delivered_fraction() > 0.0);
+        // The denominator is the injected rate: consistent by construction.
+        assert!(
+            (heavy.delivered_fraction()
+                - (heavy.accepted_flits_per_node_cycle / heavy.injected_flits_per_node_cycle)
+                    .min(1.0))
+            .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn p95_latency_sits_between_mean_and_p99() {
+        let mesh = expert::mesh(&Layout::noi_4x5());
+        let (table, alloc) = setup(&mesh);
+        let sim = NetworkSim::builder(&mesh, &table)
+            .vcs(&alloc)
+            .config(SimConfig::quick())
+            .build();
+        let report = sim.run(0.3);
+        assert!(report.p95_latency_cycles > 0.0);
+        assert!(report.p95_latency_cycles <= report.p99_latency_cycles);
+        assert!(report.p95_latency_cycles >= report.avg_latency_cycles * 0.5);
+    }
+
+    #[test]
+    fn trace_replay_reports_offered_and_injected_rates_consistently() {
+        use netsmith_trace::TraceModel;
+        let mesh = expert::mesh(&Layout::noi_4x5());
+        let (table, alloc) = setup(&mesh);
+        // Horizon 100 divides the quick config's 300-cycle warmup and
+        // 1500-cycle measurement window, so at the native rate the window
+        // covers exactly 15 full replay waves.
+        let trace = Arc::new(
+            TraceModel::by_name("pointer-chase")
+                .unwrap()
+                .generate(20, 100, 5),
+        );
+        let requested = trace.offered_flits_per_node_cycle();
+        let sim = NetworkSim::builder(&mesh, &table)
+            .vcs(&alloc)
+            .trace(Arc::clone(&trace))
+            .config(SimConfig::quick())
+            .build();
+        let report = sim.run(requested);
+        // Offered is the requested replay rate verbatim.
+        assert_eq!(report.offered_flits_per_node_cycle, requested);
+        // Injected is the exact scheduled trace traffic — over whole waves
+        // it reproduces the native rate to the ulp, where a Bernoulli
+        // sample of the same window would carry percent-level noise.
+        assert!(
+            (report.injected_flits_per_node_cycle - requested).abs() < 1e-12,
+            "injected {} vs requested {requested}",
+            report.injected_flits_per_node_cycle
+        );
+        assert!(report.packets_ejected > 0);
+        // Replay draws no RNG: two runs are identical reports.
+        assert_eq!(report, sim.run(requested));
+    }
+
+    #[test]
+    #[should_panic(expected = "trace router count")]
+    fn trace_with_wrong_router_count_is_rejected() {
+        use netsmith_trace::TraceModel;
+        let mesh = expert::mesh(&Layout::noi_4x5());
+        let (table, _alloc) = setup(&mesh);
+        let trace = Arc::new(
+            TraceModel::by_name("onoff-hotspot")
+                .unwrap()
+                .generate(16, 64, 1),
+        );
+        let _ = NetworkSim::builder(&mesh, &table).trace(trace);
     }
 
     #[test]

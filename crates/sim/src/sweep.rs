@@ -136,10 +136,10 @@ impl SweepOptions {
     }
 }
 
-/// An injection-rate sweep: the single entry point that replaced the old
+/// An injection-rate sweep: the single entry point (the deprecated
 /// `sweep_injection_rates` / `sweep_injection_rates_with` / `sweep_sim`
-/// trio.  Configure it with [`SweepOptions`], then run it either over a
-/// pre-built simulator ([`Sweep::run`] — which may carry failed routers,
+/// shims it replaced have been removed).  Configure it with
+/// [`SweepOptions`], then run it either over a pre-built simulator ([`Sweep::run`] — which may carry failed routers,
 /// see [`NetworkSim::with_failed_routers`]) or directly over network parts
 /// ([`Sweep::run_network`]).
 ///
@@ -238,53 +238,6 @@ impl Sweep {
         }
         self.run(&builder.build(), loads)
     }
-}
-
-/// Sweep the offered injection rate over `loads` (flits/node/cycle) and
-/// collect the latency curve.
-#[deprecated(since = "0.1.0", note = "use `Sweep::new(label).run_network(..)`")]
-pub fn sweep_injection_rates(
-    label: impl Into<String>,
-    topo: &Topology,
-    table: &RoutingTable,
-    vcs: Option<&VcAllocation>,
-    pattern: TrafficPattern,
-    config: &SimConfig,
-    loads: &[f64],
-) -> LatencyCurve {
-    Sweep::new(label).run_network(topo, table, vcs, pattern, config, loads)
-}
-
-/// [`sweep_injection_rates`] with explicit [`SweepOptions`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use `Sweep::new(label).options(..).run_network(..)`"
-)]
-#[allow(clippy::too_many_arguments)]
-pub fn sweep_injection_rates_with(
-    label: impl Into<String>,
-    topo: &Topology,
-    table: &RoutingTable,
-    vcs: Option<&VcAllocation>,
-    pattern: TrafficPattern,
-    config: &SimConfig,
-    loads: &[f64],
-    options: &SweepOptions,
-) -> LatencyCurve {
-    Sweep::new(label)
-        .options(options.clone())
-        .run_network(topo, table, vcs, pattern, config, loads)
-}
-
-/// Sweep a pre-built simulator over `loads`.
-#[deprecated(since = "0.1.0", note = "use `Sweep::new(label).options(..).run(..)`")]
-pub fn sweep_sim(
-    label: impl Into<String>,
-    sim: &NetworkSim<'_>,
-    loads: &[f64],
-    options: &SweepOptions,
-) -> LatencyCurve {
-    Sweep::new(label).options(options.clone()).run(sim, loads)
 }
 
 /// Default load grid used by the benchmark harness (flits/node/cycle).
@@ -489,56 +442,6 @@ mod tests {
         for curve in nested {
             assert_eq!(curve, sequential);
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_sweep_entry_point() {
-        let mesh = expert::mesh(&Layout::noi_4x5());
-        let ps = all_shortest_paths(&mesh);
-        let table = mclb_route(&ps, &MclbConfig::default());
-        let alloc = allocate_vcs(&table, 6, 9).unwrap();
-        let config = SimConfig::quick();
-        let loads = [0.05, 0.3];
-        let via_sweep = Sweep::new("mesh").run_network(
-            &mesh,
-            &table,
-            Some(&alloc),
-            TrafficPattern::UniformRandom,
-            &config,
-            &loads,
-        );
-        let via_rates = sweep_injection_rates(
-            "mesh",
-            &mesh,
-            &table,
-            Some(&alloc),
-            TrafficPattern::UniformRandom,
-            &config,
-            &loads,
-        );
-        assert_eq!(via_sweep, via_rates);
-        let options = SweepOptions {
-            max_threads: 2,
-            early_exit_saturated: None,
-        };
-        let via_rates_with = sweep_injection_rates_with(
-            "mesh",
-            &mesh,
-            &table,
-            Some(&alloc),
-            TrafficPattern::UniformRandom,
-            &config,
-            &loads,
-            &options,
-        );
-        assert_eq!(via_sweep, via_rates_with);
-        let sim = NetworkSim::builder(&mesh, &table)
-            .vcs(&alloc)
-            .config(config)
-            .build();
-        let via_sim = sweep_sim("mesh", &sim, &loads, &options);
-        assert_eq!(via_sweep, via_sim);
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod bounds;
 pub mod cuts;
 pub mod error;
 pub mod expert;
+pub mod json;
 pub mod layout;
 pub mod linkclass;
 pub mod metrics;

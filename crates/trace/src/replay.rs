@@ -1,0 +1,223 @@
+//! The replay schedule: a sorted pending-arrival cursor over a trace.
+//!
+//! [`TraceCursor`] turns a validated trace into the injection sequence a
+//! simulator consumes: per simulated cycle, [`TraceCursor::pop_due`] yields
+//! every message whose (scaled) issue cycle has arrived, in trace order.
+//! Two deliberately boring properties make it the shared foundation of the
+//! reference and compiled simulation loops:
+//!
+//! * **Determinism** — the schedule is a pure function of
+//!   `(trace, offered load)`; no RNG is consumed, so two engines that
+//!   construct the cursor with the same arguments and poll it at the same
+//!   cycles inject bit-identical traffic.
+//! * **Load scaling by cycle-stretch** — a trace natively offers
+//!   `total_flits / (routers * horizon)` flits per node per cycle; to
+//!   replay at a different offered load every issue cycle is multiplied by
+//!   `native / offered` (stretched when quieter, compressed when hotter),
+//!   preserving the trace's burst structure instead of resampling it.
+//! * **Wrap-around** — when the cursor exhausts the (stretched) horizon it
+//!   restarts at the next wave, so measurement windows longer than the
+//!   trace keep seeing traffic.
+
+use crate::format::{Trace, TraceMessage};
+
+/// A forward-only cursor yielding trace messages at their scaled issue
+/// cycles, wave after wave.
+#[derive(Debug, Clone)]
+pub struct TraceCursor<'t> {
+    messages: &'t [TraceMessage],
+    /// Scale factor applied to issue cycles (`native / offered`).
+    stretch: f64,
+    /// Horizon after scaling; each wave `w` replays the trace with its
+    /// issue cycles offset by `w * scaled_horizon`.
+    scaled_horizon: u64,
+    /// Cycle offset of the current wave.
+    base: u64,
+    /// Next message index within the current wave.
+    idx: usize,
+}
+
+impl<'t> TraceCursor<'t> {
+    /// Build the schedule for replaying `trace` at `offered` flits per
+    /// node per cycle.  An offered load of zero (or an empty trace) yields
+    /// an empty schedule.
+    pub fn new(trace: &'t Trace, offered_flits_per_node_cycle: f64) -> Self {
+        let native = trace.offered_flits_per_node_cycle();
+        let (messages, stretch) = if offered_flits_per_node_cycle > 0.0 && native > 0.0 {
+            (
+                trace.messages.as_slice(),
+                native / offered_flits_per_node_cycle,
+            )
+        } else {
+            (&trace.messages[..0], 1.0)
+        };
+        let scaled_horizon = ((trace.header.horizon as f64 * stretch).ceil() as u64).max(1);
+        TraceCursor {
+            messages,
+            stretch,
+            scaled_horizon,
+            base: 0,
+            idx: 0,
+        }
+    }
+
+    /// The stretch factor applied to issue cycles.
+    pub fn stretch(&self) -> f64 {
+        self.stretch
+    }
+
+    /// The scaled wrap-around period.
+    pub fn scaled_horizon(&self) -> u64 {
+        self.scaled_horizon
+    }
+
+    #[inline]
+    fn scaled_issue(&self, issue: u64) -> u64 {
+        // Same float expression on every engine; `as u64` saturates, so an
+        // extreme stretch parks the message past any finite run.
+        self.base + (issue as f64 * self.stretch).floor() as u64
+    }
+
+    /// The next message due at or before `cycle`, advancing the cursor
+    /// (and the wave, at wrap-around).  Call in a loop to drain a cycle.
+    #[inline]
+    pub fn pop_due(&mut self, cycle: u64) -> Option<&'t TraceMessage> {
+        if self.messages.is_empty() {
+            return None;
+        }
+        if self.idx == self.messages.len() {
+            // Wave exhausted: wrap.  Scaled issues stay strictly inside
+            // the wave (`scaled_horizon >= 1`), so the next wave's cycles
+            // never precede this one's.
+            self.base = self.base.saturating_add(self.scaled_horizon);
+            self.idx = 0;
+        }
+        let due = self.scaled_issue(self.messages[self.idx].issue);
+        if due > cycle {
+            return None;
+        }
+        let m = &self.messages[self.idx];
+        self.idx += 1;
+        Some(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> Trace {
+        Trace::new(
+            4,
+            10,
+            vec![
+                TraceMessage {
+                    src: 0,
+                    dst: 1,
+                    flits: 2,
+                    issue: 0,
+                },
+                TraceMessage {
+                    src: 1,
+                    dst: 2,
+                    flits: 2,
+                    issue: 4,
+                },
+                TraceMessage {
+                    src: 2,
+                    dst: 3,
+                    flits: 4,
+                    issue: 9,
+                },
+            ],
+        )
+    }
+
+    fn schedule(cursor: &mut TraceCursor<'_>, cycles: u64) -> Vec<(u64, u32)> {
+        let mut out = Vec::new();
+        for cycle in 0..cycles {
+            while let Some(m) = cursor.pop_due(cycle) {
+                out.push((cycle, m.src));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn native_rate_replays_issue_cycles_verbatim() {
+        let t = trace();
+        let native = t.offered_flits_per_node_cycle();
+        let mut cursor = TraceCursor::new(&t, native);
+        assert!((cursor.stretch() - 1.0).abs() < 1e-12);
+        assert_eq!(
+            schedule(&mut cursor, 10),
+            vec![(0, 0), (4, 1), (9, 2)],
+            "one wave at the native rate is the trace itself"
+        );
+    }
+
+    #[test]
+    fn wrap_around_replays_waves_past_the_horizon() {
+        let t = trace();
+        let native = t.offered_flits_per_node_cycle();
+        let mut cursor = TraceCursor::new(&t, native);
+        // Three full waves in 30 cycles, offset by the 10-cycle horizon.
+        assert_eq!(
+            schedule(&mut cursor, 30),
+            vec![
+                (0, 0),
+                (4, 1),
+                (9, 2),
+                (10, 0),
+                (14, 1),
+                (19, 2),
+                (20, 0),
+                (24, 1),
+                (29, 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn half_load_stretches_cycles_twofold() {
+        let t = trace();
+        let native = t.offered_flits_per_node_cycle();
+        let mut cursor = TraceCursor::new(&t, native / 2.0);
+        assert_eq!(cursor.scaled_horizon(), 20);
+        assert_eq!(
+            schedule(&mut cursor, 40),
+            vec![(0, 0), (8, 1), (18, 2), (20, 0), (28, 1), (38, 2)]
+        );
+    }
+
+    #[test]
+    fn double_load_compresses_cycles() {
+        let t = trace();
+        let native = t.offered_flits_per_node_cycle();
+        let mut cursor = TraceCursor::new(&t, native * 2.0);
+        assert_eq!(cursor.scaled_horizon(), 5);
+        assert_eq!(
+            schedule(&mut cursor, 10),
+            vec![(0, 0), (2, 1), (4, 2), (5, 0), (7, 1), (9, 2)]
+        );
+    }
+
+    #[test]
+    fn zero_load_and_empty_traces_yield_nothing() {
+        let t = trace();
+        let mut cursor = TraceCursor::new(&t, 0.0);
+        assert_eq!(schedule(&mut cursor, 100), vec![]);
+        let empty = Trace::new(4, 10, vec![]);
+        let mut cursor = TraceCursor::new(&empty, 0.3);
+        assert_eq!(schedule(&mut cursor, 100), vec![]);
+    }
+
+    #[test]
+    fn same_arguments_give_identical_schedules() {
+        let t = trace();
+        let a = schedule(&mut TraceCursor::new(&t, 0.17), 500);
+        let b = schedule(&mut TraceCursor::new(&t, 0.17), 500);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+}

@@ -1,0 +1,164 @@
+//! Summary statistics over a trace: the per-pair demand matrix and the
+//! temporal / spatial shape measures figures assert on.
+//!
+//! The demand matrix is the bridge from a trace back into the synthesis
+//! flow — `ObjectiveSpec::TraceLatOp` resolves a trace to
+//! [`TraceStats::demand_matrix`] and optimizes the same traffic-weighted
+//! hop objective the synthetic patterns use, so a topology can be
+//! *synthesized for* a recorded workload, not just evaluated under it.
+
+use crate::format::Trace;
+use netsmith_topo::DemandMatrix;
+
+/// Number of equal time bins used for the burstiness measure.
+const BURSTINESS_BINS: usize = 64;
+
+/// Aggregate shape of a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Normalized per-pair flit demand (sums to 1 for a non-empty trace).
+    pub demand: DemandMatrix,
+    /// Total payload flits across all messages.
+    pub total_flits: u64,
+    /// Average offered load: `total_flits / (routers * horizon)`.
+    pub offered_flits_per_node_cycle: f64,
+    /// Coefficient of variation of per-bin flit counts over 64 equal time
+    /// bins.  A Bernoulli-like smooth trace sits near 0; ON/OFF traffic is
+    /// well above 1.
+    pub burstiness: f64,
+    /// Fraction of all flits absorbed by the most-loaded 10% of
+    /// destinations (at least one).  Uniform traffic sits near 0.1; a
+    /// hotspot trace approaches 1.
+    pub top_decile_destination_share: f64,
+}
+
+impl TraceStats {
+    /// Compute the statistics of `trace`.
+    pub fn of(trace: &Trace) -> Self {
+        let n = trace.header.routers as usize;
+        let horizon = trace.header.horizon.max(1);
+        let mut demand = DemandMatrix::zeros(n);
+        let mut per_dst = vec![0u64; n];
+        let mut bins = vec![0u64; BURSTINESS_BINS];
+        let mut total_flits = 0u64;
+        for m in &trace.messages {
+            let flits = m.flits as u64;
+            total_flits += flits;
+            demand.add(m.src as usize, m.dst as usize, m.flits as f64);
+            per_dst[m.dst as usize] += flits;
+            let bin = (m.issue * BURSTINESS_BINS as u64 / horizon) as usize;
+            bins[bin.min(BURSTINESS_BINS - 1)] += flits;
+        }
+        demand.normalize();
+        TraceStats {
+            demand,
+            total_flits,
+            offered_flits_per_node_cycle: trace.offered_flits_per_node_cycle(),
+            burstiness: coefficient_of_variation(&bins),
+            top_decile_destination_share: top_decile_share(&mut per_dst, total_flits),
+        }
+    }
+
+    /// The normalized demand matrix (alias for the `demand` field, matching
+    /// the `TrafficPattern::demand_matrix` call shape).
+    pub fn demand_matrix(&self) -> &DemandMatrix {
+        &self.demand
+    }
+}
+
+fn coefficient_of_variation(bins: &[u64]) -> f64 {
+    let n = bins.len() as f64;
+    let mean = bins.iter().sum::<u64>() as f64 / n;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = bins
+        .iter()
+        .map(|&b| {
+            let d = b as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    var.sqrt() / mean
+}
+
+fn top_decile_share(per_dst: &mut [u64], total_flits: u64) -> f64 {
+    if total_flits == 0 || per_dst.is_empty() {
+        return 0.0;
+    }
+    per_dst.sort_unstable_by(|a, b| b.cmp(a));
+    let k = (per_dst.len() / 10).max(1);
+    per_dst[..k].iter().sum::<u64>() as f64 / total_flits as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::TraceMessage;
+
+    fn msg(src: u32, dst: u32, flits: u32, issue: u64) -> TraceMessage {
+        TraceMessage {
+            src,
+            dst,
+            flits,
+            issue,
+        }
+    }
+
+    #[test]
+    fn demand_matrix_is_flit_weighted_and_normalized() {
+        let t = Trace::new(
+            4,
+            100,
+            vec![msg(0, 1, 3, 0), msg(0, 1, 1, 10), msg(2, 3, 4, 20)],
+        );
+        let stats = TraceStats::of(&t);
+        assert_eq!(stats.total_flits, 8);
+        assert!((stats.demand.demand(0, 1) - 0.5).abs() < 1e-12);
+        assert!((stats.demand.demand(2, 3) - 0.5).abs() < 1e-12);
+        assert!((stats.demand.total() - 1.0).abs() < 1e-12);
+        assert!((stats.offered_flits_per_node_cycle - 8.0 / 400.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smooth_traffic_has_low_burstiness_bursty_traffic_high() {
+        // One flit every cycle from router 0: perfectly smooth.
+        let smooth_msgs = (0..6400).map(|c| msg(0, 1, 1, c)).collect();
+        let smooth = TraceStats::of(&Trace::new(2, 6400, smooth_msgs));
+        assert!(smooth.burstiness < 0.05, "got {}", smooth.burstiness);
+
+        // The same flit count crammed into the first 1/64th of the horizon.
+        let bursty_msgs = (0..6400).map(|_| msg(0, 1, 1, 0)).collect();
+        let bursty = TraceStats::of(&Trace::new(2, 6400, bursty_msgs));
+        assert!(bursty.burstiness > 4.0, "got {}", bursty.burstiness);
+    }
+
+    #[test]
+    fn hotspot_traffic_concentrates_the_top_decile() {
+        // 20 routers: everyone hammers router 5.
+        let msgs = (0..20)
+            .filter(|&s| s != 5)
+            .map(|s| msg(s, 5, 2, s as u64))
+            .collect();
+        let hot = TraceStats::of(&Trace::new(20, 32, msgs));
+        assert!((hot.top_decile_destination_share - 1.0).abs() < 1e-12);
+
+        // Uniform ring: every destination gets the same share, so the top
+        // 10% (2 of 20) holds exactly 0.1.
+        let msgs = (0..20u32)
+            .map(|s| msg(s, (s + 1) % 20, 2, s as u64))
+            .collect();
+        let uni = TraceStats::of(&Trace::new(20, 32, msgs));
+        assert!((uni.top_decile_destination_share - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_yields_zeroed_stats() {
+        let stats = TraceStats::of(&Trace::new(4, 10, vec![]));
+        assert_eq!(stats.total_flits, 0);
+        assert_eq!(stats.burstiness, 0.0);
+        assert_eq!(stats.top_decile_destination_share, 0.0);
+        assert_eq!(stats.demand.total(), 0.0);
+    }
+}

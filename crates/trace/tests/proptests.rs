@@ -1,0 +1,111 @@
+//! Property tests: codec round-trips over random traces, streaming/whole-
+//! trace codec agreement, and generator determinism.
+
+use netsmith_trace::{Trace, TraceCursor, TraceMessage, TraceModel, TraceReader, TraceWriter};
+use proptest::prelude::*;
+
+/// A random valid trace: in-range distinct endpoints, flits >= 1,
+/// non-decreasing issue cycles inside the horizon.
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    (2u32..24, 1u64..512, 0usize..64).prop_flat_map(|(routers, horizon, count)| {
+        proptest::collection::vec(
+            (0u32..routers, 1u32..routers, 1u32..10, 0u64..horizon),
+            count,
+        )
+        .prop_map(move |raw| {
+            let mut messages: Vec<TraceMessage> = raw
+                .into_iter()
+                .map(|(src, dst_off, flits, issue)| TraceMessage {
+                    src,
+                    dst: (src + dst_off) % routers,
+                    flits,
+                    issue,
+                })
+                .collect();
+            messages.sort_by_key(|m| m.issue);
+            Trace::new(routers, horizon, messages)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Binary and JSON codecs both reproduce the trace bit-for-bit, and
+    /// the streaming reader agrees with the whole-trace decoder.
+    #[test]
+    fn codecs_round_trip(trace in arb_trace()) {
+        trace.validate().unwrap();
+
+        let mut bytes = Vec::new();
+        trace.write_binary(&mut bytes).unwrap();
+        let back = Trace::read_binary(&mut bytes.as_slice()).unwrap();
+        prop_assert_eq!(&back, &trace);
+
+        let json_back = Trace::from_json_str(&trace.to_json_string()).unwrap();
+        prop_assert_eq!(&json_back, &trace);
+
+        let mut cursor = bytes.as_slice();
+        let mut reader = TraceReader::new(&mut cursor).unwrap();
+        prop_assert_eq!(reader.header(), trace.header);
+        let mut streamed = Vec::new();
+        while let Some(m) = reader.next_message().unwrap() {
+            streamed.push(m);
+        }
+        prop_assert_eq!(streamed, trace.messages);
+    }
+
+    /// The streaming writer produces the same bytes as the whole-trace
+    /// encoder.
+    #[test]
+    fn streaming_writer_matches_whole_trace_encoder(trace in arb_trace()) {
+        let mut whole = Vec::new();
+        trace.write_binary(&mut whole).unwrap();
+
+        let mut streamed = Vec::new();
+        let mut writer = TraceWriter::new(&mut streamed, trace.header).unwrap();
+        for m in &trace.messages {
+            writer.write_message(m).unwrap();
+        }
+        writer.finish().unwrap();
+        prop_assert_eq!(streamed, whole);
+    }
+
+    /// Replay schedules are deterministic and respect the load-zero edge.
+    #[test]
+    fn replay_schedule_is_deterministic(trace in arb_trace(), load in 0.01f64..1.5) {
+        let drain = |cursor: &mut TraceCursor<'_>| {
+            let mut out = Vec::new();
+            for cycle in 0..2048u64 {
+                while let Some(m) = cursor.pop_due(cycle) {
+                    out.push((cycle, *m));
+                }
+            }
+            out
+        };
+        let a = drain(&mut TraceCursor::new(&trace, load));
+        let b = drain(&mut TraceCursor::new(&trace, load));
+        prop_assert_eq!(&a, &b);
+        // Due cycles are non-decreasing and messages come in trace order
+        // within a wave.
+        for pair in a.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0);
+        }
+    }
+
+    /// Generators are pure in (model, routers, horizon, seed).
+    #[test]
+    fn generators_are_seed_deterministic(
+        seed in any::<u64>(),
+        routers in 2u32..24,
+        horizon in 64u64..512,
+        which in 0usize..2,
+    ) {
+        let name = TraceModel::names()[which];
+        let model = TraceModel::by_name(name).unwrap();
+        let a = model.generate(routers, horizon, seed);
+        let b = model.generate(routers, horizon, seed);
+        prop_assert_eq!(&a, &b);
+        a.validate().unwrap();
+    }
+}
