@@ -167,6 +167,7 @@ fn bench_generation(c: &mut Criterion) {
                     ..AnnealConfig::quick()
                 },
                 0.0,
+                &netsmith_obs::Obs::noop(),
             )
         })
     });

@@ -1,17 +1,19 @@
-//! The tracked performance target (`BENCH_7.json`).
+//! The tracked performance target (`BENCH_8.json`).
 //!
 //! Measures simulator throughput on the fig08/fig11 simulation
 //! configurations, a trace-replay throughput probe (the fig15 workload:
 //! an ON/OFF hotspot trace replayed across the load grid), the
 //! `sim_5000_cycles_midload` criterion scenario (medians computed here,
 //! over the same 15-sample protocol used to record the pre-rework
-//! baseline), and `suite --quick` wall-clock, then writes everything —
-//! alongside the frozen pre-rework baseline — to `BENCH_7.json` at the
-//! workspace root.
+//! baseline), the disabled-instrumentation overhead of the obs layer
+//! (an annealing run — the per-move counter hot path — timed under the
+//! no-op recorder vs a live in-memory recorder), and `suite --quick`
+//! wall-clock, then writes everything — alongside the frozen pre-rework
+//! baseline — to `BENCH_8.json` at the workspace root.
 //!
 //! Modes:
-//! * default / `--record` — measure and rewrite `BENCH_7.json`.
-//! * `--check` — parse the committed `BENCH_7.json`, re-run
+//! * default / `--record` — measure and rewrite `BENCH_8.json`.
+//! * `--check` — parse the committed `BENCH_8.json`, re-run
 //!   `suite --quick`, and fail when wall-clock regresses more than
 //!   `PERF_CHECK_TOLERANCE` (default 1.25×) over the recorded value.
 //!
@@ -19,6 +21,9 @@
 //! workspace in release before invoking this target.
 
 use netsmith_exp::json::Json;
+use netsmith_gen::anneal::{anneal, AnnealConfig};
+use netsmith_gen::{GenerationProblem, Objective};
+use netsmith_obs::{MemoryRecorder, Obs};
 use netsmith_route::paths::all_shortest_paths;
 use netsmith_route::{allocate_vcs, mclb_route, MclbConfig};
 use netsmith_sim::{NetworkSim, SimConfig};
@@ -38,8 +43,12 @@ const BASELINE_SUITE_QUICK_SECONDS: f64 = 25.4;
 
 const MEDIAN_SAMPLES: usize = 15;
 
+/// Evaluation budget of the obs overhead probe (small enough that the
+/// 2 × 15-sample protocol stays in single-digit seconds).
+const OBS_OVERHEAD_EVALS: u64 = 5_000;
+
 fn bench_path() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_7.json")
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_8.json")
 }
 
 struct SimBenchResult {
@@ -144,6 +153,45 @@ fn sim5000_median_ms() -> f64 {
     samples[MEDIAN_SAMPLES / 2]
 }
 
+struct ObsOverheadResult {
+    noop_median_ms: f64,
+    memory_median_ms: f64,
+}
+
+impl ObsOverheadResult {
+    fn enabled_over_noop(&self) -> f64 {
+        self.memory_median_ms / self.noop_median_ms
+    }
+}
+
+/// Disabled-instrumentation overhead of the obs layer: median wall-clock
+/// of a fixed annealing run — the per-move counter/span hot path — under
+/// the no-op recorder vs a live in-memory recorder.  The no-op number is
+/// what every unobserved run pays; the ratio documents how cheap turning
+/// the recorder on is.
+fn obs_overhead() -> ObsOverheadResult {
+    let problem = GenerationProblem::new(Layout::noi_4x5(), LinkClass::Medium, Objective::LatOp);
+    let config = AnnealConfig {
+        max_evaluations: OBS_OVERHEAD_EVALS,
+        ..AnnealConfig::quick()
+    };
+    let median_ms = |obs: &Obs| {
+        let mut samples: Vec<f64> = (0..MEDIAN_SAMPLES)
+            .map(|_| {
+                let start = Instant::now();
+                std::hint::black_box(anneal(&problem, &config, 0.0, obs));
+                start.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        samples[MEDIAN_SAMPLES / 2]
+    };
+    ObsOverheadResult {
+        noop_median_ms: median_ms(&Obs::noop()),
+        memory_median_ms: median_ms(&Obs::to(MemoryRecorder::new())),
+    }
+}
+
 /// Wall-clock of a full `suite --quick` run (stdout discarded; stderr — the
 /// per-figure progress log — passes through).
 fn suite_quick_seconds() -> f64 {
@@ -241,6 +289,16 @@ fn record() {
         BASELINE_SIM5000_MEDIAN_MS / median_ms,
     );
 
+    eprintln!("# perf: obs_overhead");
+    let obs = obs_overhead();
+    eprintln!(
+        "obs_overhead: anneal {OBS_OVERHEAD_EVALS} evals, noop {:.3} ms, \
+         in-memory {:.3} ms ({:.2}x)",
+        obs.noop_median_ms,
+        obs.memory_median_ms,
+        obs.enabled_over_noop(),
+    );
+
     eprintln!("# perf: suite --quick");
     let suite_seconds = suite_quick_seconds();
     eprintln!(
@@ -260,12 +318,13 @@ fn record() {
         ])
     };
     let doc = obj(vec![
-        ("bench", Json::Num(7.0)),
+        ("bench", Json::Num(8.0)),
         (
             "note",
             Json::Str(
-                "throughput baseline for the compiled flat-state simulator; \
-                 regenerate with `cargo run --release -p netsmith-bench --bin perf`"
+                "throughput baseline for the compiled flat-state simulator \
+                 plus the obs-layer overhead probe; regenerate with \
+                 `cargo run --release -p netsmith-bench --bin perf`"
                     .into(),
             ),
         ),
@@ -323,6 +382,22 @@ fn record() {
                     ]),
                 ),
                 (
+                    // New probe in bench 8 (landed with the obs layer):
+                    // the no-op recorder must keep unobserved runs at
+                    // pre-instrumentation speed, so the interesting
+                    // figure is the enabled/noop ratio, not a baseline.
+                    "obs_overhead",
+                    obj(vec![
+                        ("anneal_evals", Json::Num(OBS_OVERHEAD_EVALS as f64)),
+                        ("noop_median_ms", Json::Num(round3(obs.noop_median_ms))),
+                        ("memory_median_ms", Json::Num(round3(obs.memory_median_ms))),
+                        (
+                            "enabled_over_noop",
+                            Json::Num(round3(obs.enabled_over_noop())),
+                        ),
+                    ]),
+                ),
+                (
                     "suite_quick",
                     obj(vec![
                         ("seconds", Json::Num(round3(suite_seconds))),
@@ -338,7 +413,7 @@ fn record() {
     let mut text = String::new();
     pretty(&doc, 0, &mut text);
     text.push('\n');
-    Json::parse(&text).expect("emitted BENCH_7.json must parse");
+    Json::parse(&text).expect("emitted BENCH_8.json must parse");
     let path = bench_path();
     std::fs::write(&path, text).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
     eprintln!("# perf: wrote {}", path.display());
@@ -348,13 +423,13 @@ fn check() {
     let path = bench_path();
     let text =
         std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
-    let doc = Json::parse(&text).expect("BENCH_7.json must parse");
+    let doc = Json::parse(&text).expect("BENCH_8.json must parse");
     let recorded = doc
         .require("current")
         .and_then(|c| c.require("suite_quick"))
         .and_then(|s| s.require("seconds"))
         .and_then(Json::as_f64)
-        .expect("BENCH_7.json: current.suite_quick.seconds");
+        .expect("BENCH_8.json: current.suite_quick.seconds");
     let tolerance = std::env::var("PERF_CHECK_TOLERANCE")
         .ok()
         .and_then(|v| v.parse::<f64>().ok())

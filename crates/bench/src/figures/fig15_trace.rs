@@ -9,6 +9,8 @@
 
 use super::{classes, sweep_loads};
 use netsmith_exp::prelude::*;
+use netsmith_obs::{Attr, Obs};
+use netsmith_sim::EpochSeries;
 use netsmith_trace::TraceStats;
 use std::sync::Arc;
 
@@ -99,7 +101,15 @@ fn measure(cell: &Cell<'_>) -> Vec<Row> {
     let trace = trace_spec
         .resolve(cell.candidate.layout.num_routers())
         .unwrap_or_else(|e| panic!("fig15_trace: {e}"));
-    let config = cell.sim_config();
+    let mut config = cell.sim_config();
+    let obs = cell.obs();
+    if obs.enabled() {
+        // Observed runs slice the measurement window into 8 epochs so the
+        // event log carries a throughput/latency/occupancy time-series per
+        // replay; unobserved runs keep the probe off (zero cost, and the
+        // report is bit-identical either way).
+        config.epoch_cycles = (config.measure_cycles / 8).max(1);
+    }
     let sim = network
         .sim_builder()
         .trace(Arc::new(trace))
@@ -118,6 +128,9 @@ fn measure(cell: &Cell<'_>) -> Vec<Row> {
         .iter()
         .map(|&load| {
             let report = sim.run(load);
+            if let Some(epochs) = &report.epochs {
+                emit_epoch_series(obs, &workload.name(), &topology, cell, load, epochs);
+            }
             Row::new()
                 .str(workload.name())
                 .str(cell.candidate.class.name())
@@ -132,4 +145,53 @@ fn measure(cell: &Cell<'_>) -> Vec<Row> {
                 .bool(report.is_saturated(zero))
         })
         .collect()
+}
+
+/// Publish one replay's per-epoch probe as a `sim.epochs` series event,
+/// keyed by workload, candidate and offered load.
+fn emit_epoch_series(
+    obs: &Obs,
+    workload: &str,
+    topology: &str,
+    cell: &Cell<'_>,
+    load: f64,
+    epochs: &EpochSeries,
+) {
+    let rows = epochs
+        .samples
+        .iter()
+        .map(|s| {
+            vec![
+                s.start_cycle as f64,
+                s.end_cycle as f64,
+                s.injected_flits as f64,
+                s.accepted_flits as f64,
+                s.packets_ejected as f64,
+                s.mean_latency_cycles,
+                s.p95_latency_cycles,
+                s.buffered_flits as f64,
+            ]
+        })
+        .collect();
+    obs.series(
+        "sim.epochs",
+        vec![
+            Attr::new("workload", workload),
+            Attr::new("topology", topology),
+            Attr::new("class", cell.candidate.class.name()),
+            Attr::new("load", load),
+            Attr::new("epoch_cycles", epochs.epoch_cycles),
+        ],
+        &[
+            "start_cycle",
+            "end_cycle",
+            "injected_flits",
+            "accepted_flits",
+            "packets_ejected",
+            "mean_latency_cycles",
+            "p95_latency_cycles",
+            "buffered_flits",
+        ],
+        rows,
+    );
 }

@@ -3,16 +3,16 @@
 //! * Golden headers — every figure's CSV schema is column-compatible with
 //!   the original hand-rolled binaries.
 //! * Cache regression — two figures sharing an `NS-LatOp` candidate
-//!   trigger exactly one discovery (counted via the probe hook) and see
-//!   bit-identical topologies.
+//!   trigger exactly one discovery (counted via the obs `cache.*`
+//!   counters) and see bit-identical topologies.
 
 use netsmith_bench::figures;
 use netsmith_exp::{
     Assertion, CandidateSpec, Cell, ExperimentSpec, Figure, ObjectiveSpec, Row, RunProfile, Runner,
     SuiteCache,
 };
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use netsmith_obs::{MemoryRecorder, Obs};
+use std::sync::Arc;
 
 /// The CSV headers of the original figure binaries, column for column.
 const GOLDEN_HEADERS: &[(&str, &str)] = &[
@@ -112,23 +112,15 @@ fn latop_figure(name: &str) -> Figure {
 
 #[test]
 fn shared_candidates_are_discovered_exactly_once_across_figures() {
-    let cache = SuiteCache::new();
-    let probed_keys: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
-    let probe_count = Arc::new(AtomicUsize::new(0));
-    {
-        let keys = Arc::clone(&probed_keys);
-        let count = Arc::clone(&probe_count);
-        cache.set_probe(move |key| {
-            keys.lock().unwrap().push(key.to_string());
-            count.fetch_add(1, Ordering::SeqCst);
-        });
-    }
+    let recorder = MemoryRecorder::new();
+    let obs = Obs::to(recorder.clone());
+    let cache = SuiteCache::new().with_obs(obs.clone());
     let profile = RunProfile {
         evals: 400,
         workers: 1,
         ..RunProfile::default()
     };
-    let runner = Runner::new(profile, &cache);
+    let runner = Runner::new(profile, &cache).with_obs(obs);
 
     // Two different figure specs referencing the same NS-LatOp candidate.
     let first = latop_figure("first_latop_figure");
@@ -138,11 +130,15 @@ fn shared_candidates_are_discovered_exactly_once_across_figures() {
     runner.verify(&first, &first_output).unwrap();
     runner.verify(&second, &second_output).unwrap();
 
-    // Exactly one discovery, observed through the probe hook.
-    assert_eq!(probe_count.load(Ordering::SeqCst), 1, "probe saw one miss");
+    // Exactly one discovery, observed through the obs counters.
+    let snapshot = recorder.snapshot();
+    assert_eq!(snapshot.counter("cache.misses"), 1, "one real discovery");
+    assert_eq!(snapshot.counter("cache.hits"), 1, "second figure hits");
     assert_eq!(cache.discoveries(), 1);
     assert_eq!(cache.references(), 2);
-    assert_eq!(probed_keys.lock().unwrap().len(), 1);
+    // One cell span per figure run, one discovery span in total.
+    assert_eq!(snapshot.span_count("cell"), 2);
+    assert_eq!(snapshot.span_count("cache.discover"), 1);
 
     // Both result sets carry the bit-identical topology.
     let a = &first_output.candidates[0].topology;

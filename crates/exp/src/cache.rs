@@ -11,6 +11,7 @@
 //! bit-for-bit.
 
 use netsmith::gen::{DiscoveryResult, NetSmith, Term, WeightedTerm};
+use netsmith_obs::Obs;
 use netsmith_topo::traffic::DemandMatrix;
 use netsmith_topo::{Layout, LinkClass};
 use std::collections::HashMap;
@@ -81,16 +82,17 @@ fn demand_fingerprint(demand: &DemandMatrix) -> u64 {
     hash
 }
 
-/// Shared discovery cache with invocation accounting and a test probe.
+/// Shared discovery cache with invocation accounting.  Every lookup is
+/// counted on the attached [`Obs`] handle as `cache.hits` / `cache.misses`
+/// (hits + misses = references, misses = discoveries), and discoveries run
+/// with the same handle so annealer spans and move counters land on the
+/// suite's recorder.
 #[derive(Default)]
 pub struct SuiteCache {
     entries: Mutex<HashMap<String, Arc<DiscoveryResult>>>,
     discoveries: AtomicUsize,
     references: AtomicUsize,
-    /// Called with the cache key on every *actual* discovery (cache miss);
-    /// lets tests count and inspect real invocations.
-    #[allow(clippy::type_complexity)]
-    probe: Mutex<Option<Box<dyn Fn(&str) + Send>>>,
+    obs: Obs,
 }
 
 impl SuiteCache {
@@ -98,10 +100,10 @@ impl SuiteCache {
         SuiteCache::default()
     }
 
-    /// Install a probe invoked with the key of every cache-missing
-    /// discovery.
-    pub fn set_probe(&self, probe: impl Fn(&str) + Send + 'static) {
-        *self.probe.lock().unwrap() = Some(Box::new(probe));
+    /// Attach an instrumentation handle; defaults to the no-op handle.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Discoveries actually run (cache misses).
@@ -122,12 +124,13 @@ impl SuiteCache {
         let key = request.key();
         let mut entries = self.entries.lock().unwrap();
         if let Some(result) = entries.get(&key) {
+            self.obs.add("cache.hits", 1);
             return Arc::clone(result);
         }
         self.discoveries.fetch_add(1, Ordering::SeqCst);
-        if let Some(probe) = self.probe.lock().unwrap().as_ref() {
-            probe(&key);
-        }
+        self.obs.add("cache.misses", 1);
+        let mut span = self.obs.span("cache.discover");
+        span.attr("key", key.as_str());
         let result = Arc::new(
             NetSmith::new(request.layout.clone(), request.class)
                 .objective(request.objective.clone())
@@ -135,8 +138,10 @@ impl SuiteCache {
                 .evaluations(request.evaluations)
                 .workers(request.workers)
                 .seed(request.seed)
+                .obs(self.obs.clone())
                 .discover(),
         );
+        span.close();
         entries.insert(key, Arc::clone(&result));
         result
     }
@@ -188,20 +193,23 @@ mod tests {
 
     #[test]
     fn cache_runs_each_key_once_and_shares_the_result() {
-        let cache = SuiteCache::new();
-        let probed = std::sync::Arc::new(AtomicUsize::new(0));
-        let observer = std::sync::Arc::clone(&probed);
-        cache.set_probe(move |_| {
-            observer.fetch_add(1, Ordering::SeqCst);
-        });
+        let recorder = netsmith_obs::MemoryRecorder::new();
+        let cache = SuiteCache::new().with_obs(Obs::to(recorder.clone()));
         let a = cache.discover(&request(Objective::LatOp));
         let b = cache.discover(&request(Objective::LatOp));
         assert_eq!(cache.discoveries(), 1);
         assert_eq!(cache.references(), 2);
-        assert_eq!(probed.load(Ordering::SeqCst), 1);
+        let snapshot = recorder.snapshot();
+        assert_eq!(snapshot.counter("cache.misses"), 1);
+        assert_eq!(snapshot.counter("cache.hits"), 1);
+        assert_eq!(snapshot.span_count("cache.discover"), 1);
+        // The discovery ran under the cache's obs handle, so the annealer's
+        // counters surface on the same recorder.
+        assert!(snapshot.counter("anneal.evaluations") >= 400);
         assert!(Arc::ptr_eq(&a, &b));
         let c = cache.discover(&request(Objective::SCOp));
         assert_eq!(cache.discoveries(), 2);
+        assert_eq!(recorder.snapshot().counter("cache.misses"), 2);
         assert_eq!(c.topology.name(), "NS-SCOp-medium");
     }
 }

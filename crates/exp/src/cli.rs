@@ -7,6 +7,9 @@
 //! * `--json` — emit rows as JSON Lines instead of CSV.
 //! * `--seed N` — override the harness seed (changes every discovery and
 //!   routing seed coherently).
+//! * `--obs FILE.jsonl` — record the run's instrumentation (spans,
+//!   counters, simulator time-series) to a JSON-Lines event log, plus a
+//!   `FILE.manifest.json` run manifest; env fallback `NETSMITH_OBS`.
 //!
 //! Budget configuration flows through [`RunProfile`] with the historical
 //! `NETSMITH_EVALS` / `NETSMITH_WORKERS` environment variables as
@@ -17,6 +20,10 @@ use crate::cache::SuiteCache;
 use crate::row::emit;
 use crate::runner::{Figure, Runner};
 use crate::spec::CandidateSpec;
+use netsmith_obs::{JsonlRecorder, Obs};
+use netsmith_pool::WorkerPool;
+use netsmith_topo::json::Json;
+use std::path::{Path, PathBuf};
 
 /// Deterministic seed shared by the harness so repeated runs reproduce the
 /// same topologies (and so every figure's candidates share cache entries).
@@ -90,14 +97,18 @@ pub struct CliOptions {
     pub profile: RunProfile,
     /// Emit JSON Lines instead of CSV.
     pub json: bool,
+    /// Instrumentation event-log path (`--obs`, env fallback
+    /// `NETSMITH_OBS`); `None` leaves the run unobserved.
+    pub obs_path: Option<PathBuf>,
 }
 
 impl CliOptions {
-    /// Parse `--quick` / `--json` / `--seed N` from an argument list
-    /// (without the program name).
+    /// Parse `--quick` / `--json` / `--seed N` / `--obs PATH` from an
+    /// argument list (without the program name).
     pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
         let mut profile = RunProfile::from_env();
         let mut json = false;
+        let mut obs_path = None;
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             match arg.as_str() {
@@ -113,10 +124,19 @@ impl CliOptions {
                         .parse()
                         .map_err(|_| format!("invalid --seed value {value:?}"))?;
                 }
+                "--obs" => {
+                    let value = args.next().ok_or("--obs requires a path")?;
+                    obs_path = Some(PathBuf::from(value));
+                }
                 other => return Err(format!("unknown argument {other:?}")),
             }
         }
-        Ok(CliOptions { profile, json })
+        let obs_path = obs_path.or_else(|| std::env::var_os("NETSMITH_OBS").map(PathBuf::from));
+        Ok(CliOptions {
+            profile,
+            json,
+            obs_path,
+        })
     }
 
     fn from_process_args() -> Self {
@@ -124,9 +144,25 @@ impl CliOptions {
             Ok(options) => options,
             Err(message) => {
                 eprintln!("error: {message}");
-                eprintln!("usage: <figure> [--quick] [--json] [--seed N]");
+                eprintln!("usage: <figure> [--quick] [--json] [--seed N] [--obs FILE.jsonl]");
                 std::process::exit(2);
             }
+        }
+    }
+
+    /// The instrumentation handle for this invocation: a JSON-Lines sink
+    /// when `--obs` (or `NETSMITH_OBS`) names a path, the no-op handle
+    /// otherwise.
+    fn obs(&self) -> Obs {
+        match &self.obs_path {
+            None => Obs::noop(),
+            Some(path) => match JsonlRecorder::create(path) {
+                Ok(recorder) => Obs::to(recorder),
+                Err(e) => {
+                    eprintln!("error: cannot create obs event log {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            },
         }
     }
 }
@@ -140,14 +176,201 @@ fn references_synth(figure: &Figure) -> bool {
         .any(|c| matches!(c, CandidateSpec::Synth { .. }))
 }
 
+/// One figure's summary entry in the run manifest.
+struct FigureRecord {
+    name: String,
+    rows: usize,
+    seconds: f64,
+    status: &'static str,
+}
+
+/// The manifest path derived from an event-log path: `run.jsonl` →
+/// `run.manifest.json`.
+fn manifest_path(event_log: &Path) -> PathBuf {
+    event_log.with_extension("manifest.json")
+}
+
+/// Build the run manifest: invocation parameters, per-figure outcomes,
+/// cache accounting and the aggregated span/counter totals.
+fn build_manifest(
+    command: &str,
+    options: &CliOptions,
+    figures: &[FigureRecord],
+    cache: &SuiteCache,
+    snapshot: &netsmith_obs::MetricsSnapshot,
+) -> Json {
+    let num = |n: u64| Json::Num(n as f64);
+    Json::Obj(vec![
+        ("command".into(), Json::Str(command.into())),
+        ("seed".into(), num(options.profile.seed)),
+        ("evals".into(), num(options.profile.evals)),
+        ("workers".into(), num(options.profile.workers as u64)),
+        ("quick".into(), Json::Bool(options.profile.quick)),
+        (
+            "figures".into(),
+            Json::Arr(
+                figures
+                    .iter()
+                    .map(|f| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::Str(f.name.clone())),
+                            ("rows".into(), num(f.rows as u64)),
+                            ("seconds".into(), Json::Num(f.seconds)),
+                            ("status".into(), Json::Str(f.status.into())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "cache".into(),
+            Json::Obj(vec![
+                ("discoveries".into(), num(cache.discoveries() as u64)),
+                ("references".into(), num(cache.references() as u64)),
+            ]),
+        ),
+        (
+            "counters".into(),
+            Json::Obj(
+                snapshot
+                    .counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), num(*v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "spans".into(),
+            Json::Obj(
+                snapshot
+                    .spans
+                    .iter()
+                    .map(|(k, s)| {
+                        (
+                            k.clone(),
+                            Json::Obj(vec![
+                                ("count".into(), num(s.count)),
+                                ("total_us".into(), num(s.total_us)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Re-read and parse both artifacts, proving the run left a complete,
+/// machine-readable account: every event-log line parses, every figure has
+/// a closed span, the manifest lists every figure, and (for suite runs) at
+/// least one simulator time-series was captured.
+fn verify_artifacts(
+    event_log: &Path,
+    manifest: &Path,
+    figures: &[FigureRecord],
+    require_series: bool,
+) -> Result<(), String> {
+    let text = std::fs::read_to_string(event_log)
+        .map_err(|e| format!("cannot re-read {}: {e}", event_log.display()))?;
+    let mut closed_spans = std::collections::HashSet::new();
+    let mut series = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let json = Json::parse(line)
+            .map_err(|e| format!("{}:{}: unparsable event: {e}", event_log.display(), i + 1))?;
+        match json.require("ev")?.as_str()? {
+            "span_close" => {
+                closed_spans.insert(json.require("name")?.as_str()?.to_string());
+            }
+            "series" => series += 1,
+            _ => {}
+        }
+    }
+    for figure in figures {
+        if !closed_spans.contains(&figure.name) {
+            return Err(format!(
+                "event log {} has no span for figure {}",
+                event_log.display(),
+                figure.name
+            ));
+        }
+    }
+    if require_series && series == 0 {
+        return Err(format!(
+            "event log {} captured no simulator time-series",
+            event_log.display()
+        ));
+    }
+    let manifest_text = std::fs::read_to_string(manifest)
+        .map_err(|e| format!("cannot re-read {}: {e}", manifest.display()))?;
+    let parsed = Json::parse(&manifest_text)
+        .map_err(|e| format!("{}: unparsable manifest: {e}", manifest.display()))?;
+    let listed = parsed.require("figures")?.as_arr()?.len();
+    if listed != figures.len() {
+        return Err(format!(
+            "{} lists {listed} figures, expected {}",
+            manifest.display(),
+            figures.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Finalize an observed run: publish the worker pool's counters, flush the
+/// sink (which appends every counter total), check the obs counters against
+/// the cache's own accounting, write the manifest, and self-verify both
+/// artifacts.  A no-op when the run is unobserved.
+fn finish_obs(
+    command: &str,
+    options: &CliOptions,
+    obs: &Obs,
+    cache: &SuiteCache,
+    figures: &[FigureRecord],
+    require_series: bool,
+) -> Result<(), String> {
+    let Some(event_log) = &options.obs_path else {
+        return Ok(());
+    };
+    let stats = WorkerPool::global().stats();
+    obs.add("pool.batches", stats.batches);
+    obs.add("pool.tasks", stats.tasks);
+    obs.add("pool.queue_wait_us", stats.queue_wait_us);
+    obs.flush();
+    let snapshot = obs.snapshot().expect("an observed run has a recorder");
+    let hits = snapshot.counter("cache.hits") as usize;
+    let misses = snapshot.counter("cache.misses") as usize;
+    if misses != cache.discoveries() || hits + misses != cache.references() {
+        return Err(format!(
+            "obs counters disagree with cache accounting: {hits} hits + {misses} misses \
+             vs {} discoveries / {} references",
+            cache.discoveries(),
+            cache.references()
+        ));
+    }
+    let manifest = manifest_path(event_log);
+    let doc = build_manifest(command, options, figures, cache, &snapshot);
+    std::fs::write(&manifest, format!("{doc}\n"))
+        .map_err(|e| format!("cannot write {}: {e}", manifest.display()))?;
+    verify_artifacts(event_log, &manifest, figures, require_series)?;
+    eprintln!(
+        "# obs: event log {} + manifest {} (verified)",
+        event_log.display(),
+        manifest.display()
+    );
+    Ok(())
+}
+
 /// Run one figure as a standalone binary: parse flags, execute, print rows,
 /// verify assertions (after printing, like the legacy binaries), exit
 /// non-zero on failure.
 pub fn run_figure(build: fn(&RunProfile) -> Figure) {
     let options = CliOptions::from_process_args();
-    let cache = SuiteCache::new();
-    let runner = Runner::new(options.profile, &cache);
+    let obs = options.obs();
+    let cache = SuiteCache::new().with_obs(obs.clone());
+    let runner = Runner::new(options.profile, &cache).with_obs(obs.clone());
     let figure = build(&runner.profile);
+    let name = figure.spec.name.clone();
+    let started = std::time::Instant::now();
+    let mut span = obs.span(&name);
     let output = match runner.run(&figure) {
         Ok(output) => output,
         Err(message) => {
@@ -155,6 +378,8 @@ pub fn run_figure(build: fn(&RunProfile) -> Figure) {
             std::process::exit(1);
         }
     };
+    span.attr("rows", output.rows.len() as u64);
+    span.close();
     emit(&output.header, &output.rows, figure.output, options.json);
     eprintln!(
         "# {}: {} rows; candidate cache: {} discoveries / {} references",
@@ -163,6 +388,16 @@ pub fn run_figure(build: fn(&RunProfile) -> Figure) {
         cache.discoveries(),
         cache.references()
     );
+    let record = FigureRecord {
+        name,
+        rows: output.rows.len(),
+        seconds: started.elapsed().as_secs_f64(),
+        status: "ok",
+    };
+    if let Err(message) = finish_obs("figure", &options, &obs, &cache, &[record], false) {
+        eprintln!("OBS FAILED: {message}");
+        std::process::exit(1);
+    }
     if let Err(message) = runner.verify(&figure, &output) {
         eprintln!("ASSERTION FAILED: {message}");
         std::process::exit(1);
@@ -179,9 +414,11 @@ pub type FigureEntry = (&'static str, fn(&RunProfile) -> Figure);
 /// number of figure specs referencing synthesized candidates).
 pub fn run_suite(registry: &[FigureEntry]) {
     let options = CliOptions::from_process_args();
-    let cache = SuiteCache::new();
-    let runner = Runner::new(options.profile, &cache);
+    let obs = options.obs();
+    let cache = SuiteCache::new().with_obs(obs.clone());
+    let runner = Runner::new(options.profile, &cache).with_obs(obs.clone());
     let mut failures: Vec<String> = Vec::new();
+    let mut records: Vec<FigureRecord> = Vec::new();
     let mut synth_specs = 0usize;
     let started = std::time::Instant::now();
     for (name, build) in registry {
@@ -190,14 +427,26 @@ pub fn run_suite(registry: &[FigureEntry]) {
             synth_specs += 1;
         }
         let figure_started = std::time::Instant::now();
-        match runner.run(&figure) {
+        let mut span = obs.span(name);
+        let outcome = runner.run(&figure);
+        let mut record = FigureRecord {
+            name: name.to_string(),
+            rows: 0,
+            seconds: 0.0,
+            status: "failed",
+        };
+        match outcome {
             Ok(output) => {
+                span.attr("rows", output.rows.len() as u64);
+                span.close();
+                record.rows = output.rows.len();
                 println!("# figure: {name}");
                 emit(&output.header, &output.rows, figure.output, options.json);
                 if let Err(message) = runner.verify(&figure, &output) {
                     eprintln!("# {name}: ASSERTION FAILED: {message}");
                     failures.push(format!("{name}: {message}"));
                 } else {
+                    record.status = "ok";
                     eprintln!(
                         "# {name}: ok ({} rows, {:.1}s)",
                         output.rows.len(),
@@ -210,6 +459,8 @@ pub fn run_suite(registry: &[FigureEntry]) {
                 failures.push(format!("{name}: {message}"));
             }
         }
+        record.seconds = figure_started.elapsed().as_secs_f64();
+        records.push(record);
     }
     eprintln!(
         "# suite: {} figures in {:.1}s; candidate cache: {} discoveries / {} references \
@@ -228,6 +479,10 @@ pub fn run_suite(registry: &[FigureEntry]) {
             cache.discoveries()
         ));
     }
+    if let Err(message) = finish_obs("suite", &options, &obs, &cache, &records, true) {
+        eprintln!("# suite: OBS FAILED: {message}");
+        failures.push(format!("obs: {message}"));
+    }
     if !failures.is_empty() {
         eprintln!("# suite: {} failure(s)", failures.len());
         for failure in &failures {
@@ -244,7 +499,7 @@ mod tests {
     #[test]
     fn parse_handles_all_flags() {
         let options = CliOptions::parse(
-            ["--quick", "--json", "--seed", "42"]
+            ["--quick", "--json", "--seed", "42", "--obs", "run.jsonl"]
                 .into_iter()
                 .map(String::from),
         )
@@ -254,6 +509,7 @@ mod tests {
         assert_eq!(options.profile.seed, 42);
         assert_eq!(options.profile.evals, QUICK_EVALS);
         assert_eq!(options.profile.workers, QUICK_WORKERS);
+        assert_eq!(options.obs_path, Some(PathBuf::from("run.jsonl")));
     }
 
     #[test]
@@ -261,6 +517,15 @@ mod tests {
         assert!(CliOptions::parse(["--fast".to_string()]).is_err());
         assert!(CliOptions::parse(["--seed".to_string()]).is_err());
         assert!(CliOptions::parse(["--seed".to_string(), "x".to_string()]).is_err());
+        assert!(CliOptions::parse(["--obs".to_string()]).is_err());
+    }
+
+    #[test]
+    fn manifest_path_swaps_the_extension() {
+        assert_eq!(
+            manifest_path(Path::new("out/run.jsonl")),
+            PathBuf::from("out/run.manifest.json")
+        );
     }
 
     #[test]

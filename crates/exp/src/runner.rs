@@ -9,6 +9,7 @@ use crate::spec::{
 };
 use netsmith::gen::DiscoveryResult;
 use netsmith::pipeline::{EvaluatedNetwork, RoutingScheme};
+use netsmith_obs::Obs;
 use netsmith_pool::WorkerPool;
 use netsmith_sim::SimConfig;
 use netsmith_topo::{expert, Layout, LinkClass, PipelineError, Topology};
@@ -74,6 +75,13 @@ pub struct Cell<'r> {
 impl Cell<'_> {
     pub fn profile(&self) -> &RunProfile {
         &self.runner.profile
+    }
+
+    /// The runner's instrumentation handle, so measurements can emit
+    /// domain-specific events (the trace figure publishes per-epoch
+    /// simulator time-series through this).
+    pub fn obs(&self) -> &Obs {
+        &self.runner.obs
     }
 
     /// The workload's simulator configuration for this cell's class.
@@ -197,6 +205,9 @@ pub struct Runner<'c> {
     pub cache: &'c SuiteCache,
     /// Maximum cells measured concurrently.
     pub parallelism: usize,
+    /// Instrumentation handle: every measured cell runs under a `cell`
+    /// span, and measurements reach it through [`Cell::obs`].
+    pub obs: Obs,
 }
 
 impl<'c> Runner<'c> {
@@ -209,7 +220,16 @@ impl<'c> Runner<'c> {
             profile,
             cache,
             parallelism,
+            obs: Obs::noop(),
         }
+    }
+
+    /// Attach an instrumentation handle (defaults to the no-op handle).
+    /// Usually the same handle the [`SuiteCache`] was built with, so cache
+    /// counters, annealer spans and cell spans share one recorder.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Resolve a synthesis candidate through the suite cache (the same path
@@ -349,36 +369,34 @@ impl<'c> Runner<'c> {
             }
         }
 
+        let measure_cell = |c: usize, w: usize| -> Vec<Row> {
+            let cell = Cell {
+                runner: self,
+                candidate: candidates[c].clone(),
+                workload: figure.spec.workloads.get(w).cloned(),
+                candidate_index: c,
+                workload_index: w,
+            };
+            let mut span = self.obs.span("cell");
+            let rows = (figure.measure)(&cell);
+            span.attr("figure", figure.spec.name.as_str());
+            span.attr("candidate", c as u64);
+            span.attr("workload", w as u64);
+            span.attr("rows", rows.len() as u64);
+            span.close();
+            rows
+        };
         let mut row_groups: Vec<Vec<Row>> = Vec::with_capacity(cells.len());
         for batch in cells.chunks(self.parallelism.max(1)) {
             let batch_rows: Vec<Vec<Row>> = if batch.len() == 1 || self.parallelism <= 1 {
-                batch
-                    .iter()
-                    .map(|&(c, w)| {
-                        let cell = Cell {
-                            runner: self,
-                            candidate: candidates[c].clone(),
-                            workload: figure.spec.workloads.get(w).cloned(),
-                            candidate_index: c,
-                            workload_index: w,
-                        };
-                        (figure.measure)(&cell)
-                    })
-                    .collect()
+                batch.iter().map(|&(c, w)| measure_cell(c, w)).collect()
             } else {
                 WorkerPool::global().run(
                     batch
                         .iter()
                         .map(|&(c, w)| {
-                            let cell = Cell {
-                                runner: self,
-                                candidate: candidates[c].clone(),
-                                workload: figure.spec.workloads.get(w).cloned(),
-                                candidate_index: c,
-                                workload_index: w,
-                            };
-                            let measure = &figure.measure;
-                            Box::new(move || measure(&cell))
+                            let measure_cell = &measure_cell;
+                            Box::new(move || measure_cell(c, w))
                                 as Box<dyn FnOnce() -> Vec<Row> + Send + '_>
                         })
                         .collect(),

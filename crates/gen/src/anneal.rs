@@ -26,6 +26,7 @@ use crate::objective::{evaluate_weighted, ObjectiveValue};
 use crate::problem::GenerationProblem;
 use crate::progress::SolverProgress;
 use crate::terms::{CutEval, WeightedTerm};
+use netsmith_obs::Obs;
 use netsmith_topo::analysis::TopoAnalysis;
 use netsmith_topo::cuts;
 use netsmith_topo::{RouterId, Topology};
@@ -110,7 +111,22 @@ impl MoveLog {
 
 /// Run one annealing search.  `bound` is the combinatorial bound used for
 /// gap reporting (see [`crate::bounds`]).
-pub fn anneal(problem: &GenerationProblem, config: &AnnealConfig, bound: f64) -> AnnealResult {
+///
+/// Instrumentation: each phase (calibration, annealing, polish) runs under
+/// an `anneal.*` span, and the `anneal.evaluations`,
+/// `anneal.moves.accepted`, `anneal.moves.rejected` and `anneal.reheats`
+/// counters account for every scored candidate.  Counter totals are
+/// deterministic per seed; pass [`Obs::noop`] to observe nothing.
+pub fn anneal(
+    problem: &GenerationProblem,
+    config: &AnnealConfig,
+    bound: f64,
+    obs: &Obs,
+) -> AnnealResult {
+    let obs_evaluations = obs.counter("anneal.evaluations");
+    let obs_accepted = obs.counter("anneal.moves.accepted");
+    let obs_rejected = obs.counter("anneal.moves.rejected");
+    let obs_reheats = obs.counter("anneal.reheats");
     let start = Instant::now();
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let valid_links = problem.valid_links();
@@ -159,6 +175,7 @@ pub fn anneal(problem: &GenerationProblem, config: &AnnealConfig, bound: f64) ->
     // while SCOp deltas are cut-scaled by 1e7, so a fixed absolute schedule
     // cannot serve both.
     let mut log = MoveLog::default();
+    let mut calibration = obs.span("anneal.calibrate");
     let delta_scale = {
         let mut deltas: Vec<f64> = Vec::with_capacity(32);
         for _ in 0..calibration_budget {
@@ -187,7 +204,13 @@ pub fn anneal(problem: &GenerationProblem, config: &AnnealConfig, bound: f64) ->
             deltas[deltas.len() / 2]
         }
     };
+    obs_evaluations.add(evaluations);
+    calibration.attr("evaluations", evaluations);
+    calibration.attr("delta_scale", delta_scale);
+    calibration.close();
 
+    let mut sa_span = obs.span("anneal.sa");
+    let sa_phase_start = evaluations;
     let mut accepted = 0u64;
     // Stall-triggered reheating: when no new incumbent lands for a window,
     // restart the cooling schedule from the best topology over the
@@ -203,6 +226,7 @@ pub fn anneal(problem: &GenerationProblem, config: &AnnealConfig, bound: f64) ->
             current_score = score_of(&current, &current_analysis, &cut_pool);
             schedule_anchor = evaluations;
             last_improvement = evaluations;
+            obs_reheats.incr();
         }
         let temperature = delta_scale
             * temperature_at(
@@ -239,8 +263,15 @@ pub fn anneal(problem: &GenerationProblem, config: &AnnealConfig, bound: f64) ->
                 last_improvement = evaluations;
                 progress.record(start.elapsed(), best_score, bound, evaluations);
             }
+            obs_accepted.incr();
+        } else {
+            obs_rejected.incr();
         }
     }
+    obs_evaluations.add(evaluations - sa_phase_start);
+    sa_span.attr("evaluations", evaluations - sa_phase_start);
+    sa_span.attr("accepted", accepted);
+    sa_span.close();
 
     // Zero-temperature polish: the SA tail leaves the incumbent a few moves
     // short of its local optimum, which makes low-budget runs noisy.  A
@@ -249,6 +280,8 @@ pub fn anneal(problem: &GenerationProblem, config: &AnnealConfig, bound: f64) ->
     // without disturbing per-seed determinism; `best` only moves on strict
     // improvement, so the plateau walk can never lose ground.
     let sideways_eps = delta_scale * 1e-9;
+    let mut polish_span = obs.span("anneal.polish");
+    let polish_phase_start = evaluations;
     current = best.clone();
     current_analysis = best_analysis.clone();
     current_score = best_score;
@@ -275,8 +308,14 @@ pub fn anneal(problem: &GenerationProblem, config: &AnnealConfig, bound: f64) ->
                 best_score = current_score;
                 progress.record(start.elapsed(), best_score, bound, evaluations);
             }
+            obs_accepted.incr();
+        } else {
+            obs_rejected.incr();
         }
     }
+    obs_evaluations.add(evaluations - polish_phase_start);
+    polish_span.attr("evaluations", evaluations - polish_phase_start);
+    polish_span.close();
 
     // Exact re-evaluation of the final topology (the cut pool only ever
     // over-estimates the sparsest cut).
@@ -579,7 +618,7 @@ mod tests {
     #[test]
     fn annealer_returns_valid_connected_topologies() {
         let problem = quick_problem(LinkClass::Medium, Objective::LatOp);
-        let result = anneal(&problem, &AnnealConfig::quick(), 0.0);
+        let result = anneal(&problem, &AnnealConfig::quick(), 0.0, &Obs::noop());
         assert!(
             result.topology.is_valid(),
             "{:?}",
@@ -597,16 +636,47 @@ mod tests {
             max_evaluations: 1_500,
             ..AnnealConfig::quick()
         };
-        let a = anneal(&problem, &cfg, 0.0);
-        let b = anneal(&problem, &cfg, 0.0);
+        let a = anneal(&problem, &cfg, 0.0, &Obs::noop());
+        let b = anneal(&problem, &cfg, 0.0, &Obs::noop());
         assert_eq!(a.topology, b.topology);
         assert_eq!(a.objective.total_hops, b.objective.total_hops);
     }
 
     #[test]
+    fn counter_totals_are_deterministic_per_seed() {
+        // The obs counters trace the annealing trajectory exactly (every
+        // scored candidate is one evaluation, every applied move one
+        // accept), so two runs with the same seed must produce identical
+        // totals — and the evaluation counter must match the result's own
+        // evaluation count.
+        use netsmith_obs::MemoryRecorder;
+        let problem = quick_problem(LinkClass::Small, Objective::LatOp);
+        let cfg = AnnealConfig {
+            max_evaluations: 1_500,
+            ..AnnealConfig::quick()
+        };
+        let run = || {
+            let recorder = MemoryRecorder::new();
+            let result = anneal(&problem, &cfg, 0.0, &Obs::to(recorder.clone()));
+            (result, recorder.snapshot())
+        };
+        let (result_a, snap_a) = run();
+        let (result_b, snap_b) = run();
+        assert_eq!(snap_a.counters, snap_b.counters);
+        assert_eq!(snap_a.counter("anneal.evaluations"), result_a.evaluations);
+        assert_eq!(snap_b.counter("anneal.evaluations"), result_b.evaluations);
+        assert!(snap_a.counter("anneal.moves.accepted") > 0);
+        assert!(snap_a.counter("anneal.moves.rejected") > 0);
+        // Every phase span ran exactly once.
+        for phase in ["anneal.calibrate", "anneal.sa", "anneal.polish"] {
+            assert_eq!(snap_a.span_count(phase), 1, "{phase}");
+        }
+    }
+
+    #[test]
     fn latop_annealing_beats_the_mesh_quickly() {
         let problem = quick_problem(LinkClass::Medium, Objective::LatOp);
-        let result = anneal(&problem, &AnnealConfig::quick(), 0.0);
+        let result = anneal(&problem, &AnnealConfig::quick(), 0.0, &Obs::noop());
         let mesh_hops = netsmith_topo::metrics::average_hops(&expert::mesh(&Layout::noi_4x5()));
         assert!(
             result.objective.average_hops < mesh_hops,
@@ -618,7 +688,7 @@ mod tests {
     #[test]
     fn symmetric_mode_produces_symmetric_topologies() {
         let problem = quick_problem(LinkClass::Small, Objective::LatOp).with_symmetric_links(true);
-        let result = anneal(&problem, &AnnealConfig::quick(), 0.0);
+        let result = anneal(&problem, &AnnealConfig::quick(), 0.0, &Obs::noop());
         assert!(result.topology.is_symmetric());
         assert!(result.topology.is_valid());
     }
@@ -626,7 +696,7 @@ mod tests {
     #[test]
     fn progress_trace_is_monotone_and_ends_with_exact_value() {
         let problem = quick_problem(LinkClass::Medium, Objective::LatOp);
-        let result = anneal(&problem, &AnnealConfig::quick(), 100.0);
+        let result = anneal(&problem, &AnnealConfig::quick(), 100.0, &Obs::noop());
         let samples = result.progress.samples();
         assert!(!samples.is_empty());
         for w in samples.windows(2) {
@@ -643,7 +713,7 @@ mod tests {
             max_evaluations: 6_000,
             ..AnnealConfig::quick()
         };
-        let result = anneal(&problem, &cfg, 0.0);
+        let result = anneal(&problem, &cfg, 0.0, &Obs::noop());
         let d = netsmith_topo::metrics::diameter(&result.topology).unwrap();
         assert!(d <= 5, "diameter {d} far above the requested bound");
     }
@@ -655,7 +725,7 @@ mod tests {
             max_evaluations: 2_500,
             ..AnnealConfig::quick()
         };
-        let result = anneal(&problem, &cfg, 0.0);
+        let result = anneal(&problem, &cfg, 0.0, &Obs::noop());
         assert!(result.topology.is_valid());
         // The mesh's sparsest cut is a floor any sensible SCOp run beats.
         let mesh_cut = netsmith_topo::cuts::sparsest_cut(&expert::mesh(&Layout::noi_4x5()))

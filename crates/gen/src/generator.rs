@@ -5,6 +5,7 @@ use crate::anneal::{anneal, AnnealConfig, AnnealResult};
 use crate::objective::{Objective, ObjectiveValue};
 use crate::problem::GenerationProblem;
 use crate::progress::SolverProgress;
+use netsmith_obs::Obs;
 use netsmith_pool::WorkerPool;
 use netsmith_topo::{Layout, LinkClass, PipelineError, Topology};
 use std::time::Duration;
@@ -46,6 +47,7 @@ pub struct NetSmith {
     problem: GenerationProblem,
     config: AnnealConfig,
     workers: usize,
+    obs: Obs,
 }
 
 impl NetSmith {
@@ -55,6 +57,7 @@ impl NetSmith {
             problem: GenerationProblem::new(layout, class, Objective::LatOp),
             config: AnnealConfig::default(),
             workers: 4,
+            obs: Obs::noop(),
         }
     }
 
@@ -64,7 +67,17 @@ impl NetSmith {
             problem,
             config: AnnealConfig::default(),
             workers: 4,
+            obs: Obs::noop(),
         }
+    }
+
+    /// Record annealer spans and move counters on an instrumentation
+    /// handle (see [`netsmith_obs`]).  Every worker reports to the same
+    /// recorder, so counter totals aggregate across the multi-start
+    /// search.  Defaults to the no-op handle.
+    pub fn obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Set the optimization objective.
@@ -149,7 +162,7 @@ impl NetSmith {
     pub fn try_discover(&self) -> Result<DiscoveryResult, PipelineError> {
         let bound = self.bound();
         let results: Vec<AnnealResult> = if self.workers == 1 {
-            vec![anneal(&self.problem, &self.config, bound)]
+            vec![anneal(&self.problem, &self.config, bound, &self.obs)]
         } else {
             let mut configs = Vec::with_capacity(self.workers);
             for w in 0..self.workers {
@@ -162,7 +175,8 @@ impl NetSmith {
                 configs
                     .iter()
                     .map(|c| {
-                        Box::new(move || anneal(problem, c, bound))
+                        let obs = self.obs.clone();
+                        Box::new(move || anneal(problem, c, bound, &obs))
                             as Box<dyn FnOnce() -> AnnealResult + Send + '_>
                     })
                     .collect(),

@@ -20,6 +20,7 @@
 //! | [`route`] | shortest paths, NDBT, MCLB routing, deadlock-free VC allocation |
 //! | [`sim`] | cycle-driven NoI simulator (gem5/HeteroGarnet substitute) |
 //! | [`trace`] | compact message traces: format, deterministic replay, workload generators |
+//! | [`obs`] | instrumentation: spans, counters, JSONL event sink, run manifests |
 //! | [`system`] | PARSEC-style full-system speedup model |
 //! | [`power`] | DSENT-style area/power model |
 //! | [`energy`] | measured-activity energy policies (link sleep, DVFS) |
@@ -54,6 +55,7 @@ pub use netsmith_energy as energy;
 pub use netsmith_fault as fault;
 pub use netsmith_gen as gen;
 pub use netsmith_lp as lp;
+pub use netsmith_obs as obs;
 pub use netsmith_power as power;
 pub use netsmith_route as route;
 pub use netsmith_sim as sim;
@@ -78,6 +80,7 @@ pub mod prelude {
         ResilienceReport,
     };
     pub use netsmith_gen::{DiscoveryResult, NetSmith, Objective, Term, WeightedTerm};
+    pub use netsmith_obs::{JsonlRecorder, MemoryRecorder, MetricsSnapshot, Obs};
     pub use netsmith_power::{area_report, power_report_from_activity, PowerConfig};
     pub use netsmith_route::{allocate_vcs, mclb_route, ndbt_route, MclbConfig, RoutingTable};
     pub use netsmith_sim::{LatencyCurve, SimConfig, Sweep, SweepOptions};

@@ -1,0 +1,242 @@
+//! The event model and its JSON-Lines encoding.
+//!
+//! Every recorder observation is an [`Event`]: a microsecond timestamp
+//! (relative to the recorder's construction) plus an [`EventKind`].  The
+//! encoding is one JSON object per line, written by a hand-rolled printer
+//! in the same style as the `netsmith-topo` JSON codec, so the log parses
+//! with that codec (and any off-the-shelf JSON-lines tooling) without this
+//! crate growing a dependency.
+
+/// An attribute value attached to spans, gauges and series.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    U64(u64),
+    F64(f64),
+    Str(String),
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::U64(v)
+    }
+}
+
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::F64(v)
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.into())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+/// A key/value attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attr {
+    pub key: String,
+    pub value: AttrValue,
+}
+
+impl Attr {
+    pub fn new(key: &str, value: impl Into<AttrValue>) -> Self {
+        Attr {
+            key: key.into(),
+            value: value.into(),
+        }
+    }
+}
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A span started; `parent` is the innermost span still open on the
+    /// same thread.
+    SpanOpen {
+        id: u64,
+        parent: Option<u64>,
+        name: String,
+    },
+    /// A span finished after `dur_us` microseconds, carrying any
+    /// attributes attached while it was open.
+    SpanClose {
+        id: u64,
+        name: String,
+        dur_us: u64,
+        attrs: Vec<Attr>,
+    },
+    /// A point-in-time measurement.
+    Gauge {
+        name: String,
+        value: f64,
+        attrs: Vec<Attr>,
+    },
+    /// A small embedded table: named columns × numeric rows (the epoch
+    /// probe's per-epoch samples travel as one of these).
+    Series {
+        name: String,
+        attrs: Vec<Attr>,
+        columns: Vec<String>,
+        rows: Vec<Vec<f64>>,
+    },
+    /// A monotonic counter's final total, emitted at flush.
+    CounterTotal { name: String, total: u64 },
+}
+
+/// A timestamped observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Microseconds since the recorder was constructed.
+    pub t_us: u64,
+    pub kind: EventKind,
+}
+
+/// Append a JSON string literal (quoted, escaped) to `out`.
+fn push_str_lit(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append a finite JSON number.  Rust's shortest-round-trip `Display` for
+/// `f64` is valid JSON for every finite value; non-finite values (which no
+/// probe should produce) degrade to `null`.
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_attrs(out: &mut String, attrs: &[Attr]) {
+    if attrs.is_empty() {
+        return;
+    }
+    out.push_str(",\"attrs\":{");
+    for (i, attr) in attrs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_str_lit(out, &attr.key);
+        out.push(':');
+        match &attr.value {
+            AttrValue::U64(v) => out.push_str(&format!("{v}")),
+            AttrValue::F64(v) => push_f64(out, *v),
+            AttrValue::Str(v) => push_str_lit(out, v),
+        }
+    }
+    out.push('}');
+}
+
+impl Event {
+    /// The event as one JSON object, without a trailing newline.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str(&format!("{{\"t_us\":{}", self.t_us));
+        match &self.kind {
+            EventKind::SpanOpen { id, parent, name } => {
+                out.push_str(&format!(",\"ev\":\"span_open\",\"id\":{id}"));
+                if let Some(parent) = parent {
+                    out.push_str(&format!(",\"parent\":{parent}"));
+                }
+                out.push_str(",\"name\":");
+                push_str_lit(&mut out, name);
+            }
+            EventKind::SpanClose {
+                id,
+                name,
+                dur_us,
+                attrs,
+            } => {
+                out.push_str(&format!(",\"ev\":\"span_close\",\"id\":{id},\"name\":"));
+                push_str_lit(&mut out, name);
+                out.push_str(&format!(",\"dur_us\":{dur_us}"));
+                push_attrs(&mut out, attrs);
+            }
+            EventKind::Gauge { name, value, attrs } => {
+                out.push_str(",\"ev\":\"gauge\",\"name\":");
+                push_str_lit(&mut out, name);
+                out.push_str(",\"value\":");
+                push_f64(&mut out, *value);
+                push_attrs(&mut out, attrs);
+            }
+            EventKind::Series {
+                name,
+                attrs,
+                columns,
+                rows,
+            } => {
+                out.push_str(",\"ev\":\"series\",\"name\":");
+                push_str_lit(&mut out, name);
+                out.push_str(",\"columns\":[");
+                for (i, col) in columns.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_str_lit(&mut out, col);
+                }
+                out.push_str("],\"rows\":[");
+                for (i, row) in rows.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('[');
+                    for (j, v) in row.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        push_f64(&mut out, *v);
+                    }
+                    out.push(']');
+                }
+                out.push(']');
+                push_attrs(&mut out, attrs);
+            }
+            EventKind::CounterTotal { name, total } => {
+                out.push_str(",\"ev\":\"counter\",\"name\":");
+                push_str_lit(&mut out, name);
+                out.push_str(&format!(",\"total\":{total}"));
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// The name carried by the event's kind.
+    pub fn name(&self) -> &str {
+        match &self.kind {
+            EventKind::SpanOpen { name, .. }
+            | EventKind::SpanClose { name, .. }
+            | EventKind::Gauge { name, .. }
+            | EventKind::Series { name, .. }
+            | EventKind::CounterTotal { name, .. } => name,
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Recorder implementations: the [`Recorder`] trait, the shared
+//! aggregation core, the in-memory recorder for tests, and the JSON-Lines
+//! file sink.
+
+use crate::event::{Event, EventKind};
+use std::collections::BTreeMap;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Aggregated statistics for one span name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// How many spans with this name closed.
+    pub count: u64,
+    /// Total wall-clock across them, microseconds.
+    pub total_us: u64,
+}
+
+/// A point-in-time aggregate of everything a recorder has seen: counter
+/// totals, closed-span summaries, last gauge values, and series counts.
+/// This is what tests assert on, and what the run manifest is built from.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub spans: BTreeMap<String, SpanStats>,
+    /// Last recorded value per gauge name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Number of series events per name.
+    pub series: BTreeMap<String, u64>,
+}
+
+impl MetricsSnapshot {
+    /// A counter's total, zero when never touched.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// How many spans with `name` closed.
+    pub fn span_count(&self, name: &str) -> u64 {
+        self.spans.get(name).map(|s| s.count).unwrap_or(0)
+    }
+}
+
+/// The instrumentation backend.  Implementations must be cheap to share
+/// across threads: counters are handed out as [`AtomicU64`]s so hot loops
+/// never re-enter the recorder, and `emit` is called only on the cold
+/// paths (span open/close, gauges, series).
+pub trait Recorder: Send + Sync {
+    /// Intern a monotonic counter.  The same name always maps to the same
+    /// cell, so totals aggregate across threads.
+    fn counter(&self, name: &str) -> Arc<AtomicU64>;
+
+    /// Record an event; the recorder stamps the timestamp.
+    fn emit(&self, kind: EventKind);
+
+    /// A fresh process-unique span id.
+    fn next_span_id(&self) -> u64;
+
+    /// Aggregate everything seen so far.
+    fn snapshot(&self) -> MetricsSnapshot;
+
+    /// Emit [`EventKind::CounterTotal`] lines for every interned counter
+    /// and flush any buffered output.
+    fn flush(&self);
+}
+
+/// Shared recorder internals: the timestamp epoch, span-id allocator,
+/// counter registry, and running aggregates.
+struct Core {
+    epoch: Instant,
+    next_id: AtomicU64,
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    spans: Mutex<BTreeMap<String, SpanStats>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+    series: Mutex<BTreeMap<String, u64>>,
+}
+
+impl Default for Core {
+    fn default() -> Self {
+        Core {
+            epoch: Instant::now(),
+            next_id: AtomicU64::new(1),
+            counters: Mutex::new(BTreeMap::new()),
+            spans: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            series: Mutex::new(BTreeMap::new()),
+        }
+    }
+}
+
+impl Core {
+    fn counter(&self, name: &str) -> Arc<AtomicU64> {
+        let mut counters = self.counters.lock().unwrap();
+        match counters.get(name) {
+            Some(cell) => Arc::clone(cell),
+            None => {
+                let cell = Arc::new(AtomicU64::new(0));
+                counters.insert(name.into(), Arc::clone(&cell));
+                cell
+            }
+        }
+    }
+
+    fn next_span_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Fold the kind into the running aggregates and stamp it.
+    fn stamp(&self, kind: EventKind) -> Event {
+        match &kind {
+            EventKind::SpanClose { name, dur_us, .. } => {
+                let mut spans = self.spans.lock().unwrap();
+                let entry = spans.entry(name.clone()).or_default();
+                entry.count += 1;
+                entry.total_us += dur_us;
+            }
+            EventKind::Gauge { name, value, .. } => {
+                self.gauges.lock().unwrap().insert(name.clone(), *value);
+            }
+            EventKind::Series { name, .. } => {
+                *self.series.lock().unwrap().entry(name.clone()).or_insert(0) += 1;
+            }
+            EventKind::SpanOpen { .. } | EventKind::CounterTotal { .. } => {}
+        }
+        Event {
+            t_us: self.epoch.elapsed().as_micros().min(u64::MAX as u128) as u64,
+            kind,
+        }
+    }
+
+    fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(name, cell)| (name.clone(), cell.load(Ordering::Relaxed)))
+                .collect(),
+            spans: self.spans.lock().unwrap().clone(),
+            gauges: self.gauges.lock().unwrap().clone(),
+            series: self.series.lock().unwrap().clone(),
+        }
+    }
+
+    /// The counter totals as `CounterTotal` kinds, in name order.
+    fn counter_totals(&self) -> Vec<EventKind> {
+        self.counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, cell)| EventKind::CounterTotal {
+                name: name.clone(),
+                total: cell.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+}
+
+/// An in-memory recorder: keeps every event, for tests and for building
+/// manifests without a sink file.  Cloning shares the same storage.
+#[derive(Clone, Default)]
+pub struct MemoryRecorder {
+    inner: Arc<MemoryInner>,
+}
+
+#[derive(Default)]
+struct MemoryInner {
+    core: Core,
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemoryRecorder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Every event recorded so far, in emission order.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.events.lock().unwrap().clone()
+    }
+
+    /// Aggregate view (also available through [`Recorder::snapshot`];
+    /// inherent so callers holding the concrete type need no trait
+    /// import).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.inner.core.snapshot()
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn counter(&self, name: &str) -> Arc<AtomicU64> {
+        self.inner.core.counter(name)
+    }
+
+    fn emit(&self, kind: EventKind) {
+        let event = self.inner.core.stamp(kind);
+        self.inner.events.lock().unwrap().push(event);
+    }
+
+    fn next_span_id(&self) -> u64 {
+        self.inner.core.next_span_id()
+    }
+
+    fn snapshot(&self) -> MetricsSnapshot {
+        self.inner.core.snapshot()
+    }
+
+    fn flush(&self) {
+        for kind in self.inner.core.counter_totals() {
+            self.emit(kind);
+        }
+    }
+}
+
+/// A JSON-Lines sink: every event becomes one JSON object per line,
+/// buffered through a shared writer.  [`Recorder::flush`] appends one
+/// `counter` line per interned counter, then flushes the buffer.
+pub struct JsonlRecorder {
+    core: Core,
+    sink: Mutex<BufWriter<Box<dyn Write + Send>>>,
+}
+
+impl JsonlRecorder {
+    /// Create (truncate) `path` and record into it.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::to_writer(Box::new(file)))
+    }
+
+    /// Record into an arbitrary writer (tests use a `Vec<u8>`).
+    pub fn to_writer(writer: Box<dyn Write + Send>) -> Self {
+        JsonlRecorder {
+            core: Core::default(),
+            sink: Mutex::new(BufWriter::new(writer)),
+        }
+    }
+
+    fn write_event(&self, event: &Event) {
+        let mut line = event.to_json_line();
+        line.push('\n');
+        // A sink write failure must not take down the run it observes;
+        // drop the event instead.
+        let _ = self.sink.lock().unwrap().write_all(line.as_bytes());
+    }
+}
+
+impl Recorder for JsonlRecorder {
+    fn counter(&self, name: &str) -> Arc<AtomicU64> {
+        self.core.counter(name)
+    }
+
+    fn emit(&self, kind: EventKind) {
+        let event = self.core.stamp(kind);
+        self.write_event(&event);
+    }
+
+    fn next_span_id(&self) -> u64 {
+        self.core.next_span_id()
+    }
+
+    fn snapshot(&self) -> MetricsSnapshot {
+        self.core.snapshot()
+    }
+
+    fn flush(&self) {
+        for kind in self.core.counter_totals() {
+            self.emit(kind);
+        }
+        let _ = self.sink.lock().unwrap().flush();
+    }
+}

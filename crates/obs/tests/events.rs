@@ -1,0 +1,295 @@
+//! Event-sink round-trip and span-invariant tests.
+//!
+//! The JSONL sink is parsed back with the `netsmith-topo` JSON codec —
+//! the same parser the experiment CLI uses to self-verify its `--obs`
+//! artifacts — and reconstructed into events, which must match what was
+//! emitted.
+
+use netsmith_obs::{Attr, AttrValue, Event, EventKind, JsonlRecorder, MemoryRecorder, Obs};
+use netsmith_topo::json::Json;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Reconstruct an event from its parsed JSON line.  Numbers carry no
+/// type tag, so integer-valued attribute numbers come back as `U64` —
+/// the emitters below therefore use non-integral floats where a float is
+/// meant, which is also what every real probe produces.
+fn event_from_json(json: &Json) -> Event {
+    let t_us = json.require("t_us").unwrap().as_u64().unwrap();
+    let name = || json.require("name").unwrap().as_str().unwrap().to_string();
+    let attrs = || -> Vec<Attr> {
+        match json.get("attrs") {
+            None => Vec::new(),
+            Some(Json::Obj(members)) => members
+                .iter()
+                .map(|(key, value)| {
+                    let value = match value {
+                        Json::Str(s) => AttrValue::Str(s.clone()),
+                        Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 => AttrValue::U64(*n as u64),
+                        Json::Num(n) => AttrValue::F64(*n),
+                        other => panic!("unexpected attr value {other:?}"),
+                    };
+                    Attr {
+                        key: key.clone(),
+                        value,
+                    }
+                })
+                .collect(),
+            Some(other) => panic!("attrs is not an object: {other:?}"),
+        }
+    };
+    let kind = match json.require("ev").unwrap().as_str().unwrap() {
+        "span_open" => EventKind::SpanOpen {
+            id: json.require("id").unwrap().as_u64().unwrap(),
+            parent: json.get("parent").map(|p| p.as_u64().unwrap()),
+            name: name(),
+        },
+        "span_close" => EventKind::SpanClose {
+            id: json.require("id").unwrap().as_u64().unwrap(),
+            name: name(),
+            dur_us: json.require("dur_us").unwrap().as_u64().unwrap(),
+            attrs: attrs(),
+        },
+        "gauge" => EventKind::Gauge {
+            name: name(),
+            value: json.require("value").unwrap().as_f64().unwrap(),
+            attrs: attrs(),
+        },
+        "series" => EventKind::Series {
+            name: name(),
+            attrs: attrs(),
+            columns: json
+                .require("columns")
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .iter()
+                .map(|c| c.as_str().unwrap().to_string())
+                .collect(),
+            rows: json
+                .require("rows")
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .iter()
+                .map(|row| {
+                    row.as_arr()
+                        .unwrap()
+                        .iter()
+                        .map(|v| v.as_f64().unwrap())
+                        .collect()
+                })
+                .collect(),
+        },
+        "counter" => EventKind::CounterTotal {
+            name: name(),
+            total: json.require("total").unwrap().as_u64().unwrap(),
+        },
+        other => panic!("unknown event tag {other:?}"),
+    };
+    Event { t_us, kind }
+}
+
+/// A `Write` impl sharing its buffer, so the test can read what the
+/// recorder wrote without consuming the recorder.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn jsonl_sink_round_trips_every_event_kind() {
+    let buf = SharedBuf::default();
+    let recorder = JsonlRecorder::to_writer(Box::new(buf.clone()));
+
+    let obs = Obs::to(recorder);
+    {
+        let mut outer = obs.span("suite");
+        {
+            let mut inner = obs.span("figure \"fig06\"\n");
+            inner.attr("rows", 42u64);
+            inner.attr("seconds", 1.25);
+            inner.attr("label", "coherence");
+        }
+        outer.attr("figures", 15u64);
+    }
+    obs.gauge("pool.threads", 4.5, vec![Attr::new("host", "ci")]);
+    obs.series(
+        "sim.epochs",
+        vec![Attr::new("load", 0.35)],
+        &["start_cycle", "accepted_flits", "mean_latency"],
+        vec![vec![0.0, 120.0, 14.5], vec![500.0, 130.0, 15.25]],
+    );
+    obs.counter("cache.hits").add(3);
+    obs.flush();
+
+    let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+    let mut parsed = Vec::new();
+    for line in text.lines() {
+        let json = Json::parse(line).unwrap_or_else(|e| panic!("line {line:?}: {e:?}"));
+        parsed.push(event_from_json(&json));
+    }
+
+    // Expected event stream, with timestamps/durations taken from the
+    // parsed side (they are wall-clock) and everything else exact.
+    let kinds: Vec<&EventKind> = parsed.iter().map(|e| &e.kind).collect();
+    match kinds.as_slice() {
+        [EventKind::SpanOpen {
+            id: outer_id,
+            parent: None,
+            name: suite,
+        }, EventKind::SpanOpen {
+            id: inner_id,
+            parent: Some(inner_parent),
+            name: figure,
+        }, EventKind::SpanClose {
+            id: close_inner,
+            attrs: inner_attrs,
+            ..
+        }, EventKind::SpanClose {
+            id: close_outer,
+            attrs: outer_attrs,
+            ..
+        }, EventKind::Gauge {
+            name: gauge,
+            value,
+            attrs: gauge_attrs,
+        }, EventKind::Series {
+            name: series,
+            attrs: series_attrs,
+            columns,
+            rows,
+        }, EventKind::CounterTotal {
+            name: counter,
+            total,
+        }] => {
+            assert_eq!(suite, "suite");
+            assert_eq!(figure, "figure \"fig06\"\n");
+            assert_eq!(inner_parent, outer_id);
+            assert_eq!(close_inner, inner_id);
+            assert_eq!(close_outer, outer_id);
+            assert_eq!(
+                inner_attrs,
+                &vec![
+                    Attr::new("rows", 42u64),
+                    Attr::new("seconds", 1.25),
+                    Attr::new("label", "coherence"),
+                ]
+            );
+            assert_eq!(outer_attrs, &vec![Attr::new("figures", 15u64)]);
+            assert_eq!(gauge, "pool.threads");
+            assert_eq!(*value, 4.5);
+            assert_eq!(gauge_attrs, &vec![Attr::new("host", "ci")]);
+            assert_eq!(series, "sim.epochs");
+            assert_eq!(series_attrs, &vec![Attr::new("load", 0.35)]);
+            assert_eq!(columns, &["start_cycle", "accepted_flits", "mean_latency"]);
+            assert_eq!(
+                rows,
+                &vec![vec![0.0, 120.0, 14.5], vec![500.0, 130.0, 15.25]]
+            );
+            assert_eq!(counter, "cache.hits");
+            assert_eq!(*total, 3);
+        }
+        other => panic!("unexpected event stream: {other:#?}"),
+    }
+
+    // Timestamps never go backwards within the single-threaded stream.
+    for pair in parsed.windows(2) {
+        assert!(pair[0].t_us <= pair[1].t_us);
+    }
+}
+
+#[test]
+fn span_closes_match_opens_and_durations_are_consistent() {
+    let recorder = MemoryRecorder::new();
+    let obs = Obs::to(recorder.clone());
+
+    {
+        let _a = obs.span("a");
+        {
+            let _b = obs.span("b");
+            let _c = obs.span("c");
+        }
+        let _d = obs.span("d");
+    }
+
+    let events = recorder.events();
+    let mut open: HashMap<u64, &str> = HashMap::new();
+    let mut opened = 0;
+    let mut closed = 0;
+    for event in &events {
+        match &event.kind {
+            EventKind::SpanOpen { id, name, parent } => {
+                // A parent must still be open when its child opens.
+                if let Some(parent) = parent {
+                    assert!(open.contains_key(parent), "dangling parent {parent}");
+                }
+                assert!(open.insert(*id, name).is_none(), "duplicate open {id}");
+                opened += 1;
+            }
+            EventKind::SpanClose { id, name, .. } => {
+                let opened_name = open.remove(id).unwrap_or_else(|| {
+                    panic!("close without open: {id} ({name})");
+                });
+                assert_eq!(opened_name, name);
+                closed += 1;
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+    assert_eq!(opened, 4);
+    assert_eq!(closed, 4);
+    assert!(open.is_empty(), "spans left open: {open:?}");
+
+    let snapshot = recorder.snapshot();
+    for name in ["a", "b", "c", "d"] {
+        assert_eq!(snapshot.span_count(name), 1);
+    }
+}
+
+#[test]
+fn noop_handle_accepts_everything_and_records_nothing() {
+    let obs = Obs::noop();
+    assert!(!obs.enabled());
+    let counter = obs.counter("x");
+    counter.add(10);
+    counter.incr();
+    obs.add("y", 5);
+    obs.gauge("g", 1.0, vec![]);
+    obs.series("s", vec![], &["c"], vec![vec![1.0]]);
+    let mut span = obs.span("z");
+    span.attr("k", 1u64);
+    drop(span);
+    obs.flush();
+    assert!(obs.snapshot().is_none());
+}
+
+#[test]
+fn counters_aggregate_across_clones_and_threads() {
+    let recorder = MemoryRecorder::new();
+    let obs = Obs::to(recorder.clone());
+    let threads: Vec<_> = (0..4)
+        .map(|_| {
+            let obs = obs.clone();
+            std::thread::spawn(move || {
+                let counter = obs.counter("work.items");
+                for _ in 0..1000 {
+                    counter.incr();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert_eq!(recorder.snapshot().counter("work.items"), 4000);
+}

@@ -26,17 +26,42 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// A type-erased unit of work queued on the pool.
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Cumulative activity counters of a pool since its creation, read with
+/// [`WorkerPool::stats`].  The pool keeps these itself (plain relaxed
+/// atomics, no dependencies) so callers — the experiment CLI publishes
+/// them as `pool.*` obs counters — can snapshot activity without wrapping
+/// every submission site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Batches submitted through [`WorkerPool::run`].
+    pub batches: u64,
+    /// Tasks across all batches.
+    pub tasks: u64,
+    /// Total microseconds tasks spent queued before starting to run.
+    pub queue_wait_us: u64,
+}
+
+#[derive(Default)]
+struct StatCells {
+    batches: AtomicU64,
+    tasks: AtomicU64,
+    queue_wait_us: AtomicU64,
+}
 
 /// State shared between the pool handle and its worker threads.
 struct Shared {
     queue: Mutex<QueueState>,
     /// Signalled when new work arrives (a new epoch) or on shutdown.
     work_ready: Condvar,
+    stats: StatCells,
 }
 
 struct QueueState {
@@ -93,6 +118,7 @@ impl WorkerPool {
                 shutdown: false,
             }),
             work_ready: Condvar::new(),
+            stats: StatCells::default(),
         });
         let workers = (0..threads)
             .map(|i| {
@@ -129,6 +155,15 @@ impl WorkerPool {
         self.threads
     }
 
+    /// Snapshot of the pool's cumulative activity counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            batches: self.shared.stats.batches.load(Ordering::Relaxed),
+            tasks: self.shared.stats.tasks.load(Ordering::Relaxed),
+            queue_wait_us: self.shared.stats.queue_wait_us.load(Ordering::Relaxed),
+        }
+    }
+
     /// Run a batch of tasks to completion and return their results in
     /// submission order.  Blocks until every task has finished; if any
     /// task panicked, the first panic is resumed on the submitting thread
@@ -150,6 +185,12 @@ impl WorkerPool {
         results.resize_with(size, || None);
         let batch = Batch::new(size);
 
+        self.shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .stats
+            .tasks
+            .fetch_add(size as u64, Ordering::Relaxed);
+        let enqueued = Instant::now();
         {
             let mut queue = self.shared.queue.lock().unwrap();
             for (slot, task) in results.iter_mut().zip(tasks) {
@@ -159,7 +200,12 @@ impl WorkerPool {
                 // observes `remaining == 0`.
                 let slot = SendPtr(slot as *mut Option<T>);
                 let batch = Arc::clone(&batch);
+                let shared = Arc::clone(&self.shared);
                 let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+                    shared.stats.queue_wait_us.fetch_add(
+                        enqueued.elapsed().as_micros().min(u64::MAX as u128) as u64,
+                        Ordering::Relaxed,
+                    );
                     let outcome = catch_unwind(AssertUnwindSafe(task));
                     match outcome {
                         // Written through the wrapper (not the raw field) so
@@ -353,6 +399,21 @@ mod tests {
         // Every non-panicking task still ran: the barrier waits for the
         // whole batch before resuming the panic.
         assert_eq!(completed.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn stats_count_batches_and_tasks() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.stats(), PoolStats::default());
+        pool.run(boxed((0..5).map(|i| move || i).collect::<Vec<_>>()));
+        pool.run(boxed((0..3).map(|i| move || i).collect::<Vec<_>>()));
+        let stats = pool.stats();
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.tasks, 8);
+        // Queue wait is wall-clock and may legitimately round to zero on
+        // an idle pool; it only has to be finite and monotone.
+        let again = pool.stats();
+        assert!(again.queue_wait_us >= stats.queue_wait_us);
     }
 
     #[test]

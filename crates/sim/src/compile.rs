@@ -31,7 +31,7 @@
 
 use crate::activity::{ActivityProfile, LinkActivity, RouterActivity};
 use crate::config::{PacketClass, SimConfig};
-use crate::network::{point_seed, NetworkSim, SimReport};
+use crate::network::{point_seed, EpochSample, EpochSeries, NetworkSim, SimReport};
 use crate::stats::LatencyStats;
 use netsmith_route::{Flow, RoutingTable, VcAllocation};
 use netsmith_topo::{Layout, RouterId, Topology};
@@ -524,8 +524,50 @@ pub(crate) fn run_flat(
     let mut packets_ejected = 0u64;
     let mut flits_ejected_in_window = 0u64;
 
+    // Epoch probe: when `cfg.epoch_cycles > 0`, the measurement window is
+    // sliced into fixed-length epochs and per-epoch counters are kept
+    // alongside the window totals.  Attribution mirrors the window
+    // counters — injections by injection cycle, accepted flits by arrival
+    // cycle, latency samples by creation cycle — so every epoch column
+    // sums (or averages) back to the corresponding report field.  Epoch
+    // ends are detected at the loop head; in-window cycles always advance
+    // by one (the quiescence skip requires `cycle >= measure_end`), so no
+    // boundary can be jumped over with state changes in between.
+    // Disabled, the probe costs one always-false compare per cycle
+    // (`next_epoch_end` is `u64::MAX`) and a `num_epochs > 0` test per
+    // commit.
+    let epoch_len = cfg.epoch_cycles;
+    let num_epochs = if epoch_len > 0 {
+        cfg.measure_cycles.div_ceil(epoch_len) as usize
+    } else {
+        0
+    };
+    let mut epoch_injected = vec![0u64; num_epochs];
+    let mut epoch_accepted = vec![0u64; num_epochs];
+    let mut epoch_ejected = vec![0u64; num_epochs];
+    let mut epoch_stats = vec![LatencyStats::new(); num_epochs];
+    let mut epoch_buffered = vec![0u64; num_epochs];
+    let mut epoch_idx = 0usize;
+    let mut next_epoch_end = if num_epochs > 0 {
+        (measure_start + epoch_len).min(measure_end)
+    } else {
+        u64::MAX
+    };
+
     let mut cycle: u64 = 0;
     while cycle < total_cycles {
+        // Close finished epochs: snapshot the instantaneous buffered-flit
+        // occupancy as of the epoch boundary (all commits of the epoch's
+        // last cycle have happened; nothing of this cycle has).
+        while cycle >= next_epoch_end && epoch_idx < num_epochs {
+            epoch_buffered[epoch_idx] = routers.iter().map(|r| r.buf.buffered).sum();
+            epoch_idx += 1;
+            next_epoch_end = if epoch_idx < num_epochs {
+                (measure_start + (epoch_idx as u64 + 1) * epoch_len).min(measure_end)
+            } else {
+                u64::MAX
+            };
+        }
         let in_window = cycle >= measure_start && cycle < measure_end;
         // 0a. Wake parked links whose scheduled cycle has arrived.
         {
@@ -557,6 +599,10 @@ pub(crate) fn run_flat(
                         inj.packets += 1;
                         inj.window_flits += flits as u64;
                         inj.outstanding += 1;
+                        if num_epochs > 0 {
+                            epoch_injected[((cycle - measure_start) / epoch_len) as usize] +=
+                                flits as u64;
+                        }
                     }
                     let queue = &mut source_queues[src];
                     queue.push_back(FlatPacket {
@@ -576,6 +622,7 @@ pub(crate) fn run_flat(
             } else {
                 for (src, &alive) in sim.alive.iter().enumerate() {
                     if alive && (rng.next_u64() >> 11) < inject_thr {
+                        let flits_before = inj.window_flits;
                         inject_packet(
                             sim,
                             net,
@@ -595,6 +642,13 @@ pub(crate) fn run_flat(
                             &mut ring,
                             ring_mask,
                         );
+                        // The epoch attribution stays out of the cold
+                        // injection helper: recover the injected flits (if
+                        // any) from the window counter's delta.
+                        if num_epochs > 0 && in_window {
+                            epoch_injected[((cycle - measure_start) / epoch_len) as usize] +=
+                                inj.window_flits - flits_before;
+                        }
                     }
                 }
             }
@@ -758,9 +812,18 @@ pub(crate) fn run_flat(
                     stats.record(latency);
                     packets_ejected += 1;
                     inj.outstanding = inj.outstanding.saturating_sub(1);
+                    if num_epochs > 0 {
+                        let e = ((created - measure_start) / epoch_len) as usize;
+                        epoch_stats[e].record(latency);
+                        epoch_ejected[e] += 1;
+                    }
                 }
                 if arrival >= measure_start && arrival < measure_end {
                     flits_ejected_in_window += flits as u64;
+                    if num_epochs > 0 {
+                        epoch_accepted[((arrival - measure_start) / epoch_len) as usize] +=
+                            flits as u64;
+                    }
                 }
             } else {
                 vc_occ[o * num_vcs + vc as usize] += flits;
@@ -843,6 +906,30 @@ pub(crate) fn run_flat(
     for rs in routers.iter_mut() {
         rs.buf.accrue(measure_end, measure_start, measure_end);
     }
+    // Close any epochs still open (the loop ends without revisiting its
+    // head when the drain window is empty or quiescence cuts it short).
+    while epoch_idx < num_epochs {
+        epoch_buffered[epoch_idx] = routers.iter().map(|r| r.buf.buffered).sum();
+        epoch_idx += 1;
+    }
+    let epochs = (num_epochs > 0).then(|| EpochSeries {
+        epoch_cycles: epoch_len,
+        samples: (0..num_epochs)
+            .map(|e| {
+                let start_cycle = measure_start + e as u64 * epoch_len;
+                EpochSample {
+                    start_cycle,
+                    end_cycle: (start_cycle + epoch_len).min(measure_end),
+                    injected_flits: epoch_injected[e],
+                    accepted_flits: epoch_accepted[e],
+                    packets_ejected: epoch_ejected[e],
+                    mean_latency_cycles: epoch_stats[e].mean(),
+                    p95_latency_cycles: epoch_stats[e].percentile(0.95),
+                    buffered_flits: epoch_buffered[e],
+                }
+            })
+            .collect(),
+    });
     let measure_cycles = cfg.measure_cycles as f64;
     let injected = inj.window_flits as f64 / (n as f64 * measure_cycles);
     let accepted = flits_ejected_in_window as f64 / (n as f64 * measure_cycles);
@@ -881,6 +968,7 @@ pub(crate) fn run_flat(
         packets_unfinished: inj.outstanding,
         avg_link_utilization: activity.avg_link_utilization(),
         activity,
+        epochs,
     }
 }
 
@@ -941,6 +1029,89 @@ mod tests {
             .build();
         for load in [0.02, 0.3, 0.9] {
             assert_eq!(sim.run(load), sim.run_reference(load), "load {load}");
+        }
+    }
+
+    #[test]
+    fn epoch_probe_is_off_by_default_and_reference_never_fills_it() {
+        let mesh = expert::mesh(&Layout::noi_4x5());
+        let ps = all_shortest_paths(&mesh);
+        let table = mclb_route(&ps, &MclbConfig::default());
+        let alloc = allocate_vcs(&table, 6, 42).unwrap();
+        let sim = NetworkSim::builder(&mesh, &table)
+            .vcs(&alloc)
+            .config(SimConfig::quick())
+            .build();
+        assert!(sim.run(0.2).epochs.is_none());
+        assert!(sim.run_reference(0.2).epochs.is_none());
+    }
+
+    #[test]
+    fn epoch_probe_slices_the_window_and_sums_to_the_report() {
+        let mesh = expert::mesh(&Layout::noi_4x5());
+        let ps = all_shortest_paths(&mesh);
+        let table = mclb_route(&ps, &MclbConfig::default());
+        let alloc = allocate_vcs(&table, 6, 42).unwrap();
+        let config = SimConfig {
+            epoch_cycles: 400, // 1500-cycle window -> 4 epochs, last short
+            ..SimConfig::quick()
+        };
+        let sim = NetworkSim::builder(&mesh, &table)
+            .vcs(&alloc)
+            .config(config.clone())
+            .build();
+        let report = sim.run(0.2);
+        let series = report.epochs.as_ref().expect("probe enabled");
+        assert_eq!(series.epoch_cycles, 400);
+        assert_eq!(series.samples.len(), 4);
+        let measure_start = config.warmup_cycles;
+        let measure_end = config.warmup_cycles + config.measure_cycles;
+        for (e, s) in series.samples.iter().enumerate() {
+            assert_eq!(s.start_cycle, measure_start + e as u64 * 400);
+            assert_eq!(s.end_cycle, (s.start_cycle + 400).min(measure_end));
+            assert!(s.mean_latency_cycles >= 0.0);
+            assert!(s.p95_latency_cycles >= s.mean_latency_cycles * 0.5);
+        }
+        // Per-epoch counters partition the window totals exactly.
+        let n = 20.0;
+        let measure = config.measure_cycles as f64;
+        let injected: u64 = series.samples.iter().map(|s| s.injected_flits).sum();
+        let accepted: u64 = series.samples.iter().map(|s| s.accepted_flits).sum();
+        let ejected: u64 = series.samples.iter().map(|s| s.packets_ejected).sum();
+        assert!(
+            (injected as f64 / (n * measure) - report.injected_flits_per_node_cycle).abs() < 1e-12
+        );
+        assert!(
+            (accepted as f64 / (n * measure) - report.accepted_flits_per_node_cycle).abs() < 1e-12
+        );
+        assert_eq!(ejected, report.packets_ejected);
+        assert!(injected > 0, "a 20% load must inject in every window");
+        // At a sustainable load with nonzero latency some buffers are
+        // occupied at least at one epoch boundary.
+        assert!(series.samples.iter().any(|s| s.accepted_flits > 0));
+    }
+
+    #[test]
+    fn epoch_probe_does_not_perturb_the_simulation() {
+        let mesh = expert::mesh(&Layout::noi_4x5());
+        let ps = all_shortest_paths(&mesh);
+        let table = mclb_route(&ps, &MclbConfig::default());
+        let alloc = allocate_vcs(&table, 6, 42).unwrap();
+        let off = NetworkSim::builder(&mesh, &table)
+            .vcs(&alloc)
+            .config(SimConfig::quick())
+            .build();
+        let on = NetworkSim::builder(&mesh, &table)
+            .vcs(&alloc)
+            .config(SimConfig {
+                epoch_cycles: 250,
+                ..SimConfig::quick()
+            })
+            .build();
+        for load in [0.05, 0.3, 0.9] {
+            let mut probed = on.run(load);
+            assert!(probed.epochs.take().is_some());
+            assert_eq!(probed, off.run(load), "load {load}");
         }
     }
 

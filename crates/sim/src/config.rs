@@ -45,6 +45,14 @@ pub struct SimConfig {
     pub seed: u64,
     /// NoI clock in GHz (3.6 / 3.0 / 2.7 for small / medium / large).
     pub clock_ghz: f64,
+    /// Epoch probe interval in cycles: when non-zero, the compiled engine
+    /// slices the measurement window into epochs of this length and
+    /// reports a per-epoch time-series (throughput, latency, buffer
+    /// occupancy) in [`SimReport::epochs`].  Zero (the default) disables
+    /// the probe; results are unaffected either way.
+    ///
+    /// [`SimReport::epochs`]: crate::SimReport::epochs
+    pub epoch_cycles: u64,
 }
 
 impl Default for SimConfig {
@@ -63,6 +71,7 @@ impl Default for SimConfig {
             drain_cycles: 4_000,
             seed: 0xBEEF,
             clock_ghz: 3.0,
+            epoch_cycles: 0,
         }
     }
 }

@@ -42,6 +42,8 @@ pub use activity::{ActivityProfile, LinkActivity, RouterActivity};
 pub use compile::CompiledNetwork;
 pub use config::{PacketClass, SimConfig};
 pub use netsmith_trace::{Trace, TraceCursor};
-pub use network::{point_seed, splitmix64, NetworkSim, NetworkSimBuilder, SimReport};
+pub use network::{
+    point_seed, splitmix64, EpochSample, EpochSeries, NetworkSim, NetworkSimBuilder, SimReport,
+};
 pub use stats::LatencyStats;
 pub use sweep::{saturation_throughput, LatencyCurve, Sweep, SweepOptions, SweepPoint};

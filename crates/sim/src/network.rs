@@ -69,6 +69,41 @@ pub fn point_seed(seed: u64, offered_flits_per_node_cycle: f64) -> u64 {
     splitmix64(seed ^ splitmix64(offered_flits_per_node_cycle.to_bits()))
 }
 
+/// One epoch of the compiled engine's epoch probe: the measurement window
+/// sliced at [`SimConfig::epoch_cycles`] intervals.  Attribution follows
+/// the window counters: injections count in the epoch of their injection
+/// cycle, accepted flits in the epoch their packet arrives, and latency
+/// samples in the epoch the packet was *created* (the "requests issued in
+/// this interval" view a serving-style consumer wants).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochSample {
+    /// First cycle of the epoch (absolute, includes warmup offset).
+    pub start_cycle: u64,
+    /// One past the last cycle of the epoch (clamped to the window end).
+    pub end_cycle: u64,
+    /// Flits injected during the epoch.
+    pub injected_flits: u64,
+    /// Flits whose packets were ejected during the epoch.
+    pub accepted_flits: u64,
+    /// Measured packets (created in this epoch) ejected so far.
+    pub packets_ejected: u64,
+    /// Mean latency of measured packets created in this epoch (cycles).
+    pub mean_latency_cycles: f64,
+    /// 95th-percentile latency of measured packets created in this epoch.
+    pub p95_latency_cycles: f64,
+    /// Total flits resident in VC buffers when the epoch ended (an
+    /// instantaneous occupancy snapshot, not a window average).
+    pub buffered_flits: u64,
+}
+
+/// The epoch probe's time-series over the measurement window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochSeries {
+    /// The configured epoch length in cycles.
+    pub epoch_cycles: u64,
+    pub samples: Vec<EpochSample>,
+}
+
 /// Final report of a single simulation run at a fixed injection rate.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
@@ -110,6 +145,10 @@ pub struct SimReport {
     /// Per-directed-link and per-router activity measured over the window;
     /// the input to measured power reports and energy policies.
     pub activity: ActivityProfile,
+    /// Per-epoch time-series over the measurement window, present when
+    /// [`SimConfig::epoch_cycles`] is non-zero and the compiled engine ran
+    /// (the reference engine never fills it).
+    pub epochs: Option<EpochSeries>,
 }
 
 impl SimReport {
@@ -590,6 +629,7 @@ impl<'a> NetworkSim<'a> {
             packets_unfinished: measured_outstanding,
             avg_link_utilization: activity.avg_link_utilization(),
             activity,
+            epochs: None,
         }
     }
 }

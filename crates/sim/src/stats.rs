@@ -2,14 +2,25 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Exact 1-cycle bins covering latencies 0..=1024.
+const LINEAR_BINS: usize = 1025;
+/// Geometric tail resolution: bins per factor-of-two of latency.
+const BINS_PER_OCTAVE: usize = 8;
+/// Octaves covered by the tail (up to 1024 * 2^20 ≈ 10^9 cycles; anything
+/// beyond clamps into the last bin).
+const TAIL_OCTAVES: usize = 20;
+const TAIL_BINS: usize = BINS_PER_OCTAVE * TAIL_OCTAVES;
+
 /// Aggregated latency statistics over measured packets.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LatencyStats {
     count: u64,
     total: f64,
     max: f64,
-    /// Latency histogram with 1-cycle bins up to 1024, used for percentile
-    /// estimates without storing every sample.
+    /// Latency histogram used for percentile estimates without storing
+    /// every sample: 1-cycle bins up to 1024 cycles, then geometric bins
+    /// ([`BINS_PER_OCTAVE`] per factor of two) so congested runs report
+    /// real tail percentiles instead of clamping to 1024.
     histogram: Vec<u64>,
 }
 
@@ -32,7 +43,31 @@ impl LatencyStats {
             count: 0,
             total: 0.0,
             max: 0.0,
-            histogram: vec![0; 1025],
+            histogram: vec![0; LINEAR_BINS + TAIL_BINS],
+        }
+    }
+
+    /// The histogram bin for a latency: exact below the linear range,
+    /// geometric above it.
+    fn bin_of(latency_cycles: f64) -> usize {
+        let rounded = latency_cycles.round().max(0.0);
+        if rounded < LINEAR_BINS as f64 {
+            rounded as usize
+        } else {
+            let octaves = (rounded / (LINEAR_BINS - 1) as f64).log2();
+            let tail = (octaves * BINS_PER_OCTAVE as f64) as usize;
+            LINEAR_BINS + tail.min(TAIL_BINS - 1)
+        }
+    }
+
+    /// The representative latency of a bin: the bin itself in the linear
+    /// range, the log-space midpoint of a geometric tail bin.
+    fn bin_value(bin: usize) -> f64 {
+        if bin < LINEAR_BINS {
+            bin as f64
+        } else {
+            let tail = (bin - LINEAR_BINS) as f64;
+            (LINEAR_BINS - 1) as f64 * ((tail + 0.5) / BINS_PER_OCTAVE as f64).exp2()
         }
     }
 
@@ -43,8 +78,7 @@ impl LatencyStats {
         if latency_cycles > self.max {
             self.max = latency_cycles;
         }
-        let bin = (latency_cycles.round() as usize).min(self.histogram.len() - 1);
-        self.histogram[bin] += 1;
+        self.histogram[Self::bin_of(latency_cycles)] += 1;
     }
 
     /// Number of recorded packets.
@@ -76,7 +110,9 @@ impl LatencyStats {
         for (bin, &c) in self.histogram.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return bin as f64;
+                // A geometric bin's midpoint can overshoot the largest
+                // sample actually seen; the true value never can.
+                return Self::bin_value(bin).min(self.max);
             }
         }
         self.max
@@ -138,6 +174,63 @@ mod tests {
         let s = LatencyStats::new();
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.percentile(0.99), 0.0);
+    }
+
+    #[test]
+    fn tail_percentiles_are_not_clamped_to_1024() {
+        // Regression: with 1-cycle bins ending at 1024, every latency
+        // above the range fell into the last bin and p95/p99 reported
+        // exactly 1024 on congested runs.
+        let mut s = LatencyStats::new();
+        for i in 0..100 {
+            s.record(2_000.0 + 40.0 * i as f64); // 2000..=5960
+        }
+        let p50 = s.percentile(0.5);
+        let p95 = s.percentile(0.95);
+        let p99 = s.percentile(0.99);
+        assert!(p50 > 1024.0, "p50 clamped: {p50}");
+        assert!(p95 > 1024.0, "p95 clamped: {p95}");
+        // Geometric bins are ~9% wide; allow that much error around the
+        // exact sample percentiles.
+        assert!((p50 - 3_980.0).abs() / 3_980.0 < 0.10, "p50 = {p50}");
+        assert!((p95 - 5_760.0).abs() / 5_760.0 < 0.10, "p95 = {p95}");
+        assert!(p95 <= p99 && p99 <= s.max() + 1e-9);
+    }
+
+    #[test]
+    fn extreme_latencies_clamp_into_the_last_bin() {
+        let mut s = LatencyStats::new();
+        s.record(1e18);
+        s.record(5.0);
+        assert_eq!(s.count(), 2);
+        // The sample lands in the last geometric bin (~10^9 cycles): the
+        // estimate keeps its order of magnitude floor instead of clamping
+        // to 1024, and never exceeds the observed max.
+        let p = s.percentile(1.0);
+        assert!(p >= 1e8 && p <= s.max(), "p100 = {p}");
+    }
+
+    #[test]
+    fn linear_range_percentiles_stay_exact() {
+        let mut s = LatencyStats::new();
+        for i in 0..=1000 {
+            s.record(i as f64);
+        }
+        assert_eq!(s.percentile(0.95), 950.0);
+        assert_eq!(s.percentile(0.99), 990.0);
+    }
+
+    #[test]
+    fn merge_combines_tail_histograms() {
+        let mut a = LatencyStats::new();
+        a.record(4_000.0);
+        let mut b = LatencyStats::new();
+        b.record(4_000.0);
+        b.record(8_000.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        let p = a.percentile(0.5);
+        assert!((p - 4_000.0).abs() / 4_000.0 < 0.10, "median = {p}");
     }
 
     #[test]

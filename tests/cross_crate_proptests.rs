@@ -25,7 +25,7 @@ proptest! {
             max_evaluations: 800,
             ..AnnealConfig::quick()
         };
-        let result = anneal(&problem, &config, 0.0);
+        let result = anneal(&problem, &config, 0.0, &netsmith::obs::Obs::noop());
         prop_assert!(result.topology.is_valid());
 
         let paths = all_shortest_paths(&result.topology);
