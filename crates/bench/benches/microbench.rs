@@ -13,8 +13,10 @@ use netsmith::topo::analysis::TopoAnalysis;
 use netsmith_lp::{Cmp, LinExpr, MilpSolver, Model, Sense};
 use netsmith_route::paths::all_shortest_paths;
 use netsmith_route::{allocate_vcs, mclb_route, MclbConfig};
-use netsmith_sim::{NetworkSim, SimConfig};
+use netsmith_sim::{InjectionSchedule, NetworkSim, SimConfig};
 use netsmith_topo::{cuts, metrics};
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
 use std::time::Duration;
 
 fn bench_lp(c: &mut Criterion) {
@@ -199,6 +201,88 @@ fn bench_simulator(c: &mut Criterion) {
     group.finish();
 }
 
+/// The injection-path rework, head to head: the pre-rework draw
+/// structure (one Bernoulli coin per source per cycle, modelled here
+/// with the same RNG and draw shape as the legacy engine loop) vs the
+/// skip-sampled schedule both engines now consume (geometric
+/// inter-arrival gaps resolved against an exact-integer threshold
+/// table; idle cycles draw nothing and the consumer jumps straight
+/// between due cycles).  Both sides cover an identical
+/// 12,000-cycle × 20-source horizon at the same offered load.
+fn bench_injection_path(c: &mut Criterion) {
+    let config = SimConfig::default(); // 2000 warmup + 10000 measure
+    let layout = Layout::noi_4x5();
+    let alive = vec![true; 20];
+    let pattern = TrafficPattern::UniformRandom;
+    let load = 0.3; // flits/node/cycle -> p = 0.06 per source per cycle
+    let horizon = config.warmup_cycles + config.measure_cycles;
+    let p = load / config.average_flits();
+
+    let mut group = c.benchmark_group("injection_path");
+    group.sample_size(40);
+    group.bench_function("coin_loop_per_cycle", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(config.seed);
+            let mut flits = 0u64;
+            for _cycle in 0..horizon {
+                for src in 0..alive.len() {
+                    let coin = (rng.next_u64() >> 11) as f64 * 2f64.powi(-53);
+                    if coin >= p {
+                        continue;
+                    }
+                    if let Some(dst) = pattern.sample_destination(&layout, src, &mut rng) {
+                        let class = (rng.next_u64() >> 11) as f64 * 2f64.powi(-53);
+                        flits += if class < config.data_fraction { 9 } else { 1 };
+                        std::hint::black_box(dst);
+                    }
+                }
+            }
+            flits
+        })
+    });
+    group.bench_function("skip_sampling_schedule", |b| {
+        b.iter(|| {
+            let mut sched = InjectionSchedule::for_run(&config, load, &alive);
+            let mut flits = 0u64;
+            // Jump straight from due cycle to due cycle, exactly like the
+            // compiled engine's idle-stretch jump.
+            while let Some(due) = sched.next_due() {
+                while let Some(ev) = sched.pop_due(due, &pattern, &layout, &alive) {
+                    flits += ev.flits as u64;
+                }
+            }
+            flits
+        })
+    });
+    group.finish();
+}
+
+/// The candidate-scan rework at engine granularity: the compiled engine
+/// walks packed active-link bitmaps word-by-word with precomputed
+/// tie-break keys (batched), the reference engine re-scans every link's
+/// VC queues each cycle (scalar).  Same network, same config, same
+/// high-load point — where arbitration dominates the cycle budget — so
+/// the ratio is the scan rework's payoff.
+fn bench_candidate_scan(c: &mut Criterion) {
+    let layout = Layout::noi_4x5();
+    let kite = expert::kite_medium(&layout);
+    let paths = all_shortest_paths(&kite);
+    let table = mclb_route(&paths, &MclbConfig::default());
+    let alloc = allocate_vcs(&table, 6, 3).unwrap();
+    let sim = NetworkSim::builder(&kite, &table)
+        .vcs(&alloc)
+        .pattern(TrafficPattern::UniformRandom)
+        .config(SimConfig::quick())
+        .compile();
+    let mut group = c.benchmark_group("candidate_scan");
+    group.sample_size(10);
+    group.bench_function("batched_compiled_engine", |b| b.iter(|| sim.run(0.6)));
+    group.bench_function("scalar_reference_engine", |b| {
+        b.iter(|| sim.run_reference(0.6))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_lp,
@@ -206,6 +290,8 @@ criterion_group!(
     bench_routing,
     bench_objective_eval,
     bench_generation,
-    bench_simulator
+    bench_simulator,
+    bench_injection_path,
+    bench_candidate_scan
 );
 criterion_main!(benches);

@@ -1,21 +1,34 @@
-//! The tracked performance target (`BENCH_8.json`).
+//! The tracked performance target (`BENCH_9.json`).
 //!
 //! Measures simulator throughput on the fig08/fig11 simulation
 //! configurations, a trace-replay throughput probe (the fig15 workload:
 //! an ON/OFF hotspot trace replayed across the load grid), the
-//! `sim_5000_cycles_midload` criterion scenario (medians computed here,
-//! over the same 15-sample protocol used to record the pre-rework
-//! baseline), the disabled-instrumentation overhead of the obs layer
-//! (an annealing run — the per-move counter hot path — timed under the
-//! no-op recorder vs a live in-memory recorder), and `suite --quick`
-//! wall-clock, then writes everything — alongside the frozen pre-rework
-//! baseline — to `BENCH_8.json` at the workspace root.
+//! `sim_5000_cycles_midload` criterion scenario (min/median/IQR computed
+//! here over a configurable sample count), the disabled-instrumentation
+//! overhead of the obs layer (an annealing run — the per-move counter hot
+//! path — timed under the no-op recorder vs a live in-memory recorder),
+//! and `suite --quick` wall-clock, then writes everything — alongside the
+//! frozen pre-rework baseline — to `BENCH_9.json` at the workspace root.
 //!
 //! Modes:
-//! * default / `--record` — measure and rewrite `BENCH_8.json`.
-//! * `--check` — parse the committed `BENCH_8.json`, re-run
-//!   `suite --quick`, and fail when wall-clock regresses more than
-//!   `PERF_CHECK_TOLERANCE` (default 1.25×) over the recorded value.
+//! * default / `--record` — measure and rewrite `BENCH_9.json` (with
+//!   `--probe`, measure and print just that probe; the file is only
+//!   rewritten by a full record).
+//! * `--check` — parse the committed `BENCH_9.json` and gate every probe
+//!   against its recorded value: the flit-throughput probes must stay
+//!   above `recorded flits/sec ÷ tolerance`, the timed probes below
+//!   `recorded × tolerance`.  The tolerance (`PERF_CHECK_TOLERANCE`,
+//!   default 1.25×) absorbs container scheduling noise — sustained
+//!   regressions past 25% fail CI directly, per-probe, not just through
+//!   suite wall-clock.
+//!
+//! Flags:
+//! * `--probe <name>` — run a single probe (one of `fig08_sim`,
+//!   `fig11_sim`, `trace_replay`, `sim_5000_cycles_midload`,
+//!   `obs_overhead`, `suite_quick`) so hot-loop iteration doesn't pay
+//!   for the full suite each time.
+//! * `--samples <n>` — sample count for the median-based probes
+//!   (default 15).
 //!
 //! The sibling `suite` binary must already be built; CI builds the whole
 //! workspace in release before invoking this target.
@@ -41,14 +54,41 @@ const BASELINE_FIG11_FLITS_PER_SEC: f64 = 4_376_432.0;
 const BASELINE_SIM5000_MEDIAN_MS: f64 = 4.425;
 const BASELINE_SUITE_QUICK_SECONDS: f64 = 25.4;
 
-const MEDIAN_SAMPLES: usize = 15;
+const DEFAULT_SAMPLES: usize = 15;
 
 /// Evaluation budget of the obs overhead probe (small enough that the
 /// 2 × 15-sample protocol stays in single-digit seconds).
 const OBS_OVERHEAD_EVALS: u64 = 5_000;
 
+const PROBES: &[&str] = &[
+    "fig08_sim",
+    "fig11_sim",
+    "trace_replay",
+    "sim_5000_cycles_midload",
+    "obs_overhead",
+    "suite_quick",
+];
+
 fn bench_path() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_8.json")
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_9.json")
+}
+
+/// Sweep repetitions for the single-sweep throughput probes: each sweep
+/// is only tens to hundreds of milliseconds, where scheduler jitter on a
+/// shared box is a ±15% effect, so both `--record` and `--check` keep
+/// the best of three consecutive sweeps — the repeatable ceiling rather
+/// than one draw — and the `--check` floors stay meaningful.
+const THROUGHPUT_REPS: usize = 3;
+
+fn best_of(mut sweep: impl FnMut() -> SimBenchResult) -> SimBenchResult {
+    let mut best = sweep();
+    for _ in 1..THROUGHPUT_REPS {
+        let r = sweep();
+        if r.seconds < best.seconds {
+            best = r;
+        }
+    }
+    best
 }
 
 struct SimBenchResult {
@@ -92,6 +132,27 @@ fn sim_bench(topos: &[Topology], loads: &[f64], config: &SimConfig) -> SimBenchR
     }
 }
 
+fn fig08_bench(config: &SimConfig) -> SimBenchResult {
+    let layout = Layout::noi_4x5();
+    best_of(|| {
+        sim_bench(
+            &[expert::mesh(&layout), expert::folded_torus(&layout)],
+            &[0.05, 0.1, 0.2, 0.3],
+            config,
+        )
+    })
+}
+
+fn fig11_bench(config: &SimConfig) -> SimBenchResult {
+    best_of(|| {
+        sim_bench(
+            &[expert::folded_torus(&Layout::noi_8x6())],
+            &netsmith_sim::sweep::default_load_grid(),
+            config,
+        )
+    })
+}
+
 /// Trace-replay throughput: the fig15 bursty-hotspot trace replayed on
 /// the folded torus across the default load grid, timed with the same
 /// protocol as `sim_bench` (preparation outside the clock, construction
@@ -107,25 +168,48 @@ fn trace_replay_bench(config: &SimConfig) -> SimBenchResult {
         netsmith_trace::generate_named("onoff-hotspot", 20, 4_096, 15).unwrap(),
     );
     let loads = netsmith_sim::sweep::default_load_grid();
-    let mut flits = 0u64;
-    let start = Instant::now();
-    let sim = NetworkSim::builder(&torus, &table)
-        .vcs(&alloc)
-        .trace(trace)
-        .config(config.clone())
-        .compile();
-    for &load in &loads {
-        let report = sim.run(load);
-        flits += report.activity.total_link_flits();
-    }
-    SimBenchResult {
-        flits,
-        seconds: start.elapsed().as_secs_f64(),
+    best_of(|| {
+        let mut flits = 0u64;
+        let start = Instant::now();
+        let sim = NetworkSim::builder(&torus, &table)
+            .vcs(&alloc)
+            .trace(std::sync::Arc::clone(&trace))
+            .config(config.clone())
+            .compile();
+        for &load in &loads {
+            let report = sim.run(load);
+            flits += report.activity.total_link_flits();
+        }
+        SimBenchResult {
+            flits,
+            seconds: start.elapsed().as_secs_f64(),
+        }
+    })
+}
+
+/// Order statistics of a timed sample set, in milliseconds.  Quartiles
+/// are taken at the `len/4` and `3*len/4` sorted ranks — crude, but
+/// stable across sample counts and enough to read run-to-run spread.
+struct SampleStats {
+    min_ms: f64,
+    median_ms: f64,
+    iqr_ms: f64,
+    samples: usize,
+}
+
+fn sample_stats(mut samples: Vec<f64>) -> SampleStats {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = samples.len();
+    SampleStats {
+        min_ms: samples[0],
+        median_ms: samples[n / 2],
+        iqr_ms: samples[(3 * n) / 4] - samples[n / 4],
+        samples: n,
     }
 }
 
-/// Median run time of the criterion `sim_5000_cycles_midload` scenario.
-fn sim5000_median_ms() -> f64 {
+/// Run times of the criterion `sim_5000_cycles_midload` scenario.
+fn sim5000_stats(samples: usize) -> SampleStats {
     let layout = Layout::noi_4x5();
     let kite = expert::kite_medium(&layout);
     let paths = all_shortest_paths(&kite);
@@ -142,15 +226,15 @@ fn sim5000_median_ms() -> f64 {
         .pattern(TrafficPattern::UniformRandom)
         .config(config)
         .compile();
-    let mut samples: Vec<f64> = (0..MEDIAN_SAMPLES)
-        .map(|_| {
-            let start = Instant::now();
-            std::hint::black_box(sim.run(0.3));
-            start.elapsed().as_secs_f64() * 1e3
-        })
-        .collect();
-    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    samples[MEDIAN_SAMPLES / 2]
+    sample_stats(
+        (0..samples.max(1))
+            .map(|_| {
+                let start = Instant::now();
+                std::hint::black_box(sim.run(0.3));
+                start.elapsed().as_secs_f64() * 1e3
+            })
+            .collect(),
+    )
 }
 
 struct ObsOverheadResult {
@@ -169,22 +253,23 @@ impl ObsOverheadResult {
 /// the no-op recorder vs a live in-memory recorder.  The no-op number is
 /// what every unobserved run pays; the ratio documents how cheap turning
 /// the recorder on is.
-fn obs_overhead() -> ObsOverheadResult {
+fn obs_overhead(samples: usize) -> ObsOverheadResult {
     let problem = GenerationProblem::new(Layout::noi_4x5(), LinkClass::Medium, Objective::LatOp);
     let config = AnnealConfig {
         max_evaluations: OBS_OVERHEAD_EVALS,
         ..AnnealConfig::quick()
     };
     let median_ms = |obs: &Obs| {
-        let mut samples: Vec<f64> = (0..MEDIAN_SAMPLES)
-            .map(|_| {
-                let start = Instant::now();
-                std::hint::black_box(anneal(&problem, &config, 0.0, obs));
-                start.elapsed().as_secs_f64() * 1e3
-            })
-            .collect();
-        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        samples[MEDIAN_SAMPLES / 2]
+        sample_stats(
+            (0..samples.max(1))
+                .map(|_| {
+                    let start = Instant::now();
+                    std::hint::black_box(anneal(&problem, &config, 0.0, obs));
+                    start.elapsed().as_secs_f64() * 1e3
+                })
+                .collect(),
+        )
+        .median_ms
     };
     ObsOverheadResult {
         noop_median_ms: median_ms(&Obs::noop()),
@@ -241,70 +326,96 @@ fn pretty(json: &Json, indent: usize, out: &mut String) {
     }
 }
 
-fn record() {
-    let layout = Layout::noi_4x5();
+fn print_sim(name: &str, r: &SimBenchResult, baseline: f64) {
+    eprintln!(
+        "{name}: {} flits in {:.3}s = {:.0} flits/sec ({:.1}x baseline)",
+        r.flits,
+        r.seconds,
+        r.flits_per_sec(),
+        r.flits_per_sec() / baseline,
+    );
+}
+
+fn record(probe: Option<&str>, samples: usize) {
     let config = SimConfig::for_class(LinkClass::Medium);
+    let run = |name: &str| probe.is_none() || probe == Some(name);
 
-    eprintln!("# perf: fig08_sim");
-    let fig08 = sim_bench(
-        &[expert::mesh(&layout), expert::folded_torus(&layout)],
-        &[0.05, 0.1, 0.2, 0.3],
-        &config,
-    );
-    eprintln!(
-        "fig08_sim: {} flits in {:.3}s = {:.0} flits/sec ({:.1}x baseline)",
-        fig08.flits,
-        fig08.seconds,
-        fig08.flits_per_sec(),
-        fig08.flits_per_sec() / BASELINE_FIG08_FLITS_PER_SEC,
-    );
+    let mut fig08 = None;
+    if run("fig08_sim") {
+        eprintln!("# perf: fig08_sim");
+        let r = fig08_bench(&config);
+        print_sim("fig08_sim", &r, BASELINE_FIG08_FLITS_PER_SEC);
+        fig08 = Some(r);
+    }
 
-    eprintln!("# perf: fig11_sim");
-    let fig11 = sim_bench(
-        &[expert::folded_torus(&Layout::noi_8x6())],
-        &netsmith_sim::sweep::default_load_grid(),
-        &config,
-    );
-    eprintln!(
-        "fig11_sim: {} flits in {:.3}s = {:.0} flits/sec ({:.1}x baseline)",
-        fig11.flits,
-        fig11.seconds,
-        fig11.flits_per_sec(),
-        fig11.flits_per_sec() / BASELINE_FIG11_FLITS_PER_SEC,
-    );
+    let mut fig11 = None;
+    if run("fig11_sim") {
+        eprintln!("# perf: fig11_sim");
+        let r = fig11_bench(&config);
+        print_sim("fig11_sim", &r, BASELINE_FIG11_FLITS_PER_SEC);
+        fig11 = Some(r);
+    }
 
-    eprintln!("# perf: trace_replay");
-    let trace = trace_replay_bench(&config);
-    eprintln!(
-        "trace_replay: {} flits in {:.3}s = {:.0} flits/sec",
-        trace.flits,
-        trace.seconds,
-        trace.flits_per_sec(),
-    );
+    let mut trace = None;
+    if run("trace_replay") {
+        eprintln!("# perf: trace_replay");
+        let r = trace_replay_bench(&config);
+        eprintln!(
+            "trace_replay: {} flits in {:.3}s = {:.0} flits/sec",
+            r.flits,
+            r.seconds,
+            r.flits_per_sec(),
+        );
+        trace = Some(r);
+    }
 
-    eprintln!("# perf: sim_5000_cycles_midload");
-    let median_ms = sim5000_median_ms();
-    eprintln!(
-        "sim_5000_cycles_midload median: {median_ms:.3} ms ({:.1}x baseline)",
-        BASELINE_SIM5000_MEDIAN_MS / median_ms,
-    );
+    let mut sim5000 = None;
+    if run("sim_5000_cycles_midload") {
+        eprintln!("# perf: sim_5000_cycles_midload");
+        let s = sim5000_stats(samples);
+        eprintln!(
+            "sim_5000_cycles_midload: median {:.3} ms, min {:.3} ms, IQR {:.3} ms \
+             over {} samples ({:.1}x baseline)",
+            s.median_ms,
+            s.min_ms,
+            s.iqr_ms,
+            s.samples,
+            BASELINE_SIM5000_MEDIAN_MS / s.median_ms,
+        );
+        sim5000 = Some(s);
+    }
 
-    eprintln!("# perf: obs_overhead");
-    let obs = obs_overhead();
-    eprintln!(
-        "obs_overhead: anneal {OBS_OVERHEAD_EVALS} evals, noop {:.3} ms, \
-         in-memory {:.3} ms ({:.2}x)",
-        obs.noop_median_ms,
-        obs.memory_median_ms,
-        obs.enabled_over_noop(),
-    );
+    let mut obs = None;
+    if run("obs_overhead") {
+        eprintln!("# perf: obs_overhead");
+        let o = obs_overhead(samples);
+        eprintln!(
+            "obs_overhead: anneal {OBS_OVERHEAD_EVALS} evals, noop {:.3} ms, \
+             in-memory {:.3} ms ({:.2}x)",
+            o.noop_median_ms,
+            o.memory_median_ms,
+            o.enabled_over_noop(),
+        );
+        obs = Some(o);
+    }
 
-    eprintln!("# perf: suite --quick");
-    let suite_seconds = suite_quick_seconds();
-    eprintln!(
-        "suite --quick: {suite_seconds:.1}s ({:.1}x baseline)",
-        BASELINE_SUITE_QUICK_SECONDS / suite_seconds,
-    );
+    let mut suite_seconds = None;
+    if run("suite_quick") {
+        eprintln!("# perf: suite --quick");
+        let s = suite_quick_seconds();
+        eprintln!(
+            "suite --quick: {s:.1}s ({:.1}x baseline)",
+            BASELINE_SUITE_QUICK_SECONDS / s,
+        );
+        suite_seconds = Some(s);
+    }
+
+    if probe.is_some() {
+        // Single-probe iteration: print-only, keep the committed artifact.
+        return;
+    }
+    let (fig08, fig11, trace) = (fig08.unwrap(), fig11.unwrap(), trace.unwrap());
+    let (sim5000, obs, suite_seconds) = (sim5000.unwrap(), obs.unwrap(), suite_seconds.unwrap());
 
     let sim_section = |r: &SimBenchResult, baseline: f64| {
         obj(vec![
@@ -318,12 +429,13 @@ fn record() {
         ])
     };
     let doc = obj(vec![
-        ("bench", Json::Num(8.0)),
+        ("bench", Json::Num(9.0)),
         (
             "note",
             Json::Str(
-                "throughput baseline for the compiled flat-state simulator \
-                 plus the obs-layer overhead probe; regenerate with \
+                "throughput trajectory for the reworked hot loop (batched \
+                 injection schedules, fused arbitrate/commit, calendar-queue \
+                 idle jumps); regenerate with \
                  `cargo run --release -p netsmith-bench --bin perf`"
                     .into(),
             ),
@@ -373,11 +485,13 @@ fn record() {
                 (
                     "sim_5000_cycles_midload",
                     obj(vec![
-                        ("median_ms", Json::Num(round3(median_ms))),
-                        ("samples", Json::Num(MEDIAN_SAMPLES as f64)),
+                        ("median_ms", Json::Num(round3(sim5000.median_ms))),
+                        ("min_ms", Json::Num(round3(sim5000.min_ms))),
+                        ("iqr_ms", Json::Num(round3(sim5000.iqr_ms))),
+                        ("samples", Json::Num(sim5000.samples as f64)),
                         (
                             "speedup_vs_baseline",
-                            Json::Num(round3(BASELINE_SIM5000_MEDIAN_MS / median_ms)),
+                            Json::Num(round3(BASELINE_SIM5000_MEDIAN_MS / sim5000.median_ms)),
                         ),
                     ]),
                 ),
@@ -413,46 +527,145 @@ fn record() {
     let mut text = String::new();
     pretty(&doc, 0, &mut text);
     text.push('\n');
-    Json::parse(&text).expect("emitted BENCH_8.json must parse");
+    Json::parse(&text).expect("emitted BENCH_9.json must parse");
     let path = bench_path();
     std::fs::write(&path, text).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
     eprintln!("# perf: wrote {}", path.display());
 }
 
-fn check() {
+/// Read `current.<probe>.<field>` out of the committed artifact.
+fn recorded(doc: &Json, probe: &str, field: &str) -> f64 {
+    doc.require("current")
+        .and_then(|c| c.require(probe))
+        .and_then(|s| s.require(field))
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|e| panic!("BENCH_9.json: current.{probe}.{field}: {e}"))
+}
+
+fn check(probe: Option<&str>, samples: usize) {
     let path = bench_path();
     let text =
         std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
-    let doc = Json::parse(&text).expect("BENCH_8.json must parse");
-    let recorded = doc
-        .require("current")
-        .and_then(|c| c.require("suite_quick"))
-        .and_then(|s| s.require("seconds"))
-        .and_then(Json::as_f64)
-        .expect("BENCH_8.json: current.suite_quick.seconds");
+    let doc = Json::parse(&text).expect("BENCH_9.json must parse");
+    // The tolerance absorbs run-to-run container noise (the probes are
+    // single-shot wall-clock measurements on a shared box); 25% headroom
+    // keeps the gates quiet on scheduling jitter while still catching
+    // any real hot-loop regression.
     let tolerance = std::env::var("PERF_CHECK_TOLERANCE")
         .ok()
         .and_then(|v| v.parse::<f64>().ok())
         .unwrap_or(1.25);
-    eprintln!("# perf --check: recorded suite --quick {recorded:.1}s, tolerance {tolerance}x");
-    let measured = suite_quick_seconds();
-    let limit = recorded * tolerance;
-    assert!(
-        measured <= limit,
-        "suite --quick regressed: {measured:.1}s > {limit:.1}s \
-         ({recorded:.1}s recorded x {tolerance} tolerance)"
+    eprintln!("# perf --check: tolerance {tolerance}x over recorded values");
+    let config = SimConfig::for_class(LinkClass::Medium);
+    let run = |name: &str| probe.is_none() || probe == Some(name);
+    let mut checked = 0u32;
+
+    // Throughput floor: measured flits/sec >= recorded / tolerance.
+    let mut gate_fps = |name: &str, r: &SimBenchResult| {
+        let rec = recorded(&doc, name, "flits_per_sec");
+        let floor = rec / tolerance;
+        let got = r.flits_per_sec();
+        assert!(
+            got >= floor,
+            "{name} regressed: {got:.0} flits/sec < floor {floor:.0} \
+             ({rec:.0} recorded / {tolerance} tolerance)"
+        );
+        eprintln!("# perf --check: {name} {got:.0} flits/sec >= {floor:.0}, ok");
+        checked += 1;
+    };
+    if run("fig08_sim") {
+        gate_fps("fig08_sim", &fig08_bench(&config));
+    }
+    if run("fig11_sim") {
+        gate_fps("fig11_sim", &fig11_bench(&config));
+    }
+    if run("trace_replay") {
+        gate_fps("trace_replay", &trace_replay_bench(&config));
+    }
+
+    // Latency ceilings: measured time <= recorded * tolerance.
+    if run("sim_5000_cycles_midload") {
+        let rec = recorded(&doc, "sim_5000_cycles_midload", "median_ms");
+        let limit = rec * tolerance;
+        let got = sim5000_stats(samples).median_ms;
+        assert!(
+            got <= limit,
+            "sim_5000_cycles_midload regressed: median {got:.3} ms > {limit:.3} ms \
+             ({rec:.3} ms recorded x {tolerance} tolerance)"
+        );
+        eprintln!(
+            "# perf --check: sim_5000_cycles_midload median {got:.3} ms <= {limit:.3} ms, ok"
+        );
+        checked += 1;
+    }
+    if run("obs_overhead") {
+        let rec = recorded(&doc, "obs_overhead", "noop_median_ms");
+        let limit = rec * tolerance;
+        let got = obs_overhead(samples).noop_median_ms;
+        assert!(
+            got <= limit,
+            "obs_overhead regressed: noop median {got:.3} ms > {limit:.3} ms \
+             ({rec:.3} ms recorded x {tolerance} tolerance)"
+        );
+        eprintln!("# perf --check: obs_overhead noop {got:.3} ms <= {limit:.3} ms, ok");
+        checked += 1;
+    }
+    if run("suite_quick") {
+        let rec = recorded(&doc, "suite_quick", "seconds");
+        let limit = rec * tolerance;
+        let got = suite_quick_seconds();
+        assert!(
+            got <= limit,
+            "suite --quick regressed: {got:.1}s > {limit:.1}s \
+             ({rec:.1}s recorded x {tolerance} tolerance)"
+        );
+        eprintln!("# perf --check: suite --quick {got:.1}s <= {limit:.1}s, ok");
+        checked += 1;
+    }
+    assert!(checked > 0, "no probe matched {probe:?}");
+    eprintln!("# perf --check: {checked} probe(s) ok");
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: perf [--record | --check] [--probe <name>] [--samples <n>]\n\
+         probes: {}",
+        PROBES.join(", ")
     );
-    eprintln!("# perf --check: suite --quick {measured:.1}s <= {limit:.1}s, ok");
+    std::process::exit(2);
 }
 
 fn main() {
-    let mode = std::env::args().nth(1);
-    match mode.as_deref() {
-        None | Some("--record") => record(),
-        Some("--check") => check(),
-        Some(other) => {
-            eprintln!("usage: perf [--record | --check]  (unknown argument {other:?})");
-            std::process::exit(2);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut mode_check = false;
+    let mut probe: Option<String> = None;
+    let mut samples = DEFAULT_SAMPLES;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--record" => mode_check = false,
+            "--check" => mode_check = true,
+            "--probe" => {
+                let name = it.next().unwrap_or_else(|| usage());
+                if !PROBES.contains(&name.as_str()) {
+                    eprintln!("unknown probe {name:?}");
+                    usage();
+                }
+                probe = Some(name.clone());
+            }
+            "--samples" => {
+                samples = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
         }
+    }
+    if mode_check {
+        check(probe.as_deref(), samples);
+    } else {
+        record(probe.as_deref(), samples);
     }
 }

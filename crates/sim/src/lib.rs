@@ -34,13 +34,15 @@
 pub mod activity;
 pub mod compile;
 pub mod config;
+pub mod inject;
 pub mod network;
 pub mod stats;
 pub mod sweep;
 
 pub use activity::{ActivityProfile, LinkActivity, RouterActivity};
 pub use compile::CompiledNetwork;
-pub use config::{PacketClass, SimConfig};
+pub use config::{InjectionMode, PacketClass, ParallelMode, SimConfig};
+pub use inject::{InjectionEvent, InjectionSchedule};
 pub use netsmith_trace::{Trace, TraceCursor};
 pub use network::{
     point_seed, splitmix64, EpochSample, EpochSeries, NetworkSim, NetworkSimBuilder, SimReport,

@@ -9,8 +9,10 @@
 
 use crate::activity::{ActivityProfile, LinkActivity, RouterActivity};
 use crate::compile::CompiledNetwork;
-use crate::config::{PacketClass, SimConfig};
+use crate::config::{InjectionMode, PacketClass, SimConfig};
+use crate::inject::InjectionSchedule;
 use crate::stats::LatencyStats;
+use netsmith_pool::WorkerPool;
 use netsmith_route::Flow;
 use netsmith_route::{RoutingTable, VcAllocation};
 use netsmith_topo::traffic::TrafficPattern;
@@ -205,6 +207,7 @@ pub struct NetworkSimBuilder<'a> {
     trace: Option<Arc<Trace>>,
     config: SimConfig,
     failed: Vec<RouterId>,
+    pool: Option<&'a WorkerPool>,
 }
 
 impl<'a> NetworkSimBuilder<'a> {
@@ -258,6 +261,16 @@ impl<'a> NetworkSimBuilder<'a> {
         self
     }
 
+    /// Worker pool for intra-run parallelism (see
+    /// [`ParallelMode`](crate::ParallelMode)).  Without one, runs that
+    /// engage parallel arbitration borrow [`WorkerPool::global`]; an
+    /// explicit pool pins the worker count, which the equivalence tests
+    /// use to prove results are bit-identical across counts.
+    pub fn pool(mut self, pool: &'a WorkerPool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
     /// Build the simulator.  The flat network representation is compiled
     /// lazily on the first `run` call; use [`NetworkSimBuilder::compile`]
     /// to pay that cost eagerly instead.
@@ -275,6 +288,7 @@ impl<'a> NetworkSimBuilder<'a> {
             trace: self.trace,
             config: self.config,
             alive,
+            pool: self.pool,
             compiled: OnceLock::new(),
         }
     }
@@ -305,6 +319,10 @@ pub struct NetworkSim<'a> {
     /// removes the dead router's links from the topology/routing, and this
     /// mask removes its traffic endpoints.
     pub(crate) alive: Vec<bool>,
+    /// Optional worker pool for intra-run parallel arbitration (see
+    /// [`NetworkSimBuilder::pool`]); `None` falls back to the global pool
+    /// when a run engages parallelism.
+    pub(crate) pool: Option<&'a WorkerPool>,
     /// Flat representation shared by every `run` call; compiled once per
     /// `(topology, table, vcs)` and reused across all load points of a
     /// sweep.  Independent of the `alive` mask, which only gates traffic
@@ -323,6 +341,7 @@ impl<'a> NetworkSim<'a> {
             trace: None,
             config: SimConfig::default(),
             failed: Vec::new(),
+            pool: None,
         }
     }
 
@@ -382,6 +401,11 @@ impl<'a> NetworkSim<'a> {
             .trace
             .as_deref()
             .map(|t| TraceCursor::new(t, offered_flits_per_node_cycle));
+        // Precomputed per-source injection schedule (the default
+        // [`InjectionMode::Schedule`]).  Identical construction to the
+        // compiled engine, so both drain the same event sequence.
+        let mut schedule = (self.trace.is_none() && cfg.injection == InjectionMode::Schedule)
+            .then(|| InjectionSchedule::for_run(cfg, offered_flits_per_node_cycle, &self.alive));
 
         let links: Vec<(RouterId, RouterId)> = self.topo.links().collect();
         let mut link_free_at: Vec<u64> = vec![0; links.len()];
@@ -445,6 +469,31 @@ impl<'a> NetworkSim<'a> {
                             src,
                             dst,
                             flits: m.flits as usize,
+                            vc,
+                            created: cycle,
+                        };
+                        if cycle >= measure_start {
+                            packets_injected += 1;
+                            flits_injected_in_window += packet.flits as u64;
+                            measured_outstanding += 1;
+                        }
+                        source_queues[src].push_back(packet);
+                    }
+                } else if let Some(sched) = schedule.as_mut() {
+                    // Schedule mode: drain the precomputed arrivals due
+                    // this cycle (destination and class already drawn and
+                    // validated inside the schedule).
+                    while let Some(ev) = sched.pop_due(cycle, &self.pattern, &layout, &self.alive) {
+                        let (src, dst) = (ev.src as usize, ev.dst as usize);
+                        let vc = self
+                            .vcs
+                            .and_then(|a| a.assignment.get(&Flow::new(src, dst)).copied())
+                            .unwrap_or(0)
+                            .min(cfg.num_vcs - 1);
+                        let packet = Packet {
+                            src,
+                            dst,
+                            flits: ev.flits as usize,
                             vc,
                             created: cycle,
                         };

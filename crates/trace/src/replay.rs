@@ -78,6 +78,26 @@ impl<'t> TraceCursor<'t> {
         self.base + (issue as f64 * self.stretch).floor() as u64
     }
 
+    /// The next scheduled issue cycle, without advancing the cursor
+    /// (`None` for an empty schedule).  After a cycle has been fully
+    /// drained with [`TraceCursor::pop_due`], this is strictly in the
+    /// future — which is what lets the compiled engine jump over the idle
+    /// stretch between trace bursts instead of polling every cycle.
+    #[inline]
+    pub fn next_due(&self) -> Option<u64> {
+        if self.messages.is_empty() {
+            return None;
+        }
+        if self.idx == self.messages.len() {
+            // The next message is the first of the following wave; mirror
+            // `pop_due`'s wrap arithmetic without committing it.
+            let base = self.base.saturating_add(self.scaled_horizon);
+            Some(base.saturating_add((self.messages[0].issue as f64 * self.stretch).floor() as u64))
+        } else {
+            Some(self.scaled_issue(self.messages[self.idx].issue))
+        }
+    }
+
     /// The next message due at or before `cycle`, advancing the cursor
     /// (and the wave, at wrap-around).  Call in a loop to drain a cycle.
     #[inline]
@@ -210,6 +230,27 @@ mod tests {
         let empty = Trace::new(4, 10, vec![]);
         let mut cursor = TraceCursor::new(&empty, 0.3);
         assert_eq!(schedule(&mut cursor, 100), vec![]);
+    }
+
+    #[test]
+    fn next_due_peeks_without_advancing_and_wraps() {
+        let t = trace();
+        let native = t.offered_flits_per_node_cycle();
+        let mut cursor = TraceCursor::new(&t, native);
+        assert_eq!(cursor.next_due(), Some(0));
+        assert_eq!(cursor.next_due(), Some(0), "peeking must not advance");
+        // Drain cycle 0; the next burst is at cycle 4.
+        while cursor.pop_due(0).is_some() {}
+        assert_eq!(cursor.next_due(), Some(4));
+        // Drain the whole wave: the peek wraps to the next wave's first
+        // message (issue 0 offset by the 10-cycle horizon).
+        for cycle in 1..10 {
+            while cursor.pop_due(cycle).is_some() {}
+        }
+        assert_eq!(cursor.next_due(), Some(10));
+        // An empty schedule has no next due cycle.
+        let empty = Trace::new(4, 10, vec![]);
+        assert_eq!(TraceCursor::new(&empty, 0.3).next_due(), None);
     }
 
     #[test]
