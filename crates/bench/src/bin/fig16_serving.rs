@@ -1,0 +1,7 @@
+//! Thin wrapper: runs the `fig16_serving` experiment spec (see
+//! `netsmith_bench::figures::fig16_serving`) with the uniform
+//! `--quick` / `--json` / `--seed` CLI.
+
+fn main() {
+    netsmith_exp::cli::run_figure(netsmith_bench::figures::fig16_serving::figure);
+}

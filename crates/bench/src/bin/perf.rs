@@ -1,4 +1,4 @@
-//! The tracked performance target (`BENCH_9.json`).
+//! The tracked performance target (`BENCH_10.json`).
 //!
 //! Measures simulator throughput on the fig08/fig11 simulation
 //! configurations, a trace-replay throughput probe (the fig15 workload:
@@ -7,14 +7,16 @@
 //! here over a configurable sample count), the disabled-instrumentation
 //! overhead of the obs layer (an annealing run — the per-move counter hot
 //! path — timed under the no-op recorder vs a live in-memory recorder),
-//! and `suite --quick` wall-clock, then writes everything — alongside the
-//! frozen pre-rework baseline — to `BENCH_9.json` at the workspace root.
+//! a `serving_horizon` probe (a fig16-style closed-loop link-sleep
+//! lifetime on the folded torus, timed end to end), and `suite --quick`
+//! wall-clock, then writes everything — alongside the frozen pre-rework
+//! baseline — to `BENCH_10.json` at the workspace root.
 //!
 //! Modes:
-//! * default / `--record` — measure and rewrite `BENCH_9.json` (with
+//! * default / `--record` — measure and rewrite `BENCH_10.json` (with
 //!   `--probe`, measure and print just that probe; the file is only
 //!   rewritten by a full record).
-//! * `--check` — parse the committed `BENCH_9.json` and gate every probe
+//! * `--check` — parse the committed `BENCH_10.json` and gate every probe
 //!   against its recorded value: the flit-throughput probes must stay
 //!   above `recorded flits/sec ÷ tolerance`, the timed probes below
 //!   `recorded × tolerance`.  The tolerance (`PERF_CHECK_TOLERANCE`,
@@ -25,8 +27,8 @@
 //! Flags:
 //! * `--probe <name>` — run a single probe (one of `fig08_sim`,
 //!   `fig11_sim`, `trace_replay`, `sim_5000_cycles_midload`,
-//!   `obs_overhead`, `suite_quick`) so hot-loop iteration doesn't pay
-//!   for the full suite each time.
+//!   `obs_overhead`, `serving_horizon`, `suite_quick`) so hot-loop
+//!   iteration doesn't pay for the full suite each time.
 //! * `--samples <n>` — sample count for the median-based probes
 //!   (default 15).
 //!
@@ -66,11 +68,12 @@ const PROBES: &[&str] = &[
     "trace_replay",
     "sim_5000_cycles_midload",
     "obs_overhead",
+    "serving_horizon",
     "suite_quick",
 ];
 
 fn bench_path() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_9.json")
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_10.json")
 }
 
 /// Sweep repetitions for the single-sweep throughput probes: each sweep
@@ -277,6 +280,51 @@ fn obs_overhead(samples: usize) -> ObsOverheadResult {
     }
 }
 
+/// Horizon length of the serving probe: long enough that the per-epoch
+/// compile/run/gate cycle dominates, short enough for a sub-second probe.
+const SERVING_PROBE_EPOCHS: u64 = 48;
+
+/// End-to-end serving-loop times: a fig16-style closed-loop link-sleep
+/// lifetime (diurnal load, one fault, online repair and re-gating every
+/// epoch) on the folded torus.  This is the whole `netsmith-serve` path —
+/// load process, policy decision, per-epoch compiled runs, energy
+/// accounting, histogram merging — so it catches regressions the
+/// steady-state simulator probes cannot see.
+fn serving_horizon_stats(samples: usize) -> SampleStats {
+    use netsmith_serve::{serve, LoadSpec, PolicyKind, ServingConfig, ServingInputs, TapeSpec};
+    let layout = Layout::noi_4x5();
+    let torus = expert::folded_torus(&layout);
+    let paths = all_shortest_paths(&torus);
+    let table = mclb_route(&paths, &MclbConfig::default());
+    let alloc = allocate_vcs(&table, 6, 42).expect("fits in 6 VCs");
+    let config = ServingConfig {
+        epochs: SERVING_PROBE_EPOCHS,
+        load: LoadSpec {
+            period_epochs: 24,
+            ..LoadSpec::default()
+        },
+        tape: TapeSpec {
+            expected_faults: 1.0,
+            seed: 0x00BE_9C10,
+        },
+        policy: PolicyKind::LinkSleep {
+            idle_threshold: 0.12,
+        },
+        seed: 0x00BE_9C10,
+        ..ServingConfig::default()
+    };
+    let inputs = ServingInputs::new(&torus, &table, &alloc);
+    sample_stats(
+        (0..samples.max(1))
+            .map(|_| {
+                let start = Instant::now();
+                std::hint::black_box(serve(&inputs, &config, &netsmith_obs::Obs::noop()));
+                start.elapsed().as_secs_f64() * 1e3
+            })
+            .collect(),
+    )
+}
+
 /// Wall-clock of a full `suite --quick` run (stdout discarded; stderr — the
 /// per-figure progress log — passes through).
 fn suite_quick_seconds() -> f64 {
@@ -399,6 +447,18 @@ fn record(probe: Option<&str>, samples: usize) {
         obs = Some(o);
     }
 
+    let mut serving = None;
+    if run("serving_horizon") {
+        eprintln!("# perf: serving_horizon");
+        let s = serving_horizon_stats(samples);
+        eprintln!(
+            "serving_horizon: {SERVING_PROBE_EPOCHS} epochs, median {:.3} ms, min {:.3} ms, \
+             IQR {:.3} ms over {} samples",
+            s.median_ms, s.min_ms, s.iqr_ms, s.samples,
+        );
+        serving = Some(s);
+    }
+
     let mut suite_seconds = None;
     if run("suite_quick") {
         eprintln!("# perf: suite --quick");
@@ -415,7 +475,8 @@ fn record(probe: Option<&str>, samples: usize) {
         return;
     }
     let (fig08, fig11, trace) = (fig08.unwrap(), fig11.unwrap(), trace.unwrap());
-    let (sim5000, obs, suite_seconds) = (sim5000.unwrap(), obs.unwrap(), suite_seconds.unwrap());
+    let (sim5000, obs, serving) = (sim5000.unwrap(), obs.unwrap(), serving.unwrap());
+    let suite_seconds = suite_seconds.unwrap();
 
     let sim_section = |r: &SimBenchResult, baseline: f64| {
         obj(vec![
@@ -429,7 +490,7 @@ fn record(probe: Option<&str>, samples: usize) {
         ])
     };
     let doc = obj(vec![
-        ("bench", Json::Num(9.0)),
+        ("bench", Json::Num(10.0)),
         (
             "note",
             Json::Str(
@@ -512,6 +573,19 @@ fn record(probe: Option<&str>, samples: usize) {
                     ]),
                 ),
                 (
+                    // New probe in bench 10 (landed with netsmith-serve):
+                    // times the whole closed-loop serving path, so there
+                    // is no earlier baseline to compare against.
+                    "serving_horizon",
+                    obj(vec![
+                        ("epochs", Json::Num(SERVING_PROBE_EPOCHS as f64)),
+                        ("median_ms", Json::Num(round3(serving.median_ms))),
+                        ("min_ms", Json::Num(round3(serving.min_ms))),
+                        ("iqr_ms", Json::Num(round3(serving.iqr_ms))),
+                        ("samples", Json::Num(serving.samples as f64)),
+                    ]),
+                ),
+                (
                     "suite_quick",
                     obj(vec![
                         ("seconds", Json::Num(round3(suite_seconds))),
@@ -527,7 +601,7 @@ fn record(probe: Option<&str>, samples: usize) {
     let mut text = String::new();
     pretty(&doc, 0, &mut text);
     text.push('\n');
-    Json::parse(&text).expect("emitted BENCH_9.json must parse");
+    Json::parse(&text).expect("emitted BENCH_10.json must parse");
     let path = bench_path();
     std::fs::write(&path, text).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
     eprintln!("# perf: wrote {}", path.display());
@@ -539,14 +613,14 @@ fn recorded(doc: &Json, probe: &str, field: &str) -> f64 {
         .and_then(|c| c.require(probe))
         .and_then(|s| s.require(field))
         .and_then(Json::as_f64)
-        .unwrap_or_else(|e| panic!("BENCH_9.json: current.{probe}.{field}: {e}"))
+        .unwrap_or_else(|e| panic!("BENCH_10.json: current.{probe}.{field}: {e}"))
 }
 
 fn check(probe: Option<&str>, samples: usize) {
     let path = bench_path();
     let text =
         std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
-    let doc = Json::parse(&text).expect("BENCH_9.json must parse");
+    let doc = Json::parse(&text).expect("BENCH_10.json must parse");
     // The tolerance absorbs run-to-run container noise (the probes are
     // single-shot wall-clock measurements on a shared box); 25% headroom
     // keeps the gates quiet on scheduling jitter while still catching
@@ -608,6 +682,18 @@ fn check(probe: Option<&str>, samples: usize) {
              ({rec:.3} ms recorded x {tolerance} tolerance)"
         );
         eprintln!("# perf --check: obs_overhead noop {got:.3} ms <= {limit:.3} ms, ok");
+        checked += 1;
+    }
+    if run("serving_horizon") {
+        let rec = recorded(&doc, "serving_horizon", "median_ms");
+        let limit = rec * tolerance;
+        let got = serving_horizon_stats(samples).median_ms;
+        assert!(
+            got <= limit,
+            "serving_horizon regressed: median {got:.3} ms > {limit:.3} ms \
+             ({rec:.3} ms recorded x {tolerance} tolerance)"
+        );
+        eprintln!("# perf --check: serving_horizon median {got:.3} ms <= {limit:.3} ms, ok");
         checked += 1;
     }
     if run("suite_quick") {

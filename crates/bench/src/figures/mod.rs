@@ -24,6 +24,7 @@ pub mod fig12_energy;
 pub mod fig13_resilience;
 pub mod fig14_pareto;
 pub mod fig15_trace;
+pub mod fig16_serving;
 pub mod table02_metrics;
 
 /// Every registered figure, in run order.
@@ -41,6 +42,7 @@ pub const ALL: &[FigureEntry] = &[
     ("fig13_resilience", fig13_resilience::figure),
     ("fig14_pareto", fig14_pareto::figure),
     ("fig15_trace", fig15_trace::figure),
+    ("fig16_serving", fig16_serving::figure),
     ("table02_metrics", table02_metrics::figure),
     ("ablation_symmetry", ablation_symmetry::figure),
 ];

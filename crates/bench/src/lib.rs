@@ -56,9 +56,9 @@ mod tests {
     #[test]
     fn every_figure_is_registered_once() {
         let mut names: Vec<&str> = figures::ALL.iter().map(|(n, _)| *n).collect();
-        assert_eq!(names.len(), 15, "all fifteen figure binaries registered");
+        assert_eq!(names.len(), 16, "all sixteen figure binaries registered");
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 15, "figure names must be unique");
+        assert_eq!(names.len(), 16, "figure names must be unique");
     }
 }

@@ -63,6 +63,10 @@ const GOLDEN_HEADERS: &[(&str, &str)] = &[
         "workload,class,topology,routing,offered,injected,delivered_fraction,latency_ns,p95_ns,p99_ns,saturated",
     ),
     (
+        "fig16_serving",
+        "class,topology,routing,policy,epochs,faults,repairs_ok,downtime_epochs,availability,pj_per_flit,low_load_pj_per_flit,p95_cycles,p99_cycles,p95_ns,p99_ns",
+    ),
+    (
         "fig14_pareto",
         "w_lat,w_energy,w_fault,topology,links,avg_hops,lat_score,energy_score,fault_score,critical_links,min_dir_degree,on_front",
     ),

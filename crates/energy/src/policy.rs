@@ -134,6 +134,13 @@ pub struct LinkSleep {
     /// Latency charged to every packet that traverses a gated (sleeping)
     /// link, in cycles.
     pub wake_penalty_cycles: u64,
+    /// At most this fraction of the physical links may sleep at once.
+    /// Gating is worth wire + port leakage per pair, but every gated pair
+    /// lengthens the reroutes of the traffic it used to carry — a dynamic
+    /// cost the per-pair model cannot see.  Capping the gated fraction
+    /// keeps the consolidation shallow enough that the leakage saved is
+    /// not handed straight back as extra router/wire traversals.
+    pub max_gated_fraction: f64,
 }
 
 impl Default for LinkSleep {
@@ -141,6 +148,7 @@ impl Default for LinkSleep {
         LinkSleep {
             idle_threshold: 0.05,
             wake_penalty_cycles: 8,
+            max_gated_fraction: 0.25,
         }
     }
 }
@@ -173,10 +181,11 @@ impl LinkSleep {
         Ok((table, vcs))
     }
 
-    /// Leakage saved per gated pair, in mW.
+    /// Leakage saved per gated pair, in mW: the wire's repeaters plus the
+    /// two endpoint port macros, minus the residual the gate still leaks.
     fn pair_savings_mw(ctx: &EnergyContext<'_>, i: RouterId, j: RouterId) -> f64 {
-        ctx.topology.layout().distance_mm(i, j)
-            * ctx.config.power.wire_leakage_mw_per_mm
+        (ctx.topology.layout().distance_mm(i, j) * ctx.config.power.wire_leakage_mw_per_mm
+            + ctx.config.power.link_port_leakage_mw)
             * (1.0 - ctx.config.gated_leakage_fraction)
     }
 
@@ -247,10 +256,15 @@ impl LinkSleep {
         }
         candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
 
-        // Greedy gating with a cheap strong-connectivity check per step.
+        // Greedy gating with a cheap strong-connectivity check per step,
+        // stopping at the gated-fraction cap.
+        let cap = (topo.num_links() as f64 * self.max_gated_fraction).floor() as usize;
         let mut gated_topo = topo.clone();
         let mut gated: Vec<(RouterId, RouterId)> = Vec::new();
         for &((i, j), _) in &candidates {
+            if gated.len() >= cap {
+                break;
+            }
             let had_fwd = gated_topo.has_link(i, j);
             let had_rev = gated_topo.has_link(j, i);
             gated_topo.remove_link(i, j);
@@ -547,7 +561,7 @@ mod tests {
         let always = AlwaysOn.evaluate(&ctx);
         let sleep = LinkSleep {
             idle_threshold: 0.15,
-            wake_penalty_cycles: 8,
+            ..LinkSleep::default()
         }
         .evaluate(&ctx);
         assert!(sleep.gated_links > 0, "no links gated at 2% load");
@@ -579,7 +593,7 @@ mod tests {
         };
         let gated = LinkSleep {
             idle_threshold: 0.2,
-            wake_penalty_cycles: 8,
+            ..LinkSleep::default()
         }
         .gate(&ctx)
         .expect("original network routes, so gating must succeed");

@@ -103,7 +103,7 @@ proptest! {
             report: &report,
             config: &config,
         };
-        let policy = LinkSleep { idle_threshold: threshold, wake_penalty_cycles: 8 };
+        let policy = LinkSleep { idle_threshold: threshold, ..LinkSleep::default() };
         let energy = policy.evaluate(&ctx);
         prop_assert!(energy.gated_savings_mw >= 0.0);
         prop_assert!(energy.gated_savings_mw <= static_power_mw(&topo, &config.power) + 1e-9);

@@ -74,6 +74,9 @@
 //!                     .unwrap();
 //!                 TraceStats::of(&trace).demand_matrix().clone()
 //!             }
+//!             // Serving workloads drive their own lifetime loop; see
+//!             // `WorkloadSpec::serving` and the fig16 harness.
+//!             WorkloadSource::Serving(_) => unreachable!(),
 //!         };
 //!         vec![Row::new()
 //!             .str(network.topology.name())
@@ -109,7 +112,7 @@ pub use row::{OutputMode, Row, Value};
 pub use runner::{Cell, CellOrder, Figure, ResolvedCandidate, RunOutput, Runner, VC_BUDGET};
 pub use spec::{
     expert_by_name, Assertion, CandidateSpec, ExperimentSpec, LayoutSpec, ObjectiveSpec,
-    SimProfile, TraceSpec, WorkloadSource, WorkloadSpec,
+    ServingSpec, SimProfile, TraceSpec, WorkloadSource, WorkloadSpec,
 };
 
 /// Commonly used items for figure definitions.
@@ -119,8 +122,8 @@ pub mod prelude {
     pub use crate::row::{OutputMode, Row, Value};
     pub use crate::runner::{Cell, CellOrder, Figure, RunOutput, Runner, VC_BUDGET};
     pub use crate::spec::{
-        Assertion, CandidateSpec, ExperimentSpec, LayoutSpec, ObjectiveSpec, SimProfile, TraceSpec,
-        WorkloadSource, WorkloadSpec,
+        Assertion, CandidateSpec, ExperimentSpec, LayoutSpec, ObjectiveSpec, ServingSpec,
+        SimProfile, TraceSpec, WorkloadSource, WorkloadSpec,
     };
     pub use netsmith_topo::{LinkClass, PipelineError};
 }

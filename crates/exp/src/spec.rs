@@ -495,12 +495,62 @@ impl TraceSpec {
     }
 }
 
-/// What a workload injects: a synthetic pattern sampled per cycle, or a
-/// trace replayed deterministically (stretched to the offered load).
+/// A lifetime-serving workload: the knobs `netsmith-serve` needs to play
+/// a long horizon — the serving analogue of a load sweep.  Kept as plain
+/// numbers so the spec layer stays independent of the serve crate; the
+/// measuring figure assembles the full `ServingConfig` from these plus
+/// the cell's sim profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingSpec {
+    /// Horizon length in epochs.
+    pub epochs: u64,
+    /// Diurnal period of the load process, in epochs.
+    pub period_epochs: u64,
+    /// Expected permanent faults over the horizon.
+    pub expected_faults: f64,
+    /// Offered load below which an epoch counts as low-load.
+    pub low_load_threshold: f64,
+    /// Master serving seed (load process + per-epoch simulator seeds).
+    pub seed: u64,
+    /// Fault-tape seed.
+    pub tape_seed: u64,
+}
+
+impl ServingSpec {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("epochs".into(), Json::Num(self.epochs as f64)),
+            ("period_epochs".into(), Json::Num(self.period_epochs as f64)),
+            ("expected_faults".into(), Json::Num(self.expected_faults)),
+            (
+                "low_load_threshold".into(),
+                Json::Num(self.low_load_threshold),
+            ),
+            ("seed".into(), Json::Num(self.seed as f64)),
+            ("tape_seed".into(), Json::Num(self.tape_seed as f64)),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<Self, String> {
+        Ok(ServingSpec {
+            epochs: json.require("epochs")?.as_u64()?,
+            period_epochs: json.require("period_epochs")?.as_u64()?,
+            expected_faults: json.require("expected_faults")?.as_f64()?,
+            low_load_threshold: json.require("low_load_threshold")?.as_f64()?,
+            seed: json.require("seed")?.as_u64()?,
+            tape_seed: json.require("tape_seed")?.as_u64()?,
+        })
+    }
+}
+
+/// What a workload injects: a synthetic pattern sampled per cycle, a
+/// trace replayed deterministically (stretched to the offered load), or
+/// a lifetime serving horizon played by `netsmith-serve`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum WorkloadSource {
     Pattern(TrafficPattern),
     Trace(TraceSpec),
+    Serving(ServingSpec),
 }
 
 /// A workload cell: traffic source × offered loads × simulator profile.
@@ -535,6 +585,17 @@ impl WorkloadSpec {
         }
     }
 
+    /// A lifetime-serving workload.  The load schedule comes from the
+    /// serving horizon's own load process, so `loads` stays empty.
+    pub fn serving(spec: ServingSpec, sim: SimProfile) -> Self {
+        WorkloadSpec {
+            label: None,
+            source: WorkloadSource::Serving(spec),
+            loads: Vec::new(),
+            sim,
+        }
+    }
+
     /// Attach a row label.
     pub fn labeled(mut self, label: &str) -> Self {
         self.label = Some(label.into());
@@ -554,14 +615,25 @@ impl WorkloadSpec {
                     trace.label()
                 )
             }
+            WorkloadSource::Serving(_) => {
+                panic!("workload is serving-driven, not pattern-driven")
+            }
         }
     }
 
     /// The trace spec of a trace-driven workload, if any.
     pub fn trace_spec(&self) -> Option<&TraceSpec> {
         match &self.source {
-            WorkloadSource::Pattern(_) => None,
             WorkloadSource::Trace(trace) => Some(trace),
+            _ => None,
+        }
+    }
+
+    /// The serving spec of a serving-driven workload, if any.
+    pub fn serving_spec(&self) -> Option<&ServingSpec> {
+        match &self.source {
+            WorkloadSource::Serving(spec) => Some(spec),
+            _ => None,
         }
     }
 
@@ -570,6 +642,7 @@ impl WorkloadSpec {
         self.label.clone().unwrap_or_else(|| match &self.source {
             WorkloadSource::Pattern(pattern) => pattern.name(),
             WorkloadSource::Trace(trace) => trace.label(),
+            WorkloadSource::Serving(spec) => format!("serving{}", spec.epochs),
         })
     }
 
@@ -585,6 +658,9 @@ impl WorkloadSpec {
             WorkloadSource::Trace(trace) => {
                 members.push(("trace".into(), trace.to_json()));
             }
+            WorkloadSource::Serving(spec) => {
+                members.push(("serving".into(), spec.to_json()));
+            }
         }
         members.push((
             "loads".into(),
@@ -595,10 +671,15 @@ impl WorkloadSpec {
     }
 
     fn from_json(json: &Json) -> Result<Self, String> {
-        let source = match (json.get("pattern"), json.get("trace")) {
-            (Some(pattern), None) => WorkloadSource::Pattern(pattern_from_json(pattern)?),
-            (None, Some(trace)) => WorkloadSource::Trace(TraceSpec::from_json(trace)?),
-            _ => return Err("workload needs exactly one of \"pattern\" or \"trace\"".into()),
+        let source = match (json.get("pattern"), json.get("trace"), json.get("serving")) {
+            (Some(pattern), None, None) => WorkloadSource::Pattern(pattern_from_json(pattern)?),
+            (None, Some(trace), None) => WorkloadSource::Trace(TraceSpec::from_json(trace)?),
+            (None, None, Some(spec)) => WorkloadSource::Serving(ServingSpec::from_json(spec)?),
+            _ => {
+                return Err(
+                    "workload needs exactly one of \"pattern\", \"trace\" or \"serving\"".into(),
+                )
+            }
         };
         Ok(WorkloadSpec {
             label: match json.get("label") {

@@ -4,8 +4,8 @@
 //! patterns and nested composite objectives.
 
 use netsmith_exp::{
-    Assertion, CandidateSpec, ExperimentSpec, LayoutSpec, ObjectiveSpec, SimProfile, TraceSpec,
-    WorkloadSpec,
+    Assertion, CandidateSpec, ExperimentSpec, LayoutSpec, ObjectiveSpec, ServingSpec, SimProfile,
+    TraceSpec, WorkloadSpec,
 };
 use netsmith_topo::traffic::TrafficPattern;
 use netsmith_topo::LinkClass;
@@ -28,6 +28,19 @@ fn random_pattern(rng: &mut SmallRng) -> TrafficPattern {
                 .collect(),
             fraction: rng.gen_range(0.0..1.0),
         },
+    }
+}
+
+fn random_serving(rng: &mut SmallRng) -> ServingSpec {
+    ServingSpec {
+        epochs: rng.gen_range(8..512),
+        period_epochs: rng.gen_range(4..128),
+        expected_faults: rng.gen_range(0.0..4.0),
+        low_load_threshold: rng.gen_range(0.02..0.3),
+        // Json numbers are f64: keep seeds inside the exactly
+        // representable integer range so the spec round-trips bit-exactly.
+        seed: rng.gen_range(0..1u64 << 50),
+        tape_seed: rng.gen_range(0..1u64 << 50),
     }
 }
 
@@ -134,10 +147,10 @@ fn random_spec(seed: u64) -> ExperimentSpec {
                     .map(|_| rng.gen_range(0.0..1.2))
                     .collect();
                 let sim = sims[rng.gen_range(0usize..sims.len())];
-                let mut w = if rng.gen_bool(0.3) {
-                    WorkloadSpec::trace(random_trace(&mut rng), loads, sim)
-                } else {
-                    WorkloadSpec::new(random_pattern(&mut rng), loads, sim)
+                let mut w = match rng.gen_range(0u8..10) {
+                    0..=2 => WorkloadSpec::trace(random_trace(&mut rng), loads, sim),
+                    3..=4 => WorkloadSpec::serving(random_serving(&mut rng), sim),
+                    _ => WorkloadSpec::new(random_pattern(&mut rng), loads, sim),
                 };
                 if rng.gen_bool(0.5) {
                     w = w.labeled("custom \"label\" with, commas");

@@ -25,6 +25,7 @@
 //! | [`power`] | DSENT-style area/power model |
 //! | [`energy`] | measured-activity energy policies (link sleep, DVFS) |
 //! | [`fault`] | resilience: fault injection, deadlock-free repair, robustness reports |
+//! | [`serve`] | lifetime serving: time-varying load, online policy, fault tape, SLA metrics |
 //!
 //! The [`pipeline`] module strings these together the way the paper's
 //! evaluation does: discover (or pick) a topology → route it with MCLB (or
@@ -58,6 +59,7 @@ pub use netsmith_lp as lp;
 pub use netsmith_obs as obs;
 pub use netsmith_power as power;
 pub use netsmith_route as route;
+pub use netsmith_serve as serve;
 pub use netsmith_sim as sim;
 pub use netsmith_system as system;
 pub use netsmith_topo as topo;
@@ -83,6 +85,9 @@ pub mod prelude {
     pub use netsmith_obs::{JsonlRecorder, MemoryRecorder, MetricsSnapshot, Obs};
     pub use netsmith_power::{area_report, power_report_from_activity, PowerConfig};
     pub use netsmith_route::{allocate_vcs, mclb_route, ndbt_route, MclbConfig, RoutingTable};
+    pub use netsmith_serve::{
+        serve, LoadSpec, PolicyKind, ServingConfig, ServingInputs, ServingReport, TapeSpec,
+    };
     pub use netsmith_sim::{LatencyCurve, SimConfig, Sweep, SweepOptions};
     pub use netsmith_system::{evaluate_topology, parsec_suite, FullSystemConfig};
     pub use netsmith_topo::prelude::*;

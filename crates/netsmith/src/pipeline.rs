@@ -276,7 +276,7 @@ mod tests {
         let sleep = network.energy_report(
             &LinkSleep {
                 idle_threshold: 0.15,
-                wake_penalty_cycles: 8,
+                ..LinkSleep::default()
             },
             &sim_config,
             &report,

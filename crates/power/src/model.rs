@@ -11,6 +11,12 @@ pub struct PowerConfig {
     pub router_leakage_mw: f64,
     /// Wire leakage (repeaters) per millimetre in milliwatts.
     pub wire_leakage_mw_per_mm: f64,
+    /// Endpoint leakage per physical link in milliwatts: the two port
+    /// macros (SerDes, link buffers, clocking) a link keeps powered at
+    /// both ends even when no flit moves.  Counted per full-duplex pair,
+    /// like the wire run itself; this is the static component power
+    /// gating a link actually recovers, on top of its repeaters.
+    pub link_port_leakage_mw: f64,
     /// Dynamic energy per flit per router traversal in picojoules.
     pub router_energy_pj_per_flit: f64,
     /// Dynamic energy per flit per millimetre of wire in picojoules.
@@ -27,6 +33,7 @@ impl Default for PowerConfig {
         PowerConfig {
             router_leakage_mw: 4.0,
             wire_leakage_mw_per_mm: 0.15,
+            link_port_leakage_mw: 3.0,
             router_energy_pj_per_flit: 3.0,
             wire_energy_pj_per_flit_mm: 0.9,
             router_area_mm2: 0.045,
@@ -61,11 +68,12 @@ impl AreaReport {
     }
 }
 
-/// Static (leakage) power of a topology in mW: router leakage plus
-/// length-proportional wire leakage.
+/// Static (leakage) power of a topology in mW: router leakage,
+/// length-proportional wire leakage, and per-link endpoint port leakage.
 pub fn static_power_mw(topo: &Topology, config: &PowerConfig) -> f64 {
     topo.num_routers() as f64 * config.router_leakage_mw
         + topo.total_wire_length_mm() * config.wire_leakage_mw_per_mm
+        + topo.num_links() as f64 * config.link_port_leakage_mw
 }
 
 /// Compute the power of a topology from the simulator's measured per-link

@@ -1584,6 +1584,7 @@ pub(crate) fn run_flat(
         avg_link_utilization: activity.avg_link_utilization(),
         activity,
         epochs,
+        latency: counters.stats,
     }
 }
 

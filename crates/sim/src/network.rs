@@ -151,6 +151,12 @@ pub struct SimReport {
     /// [`SimConfig::epoch_cycles`] is non-zero and the compiled engine ran
     /// (the reference engine never fills it).
     pub epochs: Option<EpochSeries>,
+    /// The full latency histogram the percentiles above were computed
+    /// from.  Carrying the histogram lets a caller aggregate many runs
+    /// (e.g. the epochs of a serving horizon) with
+    /// [`LatencyStats::merge`] and extract *exact* horizon-level
+    /// p95/p99 instead of a mean of per-run percentiles.
+    pub latency: LatencyStats,
 }
 
 impl SimReport {
@@ -679,6 +685,7 @@ impl<'a> NetworkSim<'a> {
             avg_link_utilization: activity.avg_link_utilization(),
             activity,
             epochs: None,
+            latency: stats,
         }
     }
 }

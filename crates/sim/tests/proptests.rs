@@ -3,7 +3,7 @@
 
 use netsmith_route::paths::all_shortest_paths;
 use netsmith_route::{allocate_vcs, mclb_route, MclbConfig};
-use netsmith_sim::{NetworkSim, SimConfig};
+use netsmith_sim::{LatencyStats, NetworkSim, SimConfig};
 use netsmith_topo::{expert, Layout};
 use proptest::prelude::*;
 
@@ -58,4 +58,81 @@ proptest! {
         prop_assert!((slow_report.avg_latency_cycles - fast_report.avg_latency_cycles).abs() < 1e-9);
         prop_assert!(fast_report.avg_latency_ns < slow_report.avg_latency_ns);
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Merging per-chunk histograms must be indistinguishable from
+    /// recording the concatenated sample stream into one `LatencyStats`:
+    /// identical counts, maxima and (histogram-derived) percentiles, and
+    /// a mean equal up to float summation order.  This is the property
+    /// the serving horizon relies on to report *exact* horizon-level
+    /// p95/p99 across epochs instead of a mean of per-epoch percentiles.
+    #[test]
+    fn merged_chunk_stats_equal_one_shot_stats(
+        chunks in proptest::collection::vec(
+            proptest::collection::vec(0.5f64..60_000.0, 0..40),
+            1..6,
+        ),
+        p in 0.01f64..0.999,
+    ) {
+        let mut one_shot = LatencyStats::new();
+        for sample in chunks.iter().flatten() {
+            one_shot.record(*sample);
+        }
+        let mut merged = LatencyStats::new();
+        for chunk in &chunks {
+            let mut part = LatencyStats::new();
+            for &sample in chunk {
+                part.record(sample);
+            }
+            merged.merge(&part);
+        }
+        prop_assert_eq!(merged.count(), one_shot.count());
+        prop_assert!((merged.max() - one_shot.max()).abs() < 1e-12);
+        // The histograms are integer bin counts, so every percentile is
+        // bit-exact regardless of how the stream was chunked.
+        for q in [0.5, 0.9, 0.95, 0.99, p] {
+            prop_assert_eq!(merged.percentile(q), one_shot.percentile(q));
+        }
+        let scale = one_shot.mean().abs().max(1.0);
+        prop_assert!((merged.mean() - one_shot.mean()).abs() / scale < 1e-9);
+    }
+
+    /// `SimReport::latency` is the histogram its own percentile fields
+    /// were computed from.
+    #[test]
+    fn report_percentiles_come_from_the_carried_histogram(seed in 0u64..5_000, load in 0.05f64..0.3) {
+        let layout = Layout::noi_4x5();
+        let topo = expert::folded_torus(&layout);
+        let paths = all_shortest_paths(&topo);
+        let table = mclb_route(&paths, &MclbConfig::default());
+        let alloc = allocate_vcs(&table, 6, 7).unwrap();
+        let sim = NetworkSim::builder(&topo, &table).vcs(&alloc).config(quick_config(seed)).build();
+        let report = sim.run(load);
+        prop_assert_eq!(report.latency.count(), report.packets_ejected);
+        prop_assert_eq!(report.latency.percentile(0.95), report.p95_latency_cycles);
+        prop_assert_eq!(report.latency.percentile(0.99), report.p99_latency_cycles);
+        prop_assert!((report.latency.mean() - report.avg_latency_cycles).abs() < 1e-12);
+    }
+}
+
+/// Regression pin: the tail percentiles of a fixed seed/load/topology
+/// combination.  Any change to injection order, arbitration, or the
+/// histogram's binning shows up as a changed p95/p99 here.
+#[test]
+fn tail_percentiles_are_pinned_on_a_fixed_seed() {
+    let layout = Layout::noi_4x5();
+    let topo = expert::folded_torus(&layout);
+    let paths = all_shortest_paths(&topo);
+    let table = mclb_route(&paths, &MclbConfig::default());
+    let alloc = allocate_vcs(&table, 6, 7).unwrap();
+    let sim = NetworkSim::builder(&topo, &table)
+        .vcs(&alloc)
+        .config(quick_config(0xF1665EED))
+        .build();
+    let report = sim.run(0.2);
+    assert_eq!(report.p95_latency_cycles, 48.0, "p95 drifted");
+    assert_eq!(report.p99_latency_cycles, 52.0, "p99 drifted");
 }

@@ -126,7 +126,7 @@ fn energy_subsystem_flows_through_the_whole_pipeline() {
     let sleep = network.energy_report(
         &LinkSleep {
             idle_threshold: 0.15,
-            wake_penalty_cycles: 8,
+            ..LinkSleep::default()
         },
         &sim_cfg,
         &report,
